@@ -1,0 +1,49 @@
+"""Ablation — orbit detection: trajectory hashing vs. Brent's algorithm.
+
+DESIGN.md Section 5 calls out the choice between storing the trajectory
+(O(transient + period) memory, one step per configuration) and Brent's
+cycle finding (O(1) memory, ~3x the steps).  Both must agree exactly; the
+benchmark quantifies the trade on a deep-transient workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.evolution import brent_orbit, parallel_orbit
+from repro.core.rules import MajorityRule, WolframRule
+from repro.spaces.line import Ring
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # Rule 110 on a 20-ring has long transients and nontrivial periods —
+    # a harder orbit than any threshold rule produces.
+    ca = CellularAutomaton(Ring(20), WolframRule(110))
+    rng = np.random.default_rng(42)
+    starts = rng.integers(0, 2, size=(8, 20)).astype(np.uint8)
+    return ca, starts
+
+
+def test_hashing_orbit(benchmark, workload):
+    ca, starts = workload
+    results = benchmark(lambda: [parallel_orbit(ca, x) for x in starts])
+    assert all(r.period >= 1 for r in results)
+
+
+def test_brent_orbit(benchmark, workload):
+    ca, starts = workload
+    results = benchmark(lambda: [brent_orbit(ca, x) for x in starts])
+    hashed = [parallel_orbit(ca, x) for x in starts]
+    for b, h in zip(results, hashed):
+        assert (b.transient, b.period) == (h.transient, h.period)
+
+
+def test_majority_orbit_is_shallow(benchmark):
+    """Control: threshold orbits are short (period <= 2, small transient),
+    so either method is instant — the ablation matters for general rules."""
+    ca = CellularAutomaton(Ring(20), MajorityRule())
+    rng = np.random.default_rng(43)
+    starts = rng.integers(0, 2, size=(8, 20)).astype(np.uint8)
+    results = benchmark(lambda: [parallel_orbit(ca, x) for x in starts])
+    assert all(r.period <= 2 for r in results)

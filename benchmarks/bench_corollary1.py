@@ -1,0 +1,23 @@
+"""E8 — Corollary 1: two-cycles at every radius.
+
+Paper artifact: Corollary 1.  Expected rows: for each radius r the block
+configuration ``0^r 1^r ...`` is a two-cycle of MAJORITY; odd radii r >= 3
+add the alternating configuration as a second, distinct two-cycle.
+"""
+
+from repro.core.theorems import check_corollary1
+
+
+def test_corollary1_radii_1_to_6(benchmark):
+    report = benchmark(lambda: check_corollary1(radii=(1, 2, 3, 4, 5, 6)))
+    assert report.holds
+    for r in (1, 2, 3, 4, 5, 6):
+        assert report.details[f"r{r}_block_two_cycle"]
+    for r in (3, 5):
+        assert report.details[f"r{r}_two_distinct_cycles"]
+
+
+def test_corollary1_large_radius(benchmark):
+    """The constructions keep working at radius 10 (ring of 40+ nodes)."""
+    report = benchmark(lambda: check_corollary1(radii=(10,)))
+    assert report.holds

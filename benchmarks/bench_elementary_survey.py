@@ -1,0 +1,37 @@
+"""E21 — all 256 elementary rules vs. the paper's dichotomy.
+
+Paper artifact: the rule-class landscape of Section 3, completed — for
+every with-memory radius-1 rule, where does it sit relative to the
+monotone-symmetric convergence theorem?  Expected rows: 20 monotone rules
+(5 of them symmetric, zero Theorem-1 violations), 104 linear-threshold
+rules, 57 sequentially cycle-free rules, and exactly {170, 240} (the two
+shifts) as monotone sequential cyclers.
+"""
+
+from repro.analysis.elementary import survey_all_rules, survey_rule, survey_summary
+
+
+def _fresh_survey(sizes):
+    survey_rule.cache_clear()  # benchmark the work, not the memo
+    return survey_summary(survey_all_rules(sizes))
+
+
+def test_full_survey(benchmark):
+    summary = benchmark(lambda: _fresh_survey((5, 6, 7)))
+    assert summary["theorem1_violations"] == []
+    assert summary["monotone_sequential_cyclers"] == [170, 240]
+    assert summary["monotone"] == 20
+    assert summary["linear_threshold"] == 104
+
+
+def test_single_rule_profile(benchmark):
+    def profile_110():
+        survey_rule.cache_clear()
+        return survey_rule(110, (5, 6, 7, 8))
+
+    profile = benchmark(profile_110)
+    # Rule 110 (Turing-universal): non-monotone, long parallel cycles,
+    # sequential cycles too.
+    assert not profile.monotone
+    assert profile.parallel_max_period > 2
+    assert profile.sequential_cycles_somewhere

@@ -1,0 +1,61 @@
+"""E15 — engine throughput and the vectorization ablation.
+
+Implementation artifact (DESIGN.md Section 5): the synchronous step is one
+window-gather plus one vectorized rule application.  Expected series: the
+vectorized step beats the per-node reference by orders of magnitude and
+scales linearly in n; whole-phase-space sweeps stay chunk-bounded in
+memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import MajorityRule, WolframRule
+from repro.spaces.grid import Grid2D
+from repro.spaces.line import Ring
+
+
+@pytest.mark.parametrize("n", [1 << 12, 1 << 16, 1 << 20])
+def test_vectorized_step_scaling(benchmark, rng, n):
+    ca = CellularAutomaton(Ring(n, radius=2), MajorityRule())
+    state = rng.integers(0, 2, n).astype(np.uint8)
+    out = benchmark(lambda: ca.step(state))
+    assert out.shape == (n,)
+
+
+@pytest.mark.parametrize("n", [1 << 12])
+def test_naive_step_baseline(benchmark, rng, n):
+    """The ablation baseline: same semantics, Python loop per node."""
+    ca = CellularAutomaton(Ring(n, radius=2), MajorityRule())
+    state = rng.integers(0, 2, n).astype(np.uint8)
+    out = benchmark(lambda: ca.step_naive(state))
+    np.testing.assert_array_equal(out, ca.step(state))
+
+
+def test_step_all_whole_space(benchmark):
+    """2**18 configurations through the global map in one sweep."""
+    ca = CellularAutomaton(Ring(18), MajorityRule())
+    succ = benchmark(ca.step_all)
+    assert succ.shape == (1 << 18,)
+    # Spot-check agreement with the scalar engine.
+    rng = np.random.default_rng(0)
+    for code in rng.integers(0, 1 << 18, size=5):
+        assert int(succ[code]) == ca.pack(ca.step(ca.unpack(int(code))))
+
+
+def test_wolfram_table_rule_throughput(benchmark, rng):
+    """Table rules go through packed-code lookup; same scaling story."""
+    n = 1 << 16
+    ca = CellularAutomaton(Ring(n), WolframRule(110))
+    state = rng.integers(0, 2, n).astype(np.uint8)
+    out = benchmark(lambda: ca.step(state))
+    assert out.shape == (n,)
+
+
+def test_grid_step_throughput(benchmark, rng):
+    """The generic gather path covers 2-D spaces with no special casing."""
+    ca = CellularAutomaton(Grid2D(256, 256), MajorityRule())
+    state = rng.integers(0, 2, ca.n).astype(np.uint8)
+    out = benchmark(lambda: ca.step(state))
+    assert out.shape == (65536,)

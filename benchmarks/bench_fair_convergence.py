@@ -1,0 +1,99 @@
+"""E12 — fair sequential threshold CA converge to fixed points.
+
+Paper artifact: Section 3's convergence claim with the footnote-2 fairness
+condition.  Expected rows: every fair run converges; effective flips stay
+under the Goles–Martinez energy bound; the unfair control schedule stalls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.energy import ThresholdNetwork
+from repro.core.evolution import sequential_converge
+from repro.core.rules import MajorityRule
+from repro.core.schedules import (
+    FixedPermutation,
+    FixedWord,
+    RandomPermutationSweeps,
+    RandomSingleNode,
+)
+from repro.spaces.line import Ring
+
+
+@pytest.mark.parametrize(
+    "schedule_name,schedule",
+    [
+        ("identity-sweep", FixedPermutation()),
+        ("random-sweeps", RandomPermutationSweeps(11)),
+        ("uniform-single", RandomSingleNode(13)),
+    ],
+)
+def test_fair_convergence(benchmark, rng, schedule_name, schedule):
+    ca = CellularAutomaton(Ring(16), MajorityRule())
+    bound = ThresholdNetwork.from_automaton(ca).max_flip_bound()
+    inits = rng.integers(0, 2, size=(24, ca.n)).astype(np.uint8)
+
+    def run_all():
+        flips = []
+        for x0 in inits:
+            res = sequential_converge(ca, x0, schedule, max_updates=50_000)
+            assert res.converged
+            flips.append(res.effective_flips)
+        return flips
+
+    flips = benchmark(run_all)
+    assert max(flips) <= bound
+
+
+def test_unfair_schedule_control(benchmark):
+    """Fairness is necessary: a schedule that only ever updates node 0
+    freezes the run in a non-fixed-point configuration."""
+    ca = CellularAutomaton(Ring(12), MajorityRule())
+    alt = (np.arange(12) % 2).astype(np.uint8)
+    word = FixedWord([0])  # every other node is starved
+
+    res = benchmark(
+        lambda: sequential_converge(ca, alt, word, max_updates=2_000)
+    )
+    assert not res.converged
+    assert not ca.is_fixed_point(res.final_state)
+
+
+def test_convergence_scales_with_n(benchmark, rng):
+    """Flips needed grow roughly linearly in n (the energy bound is
+    O(edges)); one data point for the series at n = 64."""
+    ca = CellularAutomaton(Ring(64), MajorityRule())
+    x0 = rng.integers(0, 2, ca.n).astype(np.uint8)
+    res = benchmark(
+        lambda: sequential_converge(
+            ca, x0.copy(), RandomPermutationSweeps(5), max_updates=200_000
+        )
+    )
+    assert res.converged
+    assert res.effective_flips <= ThresholdNetwork.from_automaton(ca).max_flip_bound()
+
+
+def test_alpha_asynchronism_sweep(benchmark):
+    """E22: any alpha < 1 destroys the oscillation almost surely."""
+    from repro.core.schedules import AlphaAsynchronous
+
+    ca = CellularAutomaton(Ring(12), MajorityRule())
+    alt = (np.arange(12) % 2).astype(np.uint8)
+
+    def sweep():
+        means = {}
+        for alpha in (0.3, 0.6, 0.9):
+            times = []
+            for seed in range(16):
+                res = sequential_converge(
+                    ca, alt, AlphaAsynchronous(alpha, seed=seed),
+                    max_updates=5_000,
+                )
+                assert res.converged
+                times.append(res.updates_used)
+            means[alpha] = float(np.mean(times))
+        return means
+
+    means = benchmark(sweep)
+    assert all(v < 5_000 for v in means.values())

@@ -1,0 +1,55 @@
+"""E16 — exact dynamics on the two-way infinite line.
+
+Paper artifact: the paper's default cellular space.  Expected rows: the
+alternating background is an exact infinite two-cycle; finite-support
+perturbations settle with period <= 2; a solid block inside the alternating
+background invades it linearly (a divergent orbit impossible on finite
+rings).
+"""
+
+import pytest
+
+from repro.core.rules import MajorityRule
+from repro.spaces.infinite import SupportConfig, infinite_orbit, infinite_step
+
+
+@pytest.fixture(scope="module")
+def maj3():
+    return MajorityRule().with_arity(3)
+
+
+def test_alternating_infinite_two_cycle(benchmark, maj3):
+    t, p, cycle = benchmark(
+        lambda: infinite_orbit(maj3, SupportConfig.periodic("01"))
+    )
+    assert (t, p) == (0, 2)
+    assert len(cycle) == 2
+
+
+def test_finite_support_relaxation(benchmark, maj3):
+    config = SupportConfig.finite("1101001110100111010011" * 4)
+    t, p, _ = benchmark(lambda: infinite_orbit(config=config, rule=maj3,
+                                               max_steps=500))
+    assert p <= 2
+
+
+def test_invading_block_divergence(benchmark, maj3):
+    """Support width after 50 steps: grows by exactly 2 per step."""
+    start = SupportConfig.build("01", "1111", "01", lo=0)
+
+    def invade():
+        current = start
+        for _ in range(50):
+            current = infinite_step(maj3, current)
+        return current
+
+    final = benchmark(invade)
+    assert len(final.core) == len(start.core) + 2 * 50
+
+
+def test_radius2_infinite_block_cycle(benchmark):
+    maj5 = MajorityRule().with_arity(5)
+    t, p, _ = benchmark(
+        lambda: infinite_orbit(maj5, SupportConfig.periodic("0011"))
+    )
+    assert (t, p) == (0, 2)

@@ -1,0 +1,38 @@
+"""E3 — regenerate Section 1.1's granularity example.
+
+Paper artifact: the ``x += 1 || x += 2`` exercise.  Expected series:
+high-level sequential outcomes {3}; parallel outcomes {1, 2}; machine-level
+interleaving outcomes {1, 2, 3} over 20 interleavings.
+"""
+
+from repro.interleave.programs import (
+    AtomicAdd,
+    granularity_report,
+    tosic_agha_example,
+)
+
+
+def _x_values(outcomes):
+    return sorted(dict(o)["x"] for o in outcomes)
+
+
+def test_granularity_paper_example(benchmark):
+    rep = benchmark(tosic_agha_example)
+    assert _x_values(rep.high_level_outcomes) == [3]
+    assert _x_values(rep.parallel_outcomes_) == [1, 2]
+    assert _x_values(rep.machine_outcomes) == [1, 2, 3]
+    assert rep.machine_interleavings == 20
+    assert rep.parallel_escapes_high_level
+    assert rep.machine_captures_parallel
+
+
+def test_granularity_scales_to_three_threads(benchmark):
+    stmts = [AtomicAdd("x", 1), AtomicAdd("x", 2), AtomicAdd("x", 4)]
+    rep = benchmark(lambda: granularity_report(stmts, {"x": 0}))
+    # 1680 interleavings of nine instructions, still fully enumerated.
+    assert rep.machine_interleavings == 1680
+    assert rep.machine_captures_parallel
+    assert rep.machine_captures_high_level
+    assert _x_values(rep.high_level_outcomes) == [7]
+    # Parallel: any single winner's value.
+    assert _x_values(rep.parallel_outcomes_) == [1, 2, 4]

@@ -1,0 +1,56 @@
+"""E4/E5 — Lemma 1: MAJORITY r=1, parallel cycles vs. sequential cycle-freeness.
+
+Paper artifact: Lemma 1(i) and 1(ii).  Expected rows: every even ring has a
+parallel two-cycle (exactly one for the plain even ring); no ring of any
+size has a sequential proper cycle.
+"""
+
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule
+from repro.core.theorems import check_lemma1_parallel, check_lemma1_sequential
+from repro.spaces.line import Ring
+
+
+def test_lemma1_parallel_cycles(benchmark):
+    report = benchmark(
+        lambda: check_lemma1_parallel(ring_sizes=(4, 6, 8, 10, 12),
+                                      exhaustive_limit=12)
+    )
+    assert report.holds
+    assert report.details["infinite_line_two_cycle"]
+    # Paper row: one two-cycle pair per even ring (exhaustive sizes).
+    for n in (4, 6, 8, 10, 12):
+        assert report.details[f"ring{n}_cycle_lengths"] == [2]
+
+
+def test_lemma1_sequential_cycle_free(benchmark):
+    report = benchmark(
+        lambda: check_lemma1_sequential(ring_sizes=tuple(range(3, 13)))
+    )
+    assert report.holds
+    assert report.counterexamples == ()
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_lemma1_parallel_phase_space_scaling(benchmark, n):
+    """Exhaustive parallel phase-space construction per ring size."""
+    ca = CellularAutomaton(Ring(n), MajorityRule())
+    ps = benchmark(lambda: PhaseSpace.from_automaton(ca))
+    assert ps.has_proper_cycle()
+    assert max(ps.cycle_lengths()) == 2
+
+
+@pytest.mark.parametrize("n", [8, 12, 14])
+def test_lemma1_sequential_phase_space_scaling(benchmark, n):
+    """Exhaustive nondeterministic phase-space construction + SCC search."""
+    ca = CellularAutomaton(Ring(n), MajorityRule())
+
+    def build():
+        nps = NondetPhaseSpace.from_automaton(ca)
+        return nps.has_proper_cycle()
+
+    assert benchmark(build) is False

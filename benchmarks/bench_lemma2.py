@@ -1,0 +1,24 @@
+"""E7 — Lemma 2: the radius-2 analogue of Lemma 1.
+
+Paper artifact: Lemma 2(i)/(ii).  Expected rows: block configurations
+``0011...`` are parallel two-cycles (finite rings and the infinite line);
+no sequential order cycles.
+"""
+
+from repro.core.theorems import check_lemma2_parallel, check_lemma2_sequential
+
+
+def test_lemma2_parallel(benchmark):
+    report = benchmark(
+        lambda: check_lemma2_parallel(ring_sizes=(8, 12, 16), exhaustive_limit=12)
+    )
+    assert report.holds
+    assert report.details["infinite_line_two_cycle"]
+
+
+def test_lemma2_sequential(benchmark):
+    report = benchmark(
+        lambda: check_lemma2_sequential(ring_sizes=(5, 6, 7, 8, 9, 10, 11))
+    )
+    assert report.holds
+    assert report.counterexamples == ()

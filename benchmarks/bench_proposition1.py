@@ -1,0 +1,59 @@
+"""E9 — Proposition 1: threshold orbits end in fixed points or two-cycles.
+
+Paper artifact: Proposition 1 (after Goles–Martinez).  Expected rows: for
+every (cellular space, threshold rule) pair, the maximum attractor cycle
+length over the entire phase space is at most 2; the two Lyapunov energies
+certify the same facts without exhaustion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.energy import (
+    verify_parallel_energy_monotone,
+    verify_sequential_energy_decrease,
+)
+from repro.core.rules import MajorityRule
+from repro.core.schedules import RandomPermutationSweeps
+from repro.core.theorems import check_proposition1
+from repro.spaces.grid import Grid2D
+from repro.spaces.hypercube import Hypercube
+from repro.spaces.line import Ring
+
+
+def test_proposition1_exhaustive(benchmark):
+    report = benchmark(
+        lambda: check_proposition1(
+            spaces=[Ring(8), Ring(9), Ring(10, radius=2), Grid2D(3, 4),
+                    Hypercube(3)]
+        )
+    )
+    assert report.holds
+    for value in report.details.values():
+        assert value["max_cycle_length"] <= 2
+
+
+@pytest.mark.parametrize("d", [3, 4])
+def test_proposition1_hypercube(benchmark, d):
+    report = benchmark(
+        lambda: check_proposition1(spaces=[Hypercube(d)], thresholds=(1, 2, 3))
+    )
+    assert report.holds
+
+
+def test_proposition1_energy_certificates(benchmark, rng):
+    """The energy route: no exhaustion, scales to a 64-node torus."""
+    ca = CellularAutomaton(Grid2D(8, 8), MajorityRule())
+    inits = rng.integers(0, 2, size=(32, ca.n)).astype(np.uint8)
+
+    def audits():
+        seq = verify_sequential_energy_decrease(
+            ca, RandomPermutationSweeps(3), inits, max_updates=50_000
+        )
+        par = verify_parallel_energy_monotone(ca, inits)
+        return seq, par
+
+    seq, par = benchmark(audits)
+    assert seq.holds and par.holds
+    assert seq.min_decrease >= 0.5

@@ -1,0 +1,39 @@
+"""E19/E20 — the synchrony threshold and the phase-space census.
+
+Paper artifacts: Section 4's remark that the two-cycles "can be ascribed
+directly to the assumption of perfect synchrony", and the census programme
+of the companion paper [19].  Expected rows: exactly one cyclic ordered
+partition (the full block) out of all 4683 on the 6-ring; fixed-point
+counts 2, 6, 12, 20, ... obeying a(n) = 2a(n-1) - a(n-2) + a(n-4);
+exactly two cycle configurations per even ring; Garden-of-Eden fraction
+increasing toward 1.
+"""
+
+from repro.analysis.census import find_linear_recurrence, majority_ring_census
+from repro.core.block_maps import check_block_synchrony
+
+
+def test_block_synchrony_exhaustive(benchmark):
+    report = benchmark(
+        lambda: check_block_synchrony(exhaustive_n=6, structured_sizes=(8, 10))
+    )
+    assert report.holds
+    assert report.details["ring6_ordered_partitions"] == 4683
+    assert report.details["ring6_cyclic_partitions"] == 1
+
+
+def test_census_with_recurrence(benchmark):
+    rows = benchmark(lambda: majority_ring_census(range(3, 15)))
+    fps = [r.fixed_points for r in rows]
+    rec = find_linear_recurrence(fps)
+    assert rec is not None and rec[0] == 4
+    assert [int(c) for c in rec[1]] == [2, -1, 0, 1]
+    fractions = [r.garden_fraction for r in rows]
+    assert all(a < b for a, b in zip(fractions[2:], fractions[3:]))
+
+
+def test_census_large_ring(benchmark):
+    """One 2**16-configuration census row (characterisation check included)."""
+    rows = benchmark(lambda: majority_ring_census((16,)))
+    assert rows[0].fixed_points == 2206
+    assert rows[0].cycle_configs == 2

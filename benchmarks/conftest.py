@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (see DESIGN.md's
+per-experiment index and EXPERIMENTS.md for the paper-vs-measured record):
+the benchmarked callable *returns* the measurement, and the test asserts
+the paper's qualitative claim on it, so a timing run is also a correctness
+run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG so benchmark workloads are reproducible."""
+    return np.random.default_rng(1999)

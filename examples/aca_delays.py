@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Section 4 live: asynchronous CA with real communication delays.
+
+Shows the three regimes of the ACA model:
+
+1. sub-round delays + simultaneous updates  -> replays the classical CA;
+2. zero delays + one update per instant     -> replays the SCA;
+3. long delays (stale views)                -> reaches configurations no
+   sequential interleaving can (the Fig. 1 ``11 -> 00`` jump).
+
+Run:  python examples/aca_delays.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import CellularAutomaton, MajorityRule, Ring, XorRule
+from repro.aca import (
+    AsyncCA,
+    FixedDelay,
+    UniformRandomDelay,
+    aca_exceeds_interleavings,
+    replay_parallel,
+    replay_sequential,
+)
+from repro.analysis.drawing import render_spacetime
+from repro.spaces.graph import GraphSpace
+
+
+def regime_parallel() -> None:
+    print("=== regime 1: ACA replays the classical CA exactly ===")
+    ca = CellularAutomaton(Ring(16), MajorityRule())
+    x0 = np.random.default_rng(2).integers(0, 2, 16).astype(np.uint8)
+    aca_traj, ca_traj = replay_parallel(ca, x0, 6)
+    print("ACA trajectory (all nodes update each round, delay 0.5):")
+    print(render_spacetime(aca_traj))
+    print(f"identical to the synchronous CA: {np.array_equal(aca_traj, ca_traj)}")
+
+
+def regime_sequential() -> None:
+    print("\n=== regime 2: ACA replays any SCA word exactly ===")
+    ca = CellularAutomaton(Ring(10), MajorityRule())
+    rng = np.random.default_rng(3)
+    x0 = rng.integers(0, 2, 10).astype(np.uint8)
+    word = rng.integers(0, 10, size=25).tolist()
+    aca_traj, sca_traj = replay_sequential(ca, x0, word)
+    print(f"word: {word}")
+    print(f"identical to the direct SCA run: {np.array_equal(aca_traj, sca_traj)}")
+
+
+def regime_stale() -> None:
+    print("\n=== regime 3: stale views exceed every interleaving ===")
+    rep = aca_exceeds_interleavings()
+    print(
+        f"two-node XOR from 11: SCA can reach codes {rep.sequentially_reachable}; "
+        f"the delayed ACA reached code {rep.reached} (00)"
+    )
+    print(f"ACA strictly exceeds the sequential interleavings: {rep.exceeded}")
+
+    # The same effect shown event by event.
+    space = GraphSpace(nx.path_graph(2))
+    aca = AsyncCA(space, XorRule(), np.array([1, 1], dtype=np.uint8),
+                  delays=FixedDelay(10.0))
+    aca.schedule_update(1.0, 0)
+    aca.schedule_update(2.0, 1)
+    aca.run_until(2.0)
+    for entry in aca.trace:
+        print(
+            f"  t={entry.time}: node {entry.node} flips "
+            f"{entry.old} -> {entry.new} (using a stale neighbor view)"
+        )
+    print(f"  global state: {''.join(map(str, aca.snapshot()))}")
+
+
+def bounded_asynchrony() -> None:
+    print("\n=== bounded random delays: threshold ACA still quiesce ===")
+    space = Ring(20)
+    rng = np.random.default_rng(4)
+    aca = AsyncCA(
+        space, MajorityRule(),
+        rng.integers(0, 2, 20).astype(np.uint8),
+        delays=UniformRandomDelay(0.0, 0.4, seed=5),
+    )
+    for k in range(1, 31):
+        for node in range(20):
+            aca.schedule_update(k + 0.01 * node, node)
+    aca.run()
+    print(
+        f"after 30 jittered rounds: {''.join(map(str, aca.snapshot()))} "
+        f"({len(aca.trace)} effective flips, {aca.deliveries} messages)"
+    )
+
+
+def main() -> None:
+    regime_parallel()
+    regime_sequential()
+    regime_stale()
+    bounded_asynchrony()
+
+
+if __name__ == "__main__":
+    main()

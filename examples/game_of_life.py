@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Conway's Game of Life — and what the paper says about it.
+
+Life is the canonical synchronous CA; this example runs it through the
+library's engines and then asks the paper's question of it: what happens
+to its famous oscillators when updates become sequential?
+
+* synchronous: the blinker oscillates (period 2), the glider translates
+  (period 4 × torus width);
+* sequential (any fair order): Life is NOT a threshold rule — birth is
+  non-monotone (a count of 4 kills but 3 births) — so Theorem 1 does not
+  apply, and indeed asynchronous Life behaves completely differently:
+  the blinker's oscillation is destroyed.
+
+Run:  python examples/game_of_life.py
+"""
+
+import numpy as np
+
+from repro import CellularAutomaton, Grid2D, RandomPermutationSweeps
+from repro.core.evolution import parallel_orbit, sequential_converge
+from repro.core.rules import life_rule
+
+
+def render(grid: Grid2D, state: np.ndarray) -> str:
+    return "\n".join(
+        "".join(".#"[int(state[grid.index(r, c)])] for c in range(grid.cols))
+        for r in range(grid.rows)
+    )
+
+
+def place(grid: Grid2D, cells, state=None) -> np.ndarray:
+    state = (
+        np.zeros(grid.n, dtype=np.uint8) if state is None else state
+    )
+    for r, c in cells:
+        state[grid.index(r, c)] = 1
+    return state
+
+
+def synchronous_zoo() -> None:
+    print("=== synchronous Life ===")
+    grid = Grid2D(10, 10, neighborhood="moore", torus=True)
+    ca = CellularAutomaton(grid, life_rule())
+
+    block = place(grid, [(4, 4), (4, 5), (5, 4), (5, 5)])
+    print(f"block is a still life: {ca.is_fixed_point(block)}")
+
+    blinker = place(grid, [(4, 3), (4, 4), (4, 5)])
+    orbit = parallel_orbit(ca, blinker)
+    print(f"blinker orbit: transient={orbit.transient}, period={orbit.period}")
+
+    glider = place(grid, [(0, 1), (1, 2), (2, 0), (2, 1), (2, 2)])
+    orbit = parallel_orbit(ca, glider)
+    print(
+        f"glider on the 10-torus: period {orbit.period} "
+        f"(4 steps/cell x 10 cells = one diagonal lap)"
+    )
+    print("\nthree steps of the glider:")
+    state = glider
+    for t in range(3):
+        print(f"t={t}:")
+        print(render(grid, state))
+        state = ca.step(state)
+
+
+def asynchronous_life() -> None:
+    print("\n=== sequential Life: the paper's lens ===")
+    rule = life_rule()
+    print(f"Life is monotone: {rule.is_monotone()}")
+    print(f"Life is symmetric: {rule.function.is_symmetric()}")
+    print("=> Theorem 1 does NOT apply; no convergence guarantee.\n")
+
+    grid = Grid2D(10, 10, neighborhood="moore", torus=True)
+    ca = CellularAutomaton(grid, rule)
+    blinker = place(grid, [(4, 3), (4, 4), (4, 5)])
+    res = sequential_converge(
+        ca, blinker, RandomPermutationSweeps(5), max_updates=20_000
+    )
+    alive = int(res.final_state.sum())
+    print(
+        f"blinker under fair sequential updates: converged={res.converged}, "
+        f"{res.effective_flips} flips, {alive} live cells remain"
+    )
+    if res.converged:
+        print(render(grid, res.final_state))
+        print(
+            "\nthe synchronous oscillator is gone: sequential updates break "
+            "the simultaneity the blinker depends on — the same phenomenon "
+            "the paper proves for threshold CA, observed empirically for "
+            "Life."
+        )
+
+
+def main() -> None:
+    synchronous_zoo()
+    asynchronous_life()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Domain application: majority consensus on a noisy sensor grid.
+
+The paper's introduction frames CA as "an abstraction of massively
+parallel computers".  This example uses the library in that spirit: a grid
+of binary sensors tries to agree on whether a measured event happened,
+each sensor repeatedly replacing its bit by the MAJORITY of its
+neighborhood (a classic distributed denoising/consensus kernel).
+
+The paper's results show up as *engineering* facts here:
+
+* run the grid **synchronously** and an adversarial noise pattern (the
+  bipartition checkerboard) makes the fabric oscillate forever — the
+  parallel two-cycle of Lemma 1(i)/Section 3;
+* run it **asynchronously in any fair order** and Theorem 1's
+  convergence guarantee kicks in: the fabric always settles, within the
+  energy bound on flips, regardless of the noise;
+* with realistic **communication delays** (the ACA model) consensus
+  still settles when updates are staggered.
+
+Run:  python examples/sensor_consensus.py
+"""
+
+import numpy as np
+
+from repro import (
+    CellularAutomaton,
+    Grid2D,
+    MajorityRule,
+    RandomPermutationSweeps,
+    Synchronous,
+    ThresholdNetwork,
+    parallel_orbit,
+    sequential_converge,
+)
+from repro.aca import AsyncCA, UniformRandomDelay
+
+
+def make_measurement(rows: int, cols: int, truth: int, noise: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Ground truth ``truth`` observed through per-sensor bit-flip noise."""
+    field = np.full(rows * cols, truth, dtype=np.uint8)
+    flips = rng.random(field.size) < noise
+    field[flips] ^= 1
+    return field
+
+
+def render(grid: Grid2D, state: np.ndarray) -> str:
+    rows = []
+    for r in range(grid.rows):
+        rows.append(
+            "".join(".#"[int(state[grid.index(r, c)])] for c in range(grid.cols))
+        )
+    return "\n".join(rows)
+
+
+def random_noise_demo() -> None:
+    print("=== random noise: everything works ===")
+    rng = np.random.default_rng(7)
+    grid = Grid2D(12, 24, torus=True)
+    ca = CellularAutomaton(grid, MajorityRule(), memory=True)
+    noisy = make_measurement(grid.rows, grid.cols, truth=1, noise=0.25, rng=rng)
+    print(f"noisy reading ({int(noisy.sum())} of {noisy.size} sensors report 1):")
+    print(render(grid, noisy))
+
+    orbit = parallel_orbit(ca, noisy)
+    print(
+        f"\nsynchronous consensus: settles after {orbit.transient} rounds "
+        f"with period {orbit.period}"
+    )
+
+    res = sequential_converge(ca, noisy, RandomPermutationSweeps(1))
+    ones = int(res.final_state.sum())
+    print(
+        f"asynchronous (fair random order): converged={res.converged}, "
+        f"{res.effective_flips} corrections, "
+        f"{ones}/{res.final_state.size} sensors report 1:"
+    )
+    print(render(grid, res.final_state))
+
+
+def adversarial_demo() -> None:
+    print("\n=== adversarial noise: synchrony is the vulnerability ===")
+    grid = Grid2D(8, 8, torus=True)
+    ca = CellularAutomaton(grid, MajorityRule(), memory=True)
+    left, _ = grid.bipartition()
+    checker = np.zeros(grid.n, dtype=np.uint8)
+    for i in left:
+        checker[i] = 1
+    print("checkerboard corruption:")
+    print(render(grid, checker))
+
+    orbit = parallel_orbit(ca, checker)
+    print(
+        f"\nsynchronous fabric: period-{orbit.period} oscillation — the "
+        "sensors NEVER agree (Lemma 1(i) in production)"
+    )
+
+    res = sequential_converge(ca, checker, RandomPermutationSweeps(3))
+    bound = ThresholdNetwork.from_automaton(ca).max_flip_bound()
+    print(
+        f"fair asynchronous fabric: converged={res.converged} after "
+        f"{res.effective_flips} corrections (guaranteed <= {bound}):"
+    )
+    print(render(grid, res.final_state))
+
+    # The synchronous schedule driven through the generic engine agrees.
+    stuck = sequential_converge(ca, checker, Synchronous(), max_updates=300)
+    print(f"synchronous schedule under the same driver: converged={stuck.converged}")
+
+
+def delayed_network_demo() -> None:
+    print("\n=== with real network delays (ACA model) ===")
+    rng = np.random.default_rng(11)
+    grid = Grid2D(8, 8, torus=True)
+    noisy = make_measurement(8, 8, truth=0, noise=0.3, rng=rng)
+    aca = AsyncCA(
+        grid, MajorityRule(), noisy,
+        delays=UniformRandomDelay(0.0, 0.5, seed=12),
+    )
+    # Staggered periodic updates, one phase per sensor.
+    phases = rng.random(grid.n)
+    for round_ in range(1, 26):
+        for node in range(grid.n):
+            aca.schedule_update(round_ + 0.5 * phases[node], node)
+    aca.run()
+    ones = int(aca.snapshot().sum())
+    print(
+        f"after 25 staggered rounds with random delays: "
+        f"{len(aca.trace)} corrections, {aca.deliveries} messages, "
+        f"{ones}/{grid.n} sensors report 1"
+    )
+    print(render(grid, aca.snapshot()))
+
+
+def main() -> None:
+    random_noise_demo()
+    adversarial_demo()
+    delayed_network_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The synchrony dial: how much simultaneity does oscillation need?
+
+Sweeps the whole spectrum between the paper's two poles on one MAJORITY
+ring, asking at each setting whether the alternating configuration's
+oscillation survives:
+
+  fully sequential  ->  block-sequential  ->  alpha-asynchronous  ->  CA
+      (never)              (never*)           (a.s. never, alpha<1)   (forever)
+
+  * exhaustively over ALL ordered partitions of the 6-ring — only the
+    single full block, i.e. perfect synchrony, oscillates.
+
+Run:  python examples/synchrony_dial.py
+"""
+
+import numpy as np
+
+from repro import (
+    AlphaAsynchronous,
+    CellularAutomaton,
+    MajorityRule,
+    RandomPermutationSweeps,
+    Ring,
+)
+from repro.core.block_maps import block_sequential_map, ordered_partitions
+from repro.core.evolution import parallel_orbit, sequential_converge
+from repro.core.phase_space import PhaseSpace
+
+
+def pole_sequential(ca, alt) -> None:
+    res = sequential_converge(ca, alt, RandomPermutationSweeps(1))
+    print(
+        f"sequential (random fair order): converged in {res.updates_used} "
+        f"updates -> {''.join(map(str, res.final_state))}"
+    )
+
+
+def dial_blocks() -> None:
+    n = 6
+    ca6 = CellularAutomaton(Ring(n), MajorityRule())
+    total = cyclic = 0
+    for part in ordered_partitions(n):
+        total += 1
+        succ = block_sequential_map(ca6, part)
+        if PhaseSpace(succ, n).has_proper_cycle():
+            cyclic += 1
+            witness = [list(b) for b in part]
+    print(
+        f"block-sequential (6-ring, exhaustive): {cyclic} of {total} "
+        f"ordered partitions oscillate; the one that does: {witness}"
+    )
+
+
+def dial_alpha(ca, alt) -> None:
+    print("alpha-asynchronous (each node fires with prob. alpha per step):")
+    for alpha in (0.25, 0.5, 0.75, 0.95):
+        times = []
+        for seed in range(20):
+            res = sequential_converge(
+                ca, alt, AlphaAsynchronous(alpha, seed=seed), max_updates=10_000
+            )
+            assert res.converged
+            times.append(res.updates_used)
+        print(
+            f"  alpha={alpha:.2f}: oscillation dies after "
+            f"{np.mean(times):5.1f} steps on average (20 runs)"
+        )
+
+
+def pole_parallel(ca, alt) -> None:
+    orbit = parallel_orbit(ca, alt)
+    print(
+        f"synchronous CA (alpha = 1): period-{orbit.period} oscillation, "
+        "forever"
+    )
+
+
+def main() -> None:
+    n = 12
+    ca = CellularAutomaton(Ring(n), MajorityRule())
+    alt = (np.arange(n) % 2).astype(np.uint8)
+    print(f"automaton: {ca.describe()}, start: {''.join(map(str, alt))}\n")
+    pole_sequential(ca, alt)
+    dial_blocks()
+    dial_alpha(ca, alt)
+    pole_parallel(ca, alt)
+    print(
+        "\nconclusion: the paper's two-cycles require PERFECT synchrony — "
+        "every weakening (any order, any ordered partition but the full "
+        "block, any alpha < 1) restores convergence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without PEP 660 editable support.
+
+``pip install -e .`` works wherever pip can build editable wheels; offline
+environments lacking the ``wheel`` package can fall back to
+``python setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

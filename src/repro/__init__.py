@@ -1,0 +1,158 @@
+"""repro — Concurrency vs. sequential interleavings in threshold cellular automata.
+
+A complete, executable reproduction of P. Tosic and G. Agha, *"Concurrency
+vs. Sequential Interleavings in 1-D Threshold Cellular Automata"* (IPPS
+2004).  The library provides:
+
+* classical (parallel) cellular automata, sequential cellular automata
+  (SCA), block-sequential interpolations, and genuinely asynchronous CA
+  with communication delays (:mod:`repro.aca`);
+* cellular spaces: finite lines and rings, 2-D grids, hypercubes, Cayley
+  graphs, arbitrary graphs, and the exact two-way infinite line
+  (:mod:`repro.spaces`);
+* exhaustive deterministic and nondeterministic phase-space analysis with
+  the paper's FP/CC/TC classification (:mod:`repro.core`);
+* the Goles–Martinez Lyapunov energies underlying the convergence results;
+* the paper's interleaving-semantics warm-up as a runnable shared-memory
+  machine (:mod:`repro.interleave`);
+* sequential dynamical systems over arbitrary graphs (:mod:`repro.sds`);
+* executable versions of every lemma, theorem, corollary and proposition,
+  and an experiment registry regenerating each of the paper's artifacts
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import CellularAutomaton, MajorityRule, Ring, PhaseSpace
+
+    ca = CellularAutomaton(Ring(8), MajorityRule())
+    ps = PhaseSpace.from_automaton(ca)
+    print(ps.summary())           # parallel CA: has two-cycles
+
+    from repro import NondetPhaseSpace
+    nps = NondetPhaseSpace.from_automaton(ca)
+    print(nps.has_proper_cycle())  # sequential CA: False, always
+"""
+
+from repro.core import (
+    AlphaAsynchronous,
+    BlockSequential,
+    BooleanFunction,
+    CellularAutomaton,
+    ConfigClass,
+    FixedPermutation,
+    FixedWord,
+    HeterogeneousCA,
+    InterleavingReport,
+    MajorityRule,
+    NondetPhaseSpace,
+    OrbitInfo,
+    PhaseSpace,
+    RandomPermutationSweeps,
+    RandomSingleNode,
+    SimpleThresholdRule,
+    Synchronous,
+    TableRule,
+    TheoremReport,
+    ThresholdNetwork,
+    TotalisticRule,
+    UpdateRule,
+    WolframRule,
+    XorRule,
+    captures_parallel_step,
+    check_bipartite_two_cycles,
+    check_corollary1,
+    check_lemma1_parallel,
+    check_lemma1_sequential,
+    check_lemma2_parallel,
+    check_lemma2_sequential,
+    check_monotone_boundary,
+    check_nonhomogeneous_threshold,
+    check_proposition1,
+    check_theorem1,
+    interleaving_capture_report,
+    orbit_reproducible_sequentially,
+    parallel_orbit,
+    parallel_trajectory,
+    sequential_converge,
+    sequential_reachable_set,
+    sequential_trajectory,
+)
+from repro.spaces import (
+    CayleySpace,
+    GraphSpace,
+    Grid2D,
+    Hypercube,
+    InfiniteLine,
+    Line,
+    Ring,
+    SupportConfig,
+    cayley_product,
+    infinite_orbit,
+    infinite_step,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # automata & rules
+    "CellularAutomaton",
+    "HeterogeneousCA",
+    "UpdateRule",
+    "TableRule",
+    "MajorityRule",
+    "SimpleThresholdRule",
+    "TotalisticRule",
+    "WolframRule",
+    "XorRule",
+    "BooleanFunction",
+    # schedules
+    "Synchronous",
+    "AlphaAsynchronous",
+    "FixedPermutation",
+    "FixedWord",
+    "BlockSequential",
+    "RandomPermutationSweeps",
+    "RandomSingleNode",
+    # spaces
+    "Line",
+    "Ring",
+    "Grid2D",
+    "Hypercube",
+    "GraphSpace",
+    "CayleySpace",
+    "cayley_product",
+    "InfiniteLine",
+    "SupportConfig",
+    "infinite_step",
+    "infinite_orbit",
+    # phase spaces & dynamics
+    "PhaseSpace",
+    "NondetPhaseSpace",
+    "ConfigClass",
+    "OrbitInfo",
+    "parallel_orbit",
+    "parallel_trajectory",
+    "sequential_converge",
+    "sequential_trajectory",
+    # energy
+    "ThresholdNetwork",
+    # interleaving analysis
+    "InterleavingReport",
+    "captures_parallel_step",
+    "interleaving_capture_report",
+    "orbit_reproducible_sequentially",
+    "sequential_reachable_set",
+    # theorems
+    "TheoremReport",
+    "check_lemma1_parallel",
+    "check_lemma1_sequential",
+    "check_lemma2_parallel",
+    "check_lemma2_sequential",
+    "check_theorem1",
+    "check_corollary1",
+    "check_proposition1",
+    "check_bipartite_two_cycles",
+    "check_nonhomogeneous_threshold",
+    "check_monotone_boundary",
+]

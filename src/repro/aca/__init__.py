@@ -1,0 +1,50 @@
+"""Genuinely asynchronous cellular automata (the paper's Section 4 program).
+
+The paper distinguishes *sequential* CA — one node updates at a time, but
+against a global clock with instantaneous communication — from genuinely
+*asynchronous* CA (ACA), where both computation and communication are
+asynchronous: a node updates using its possibly-stale local **views** of its
+neighbors, and state changes travel as messages with arbitrary finite
+delays.  "No global clock" is modelled operationally: behaviour depends
+only on the (adversarially choosable) partial order of update and delivery
+events.
+
+This package implements that model as a deterministic discrete-event
+simulation, plus the constructions showing ACA *subsume* both classical CA
+and SCA (replay either exactly) and exceed them (reach configurations
+neither can).
+"""
+
+from repro.aca.events import Event, EventQueue
+from repro.aca.channels import (
+    DROPPED,
+    AdversarialDelay,
+    DelayModel,
+    FixedDelay,
+    LossyDelay,
+    UniformRandomDelay,
+    ZeroDelay,
+)
+from repro.aca.aca import AsyncCA, UpdateEvent
+from repro.aca.subsumption import (
+    aca_exceeds_interleavings,
+    replay_parallel,
+    replay_sequential,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "DelayModel",
+    "ZeroDelay",
+    "FixedDelay",
+    "UniformRandomDelay",
+    "AdversarialDelay",
+    "LossyDelay",
+    "DROPPED",
+    "AsyncCA",
+    "UpdateEvent",
+    "replay_parallel",
+    "replay_sequential",
+    "aca_exceeds_interleavings",
+]

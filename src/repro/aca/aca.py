@@ -1,0 +1,218 @@
+"""The asynchronous cellular automaton simulator.
+
+Each node holds its own state and a *view* of each neighbor — the last
+neighbor value whose announcement message has **arrived**.  The paper's
+decomposition of a node update into finer elementary operations (Section 5:
+fetch neighbor values, compute, publish the new state) is realised as:
+
+1. an ``UpdateEvent(node)`` fires: the node applies its rule to its own
+   current state and its current views (fetch + compute are local and
+   atomic at the node);
+2. if the state changed, one message per neighbor is queued, each arriving
+   after its channel's delay (publish is asynchronous);
+3. a delivery event updates the receiving node's view.
+
+With zero delays and one update per instant this collapses to an SCA; with
+all nodes updating at the same instants and sub-step delays it collapses to
+the classical parallel CA — see :mod:`repro.aca.subsumption`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aca.channels import DelayModel, ZeroDelay
+from repro.aca.events import EventQueue
+from repro.core.rules import UpdateRule
+from repro.spaces.base import FiniteSpace
+from repro.util.validation import check_node_index, check_state_vector
+
+__all__ = ["AsyncCA", "UpdateEvent", "Delivery", "TraceEntry"]
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """Payload: node ``node`` executes one local update."""
+
+    node: int
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Payload: ``dst`` learns that ``src`` is in state ``value``."""
+
+    src: int
+    dst: int
+    value: int
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One effective state change in the run."""
+
+    time: float
+    node: int
+    old: int
+    new: int
+
+
+class AsyncCA:
+    """An asynchronous CA over a finite space with explicit message delays.
+
+    Parameters
+    ----------
+    space, rule, memory:
+        As for :class:`repro.core.CellularAutomaton`.
+    initial:
+        Initial global configuration; every node's initial views are the
+        true initial neighbor states (consistent start).
+    delays:
+        A :class:`repro.aca.channels.DelayModel`; default instantaneous.
+    """
+
+    def __init__(
+        self,
+        space: FiniteSpace,
+        rule: UpdateRule,
+        initial: np.ndarray,
+        delays: DelayModel | None = None,
+        memory: bool = True,
+    ):
+        self.space = space
+        self.rule = rule
+        self.memory = memory
+        self.delays = delays if delays is not None else ZeroDelay()
+        self.states = check_state_vector(initial, space.n)
+        # views[i] maps each actual neighbor j -> last delivered value of j.
+        self.views: list[dict[int, int]] = []
+        for i in range(space.n):
+            self.views.append(
+                {
+                    j: int(self.states[j])
+                    for j in space.neighbors(i)
+                    if j >= 0 and j != i
+                }
+            )
+        self.queue = EventQueue()
+        self.trace: list[TraceEntry] = []
+        self.deliveries = 0
+        self.dropped = 0
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.space.n
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.queue.now
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the current true global configuration."""
+        return self.states.copy()
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule_update(self, time: float, node: int) -> None:
+        """Queue a local update of ``node`` at ``time``."""
+        check_node_index(node, self.n)
+        self.queue.push(time, UpdateEvent(node))
+
+    def schedule_updates(self, events: Iterable[tuple[float, int]]) -> None:
+        """Queue many ``(time, node)`` updates."""
+        for time, node in events:
+            self.schedule_update(time, node)
+
+    def schedule_synchronous_rounds(
+        self, times: Sequence[float], nodes: Sequence[int] | None = None
+    ) -> None:
+        """All (or the given) nodes update at each listed instant."""
+        targets = range(self.n) if nodes is None else nodes
+        for t in times:
+            for node in targets:
+                self.schedule_update(t, node)
+
+    # -- execution ----------------------------------------------------------------
+
+    def _local_inputs(self, node: int) -> list[int]:
+        window = self.space.input_window(node, self.memory)
+        inputs = []
+        for j in window:
+            if j == node:
+                inputs.append(int(self.states[node]))
+            elif j < 0:
+                inputs.append(0)  # quiescent boundary
+            else:
+                inputs.append(self.views[node][j])
+        return inputs
+
+    def _fire_update(self, time: float, node: int) -> None:
+        new = self.rule.evaluate(self._local_inputs(node))
+        old = int(self.states[node])
+        if new == old:
+            return
+        self.states[node] = new
+        self.trace.append(TraceEntry(time, node, old, new))
+        for j in self.space.neighbors(node):
+            if j >= 0 and j != node:
+                d = self.delays.checked_delay(node, j, time)
+                if d == float("inf"):
+                    self.dropped += 1  # lost in transit (fault injection)
+                    continue
+                self.queue.push(time + d, Delivery(node, j, new))
+
+    def step_event(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not len(self.queue):
+            return False
+        ev = self.queue.pop()
+        payload = ev.payload
+        if isinstance(payload, UpdateEvent):
+            self._fire_update(ev.time, payload.node)
+        elif isinstance(payload, Delivery):
+            self.views[payload.dst][payload.src] = payload.value
+            self.deliveries += 1
+        else:  # pragma: no cover - queue only ever holds these payloads
+            raise TypeError(f"unknown event payload {payload!r}")
+        return True
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue; returns the number of events processed."""
+        processed = 0
+        while processed < max_events and self.step_event():
+            processed += 1
+        if len(self.queue):
+            raise RuntimeError(
+                f"event budget {max_events} exhausted with {len(self.queue)} pending"
+            )
+        return processed
+
+    def run_until(self, time: float, max_events: int = 1_000_000) -> int:
+        """Process all events with timestamp <= ``time``."""
+        processed = 0
+        while processed < max_events:
+            nxt = self.queue.peek_time()
+            if nxt is None or nxt > time:
+                return processed
+            self.step_event()
+            processed += 1
+        raise RuntimeError(f"event budget {max_events} exhausted")
+
+    # -- view diagnostics -------------------------------------------------------------
+
+    def view_staleness(self) -> int:
+        """Number of (node, neighbor) views that differ from the true state.
+
+        Zero staleness means every node's picture of its neighborhood is
+        current — the regime in which ACA and SCA coincide.
+        """
+        stale = 0
+        for i in range(self.n):
+            for j, v in self.views[i].items():
+                if v != int(self.states[j]):
+                    stale += 1
+        return stale

@@ -1,0 +1,134 @@
+"""Communication-delay models for asynchronous CA.
+
+A delay model answers one question: when node ``src`` publishes a new state
+at time ``t``, when does neighbor ``dst`` learn of it?  The paper frames
+network delays as the essential ingredient that sequential CA abstract
+away; these models make them explicit, from the degenerate ``ZeroDelay``
+(which recovers SCA semantics) through random delays to fully adversarial
+per-edge schedules.
+
+Delays must be non-negative and finite; FIFO per channel is *not* assumed —
+a later message may arrive before an earlier one if the model says so,
+and the receiving node simply keeps the value carried by the latest
+*arriving* message (last-writer-wins views).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = [
+    "DelayModel",
+    "ZeroDelay",
+    "FixedDelay",
+    "UniformRandomDelay",
+    "AdversarialDelay",
+    "LossyDelay",
+    "DROPPED",
+]
+
+#: sentinel delay meaning "this message is lost in transit"
+DROPPED = float("inf")
+
+
+class DelayModel(ABC):
+    """Strategy object assigning a delay to each (src, dst, send-time)."""
+
+    @abstractmethod
+    def delay(self, src: int, dst: int, time: float) -> float:
+        """Non-negative delay for a message sent on edge src->dst at ``time``."""
+
+    def checked_delay(self, src: int, dst: int, time: float) -> float:
+        """Delay with the model contract enforced.
+
+        ``DROPPED`` (positive infinity) is the one permitted non-finite
+        value: it marks a lost message (fault injection).
+        """
+        d = float(self.delay(src, dst, time))
+        if d == DROPPED:
+            return d
+        if not np.isfinite(d) or d < 0:
+            raise ValueError(
+                f"delay model produced invalid delay {d} on edge {src}->{dst}"
+            )
+        return d
+
+
+class ZeroDelay(DelayModel):
+    """Instantaneous communication — the (weakly asynchronous) SCA regime."""
+
+    def delay(self, src: int, dst: int, time: float) -> float:
+        return 0.0
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``d`` time units."""
+
+    def __init__(self, d: float):
+        if d < 0:
+            raise ValueError(f"delay must be non-negative, got {d}")
+        self.d = float(d)
+
+    def delay(self, src: int, dst: int, time: float) -> float:
+        return self.d
+
+
+class UniformRandomDelay(DelayModel):
+    """I.i.d. uniform delays in ``[low, high]`` (bounded asynchrony)."""
+
+    def __init__(self, low: float, high: float, seed: int = 0):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self._rng = np.random.default_rng(seed)
+
+    def delay(self, src: int, dst: int, time: float) -> float:
+        return float(self._rng.uniform(self.low, self.high))
+
+
+class LossyDelay(DelayModel):
+    """Fault injection: each message is independently lost with probability
+    ``drop_probability``; surviving messages take the inner model's delay.
+
+    Lost announcements leave the receiver's view permanently stale — the
+    failure mode the ACA model makes observable (see
+    :meth:`repro.aca.aca.AsyncCA.view_staleness`).  Note that with losses
+    the paper's convergence story can break in a specific, diagnosable
+    way: the *states* may quiesce while the *views* disagree, so nodes
+    stop updating for the wrong reason.
+    """
+
+    def __init__(self, inner: DelayModel, drop_probability: float, seed: int = 0):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1], got {drop_probability}"
+            )
+        self.inner = inner
+        self.drop_probability = float(drop_probability)
+        self._rng = np.random.default_rng(seed)
+        self.dropped = 0
+
+    def delay(self, src: int, dst: int, time: float) -> float:
+        if self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            return DROPPED
+        return self.inner.delay(src, dst, time)
+
+
+class AdversarialDelay(DelayModel):
+    """Arbitrary per-edge, per-time delays chosen by a callback.
+
+    The adversary is what "no global clock" buys: any causally consistent
+    delivery pattern is realisable, which the subsumption constructions
+    exploit.
+    """
+
+    def __init__(self, fn: Callable[[int, int, float], float]):
+        self.fn = fn
+
+    def delay(self, src: int, dst: int, time: float) -> float:
+        return self.fn(src, dst, time)

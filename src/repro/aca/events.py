@@ -1,0 +1,67 @@
+"""Discrete-event kernel.
+
+A minimal, deterministic event queue: events fire in increasing timestamp
+order, ties broken by insertion sequence number, so a given event schedule
+always replays identically — which the subsumption proofs rely on.
+Timestamps are arbitrary floats; nothing in the ACA semantics depends on
+their absolute values, only on the order they induce (the "no global clock"
+reading: the schedule is just one linear extension of the causal partial
+order).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A timestamped event; ``payload`` is interpreted by the simulation."""
+
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """A priority queue of events with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the last event popped (0 before any pop)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, payload: Any) -> Event:
+        """Schedule a payload; returns the queued event."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        ev = Event(float(time), next(self._counter), payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        ev = heapq.heappop(self._heap)
+        self._now = ev.time
+        return ev
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or None if the queue is empty."""
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,121 @@
+"""Rendering: DOT exports of phase spaces, ASCII space-time diagrams.
+
+:func:`phase_space_dot` and :func:`nondet_phase_space_dot` regenerate the
+paper's Figure 1 as Graphviz sources (see ``examples/fig1_xor.py``); the
+sequential variant labels each transition arrow with the updating node's
+number, exactly as Fig. 1(b) does.  :func:`render_spacetime` draws 1-D
+trajectories as text rasters for quick inspection in a terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import ConfigClass, PhaseSpace
+from repro.util.bitops import config_str
+
+__all__ = ["phase_space_dot", "nondet_phase_space_dot", "render_spacetime",
+           "ascii_phase_space"]
+
+_CLASS_STYLE = {
+    ConfigClass.FIXED_POINT: "shape=doublecircle",
+    ConfigClass.CYCLE: "shape=circle, style=bold",
+    ConfigClass.TRANSIENT: "shape=circle",
+}
+
+
+def phase_space_dot(ps: PhaseSpace, title: str = "phase space") -> str:
+    """Graphviz DOT source of a deterministic phase space.
+
+    Fixed points are drawn as double circles, proper-cycle configurations
+    bold, transients plain — the visual vocabulary of the paper's Fig. 1(a).
+    """
+    lines = [
+        "digraph phase_space {",
+        f'  label="{title}";',
+        "  rankdir=LR;",
+    ]
+    for code in range(ps.size):
+        label = config_str(code, ps.n_nodes)
+        style = _CLASS_STYLE[ps.classify(code)]
+        lines.append(f'  c{code} [label="{label}", {style}];')
+    for code in range(ps.size):
+        lines.append(f"  c{code} -> c{int(ps.succ[code])};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def nondet_phase_space_dot(
+    nps: NondetPhaseSpace,
+    title: str = "sequential phase space",
+    include_self_loops: bool = False,
+    node_base: int = 1,
+) -> str:
+    """Graphviz DOT source of a sequential phase space, edges labelled by
+    the updating node (numbered from ``node_base``, matching the paper's
+    1-based node numbers in Fig. 1(b))."""
+    fixed = set(int(c) for c in nps.fixed_points)
+    pseudo = set(int(c) for c in nps.pseudo_fixed_points)
+    lines = [
+        "digraph sequential_phase_space {",
+        f'  label="{title}";',
+        "  rankdir=LR;",
+    ]
+    for code in range(nps.size):
+        label = config_str(code, nps.n_nodes)
+        if code in fixed:
+            style = "shape=doublecircle"
+        elif code in pseudo:
+            style = "shape=circle, style=dashed"
+        else:
+            style = "shape=circle"
+        lines.append(f'  c{code} [label="{label}", {style}];')
+    for code in range(nps.size):
+        for node, dst in nps.transitions(code):
+            if dst == code and not include_self_loops:
+                continue
+            lines.append(
+                f'  c{code} -> c{dst} [label="{node + node_base}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_spacetime(
+    trajectory: np.ndarray, chars: str = ".#", ruler: bool = False
+) -> str:
+    """ASCII space-time diagram: one row per time step, one column per node.
+
+    ``trajectory`` is a ``(steps, n)`` 0/1 array (e.g. the output of
+    :func:`repro.core.evolution.parallel_trajectory`).
+    """
+    arr = np.asarray(trajectory)
+    if arr.ndim != 2:
+        raise ValueError(f"trajectory must be 2-D, got shape {arr.shape}")
+    if len(chars) != 2:
+        raise ValueError("chars must supply exactly two glyphs (for 0 and 1)")
+    rows = []
+    if ruler:
+        n = arr.shape[1]
+        rows.append("".join(str(i % 10) for i in range(n)))
+    for row in arr:
+        rows.append("".join(chars[int(b)] for b in row))
+    return "\n".join(rows)
+
+
+def ascii_phase_space(ps: PhaseSpace) -> str:
+    """Terminal-friendly adjacency listing of a small deterministic PS."""
+    if ps.size > 256:
+        raise ValueError("ascii rendering is intended for n <= 8 nodes")
+    out = []
+    names = {
+        ConfigClass.FIXED_POINT: "FP",
+        ConfigClass.CYCLE: "CC",
+        ConfigClass.TRANSIENT: "TC",
+    }
+    for code in range(ps.size):
+        label = config_str(code, ps.n_nodes)
+        succ = config_str(int(ps.succ[code]), ps.n_nodes)
+        out.append(f"{label} -> {succ}   [{names[ps.classify(code)]}]")
+    return "\n".join(out)

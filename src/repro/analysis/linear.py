@@ -1,0 +1,143 @@
+"""Exact GF(2) linear algebra for additive (XOR-family) rules.
+
+The paper's contrast class — XOR — is *linear over GF(2)*: the global map
+is ``F(x) = A x (mod 2)`` for a 0/1 matrix ``A``.  Linearity turns
+phase-space questions into rank computations, giving exact predictions
+that cross-validate the generic machinery:
+
+* image size = ``2**rank(A)``, so Gardens of Eden number
+  ``2**n - 2**rank(A)``;
+* every non-Garden configuration has exactly ``2**(n - rank(A))``
+  preimages (the kernel's cosets), so in-degrees are 0 or that constant;
+* fixed points are the kernel of ``A + I``: exactly ``2**dim ker(A+I)``;
+* the map is a bijection (no Gardens at all) iff ``A`` is invertible.
+
+`check_linear_structure` verifies all four predictions against the
+exhaustively-built phase space — a strong independent oracle for the
+engine on the non-threshold side of the paper's dichotomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.phase_space import PhaseSpace
+
+__all__ = [
+    "is_linear_ca",
+    "transition_matrix_gf2",
+    "gf2_rank",
+    "LinearStructure",
+    "check_linear_structure",
+]
+
+
+def transition_matrix_gf2(ca: CellularAutomaton) -> np.ndarray:
+    """The matrix ``A`` with ``F(x) = A x (mod 2)``, assuming linearity.
+
+    Column ``j`` is ``F(e_j)`` — correct exactly when the rule is additive
+    and quiescent-preserving; verify with :func:`is_linear_ca` first.
+    """
+    n = ca.n
+    cols = []
+    for j in range(n):
+        basis = np.zeros(n, dtype=np.uint8)
+        basis[j] = 1
+        cols.append(ca.step(basis))
+    return np.stack(cols, axis=1).astype(np.uint8)
+
+
+def is_linear_ca(ca: CellularAutomaton, trials: int = 32, seed: int = 0) -> bool:
+    """Is the global map additive: ``F(x ^ y) = F(x) ^ F(y)`` and ``F(0)=0``?
+
+    Checked on random pairs (exact for ``trials >= 2**n``; a randomized
+    but extremely reliable test otherwise — a non-linear map fails a
+    random additivity check with probability >= 1/2 per trial).
+    """
+    n = ca.n
+    zero = np.zeros(n, dtype=np.uint8)
+    if ca.step(zero).any():
+        return False
+    rng = np.random.default_rng(seed)
+    for _ in range(trials):
+        x = rng.integers(0, 2, n).astype(np.uint8)
+        y = rng.integers(0, 2, n).astype(np.uint8)
+        if not np.array_equal(ca.step(x ^ y), ca.step(x) ^ ca.step(y)):
+            return False
+    return True
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) (in-place row reduction on a copy)."""
+    m = (np.array(matrix, dtype=np.uint8, copy=True) & 1)
+    rows, cols = m.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(rank, rows):
+            if m[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        m[[rank, pivot]] = m[[pivot, rank]]
+        eliminate = np.flatnonzero(m[:, col])
+        eliminate = eliminate[eliminate != rank]
+        m[eliminate] ^= m[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+@dataclass(frozen=True)
+class LinearStructure:
+    """Algebraic predictions vs. exhaustive measurements for a linear CA."""
+
+    n: int
+    rank: int
+    predicted_gardens: int
+    measured_gardens: int
+    predicted_in_degree: int
+    measured_in_degrees: tuple[int, ...]
+    predicted_fixed_points: int
+    measured_fixed_points: int
+
+    @property
+    def consistent(self) -> bool:
+        """All algebraic predictions match the exhaustive phase space."""
+        return (
+            self.predicted_gardens == self.measured_gardens
+            and self.predicted_fixed_points == self.measured_fixed_points
+            and set(self.measured_in_degrees) <= {0, self.predicted_in_degree}
+        )
+
+
+def check_linear_structure(ca: CellularAutomaton) -> LinearStructure:
+    """Compare GF(2) predictions against the exhaustive phase space.
+
+    Raises ``ValueError`` if the automaton is not linear.
+    """
+    if not is_linear_ca(ca):
+        raise ValueError(f"{ca.describe()} is not GF(2)-linear")
+    n = ca.n
+    a = transition_matrix_gf2(ca)
+    rank = gf2_rank(a)
+    a_plus_i = (a ^ np.eye(n, dtype=np.uint8))
+    fp_dim = n - gf2_rank(a_plus_i)
+
+    ps = PhaseSpace.from_automaton(ca)
+    in_degrees = tuple(sorted(set(ps.graph.in_degrees.tolist())))
+    return LinearStructure(
+        n=n,
+        rank=rank,
+        predicted_gardens=(1 << n) - (1 << rank),
+        measured_gardens=int(ps.gardens_of_eden.size),
+        predicted_in_degree=1 << (n - rank),
+        measured_in_degrees=in_degrees,
+        predicted_fixed_points=1 << fp_dim,
+        measured_fixed_points=int(ps.fixed_points.size),
+    )

@@ -1,0 +1,91 @@
+"""Phase-space summary statistics.
+
+Aggregates the quantities the paper talks about qualitatively — how many
+fixed points, how many proper cycles, how big the basins, how long the
+transients — into one comparable record, so parallel/sequential contrasts
+(like the paper's Fig. 1 discussion of the "richer" sequential space) can
+be made numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+
+__all__ = ["PhaseSpaceStats", "phase_space_stats", "nondet_stats"]
+
+
+@dataclass(frozen=True)
+class PhaseSpaceStats:
+    """Headline numbers of one deterministic phase space."""
+
+    configurations: int
+    fixed_points: int
+    proper_cycles: int
+    max_cycle_length: int
+    cycle_configs: int
+    transient_configs: int
+    gardens_of_eden: int
+    max_transient: int
+    mean_basin_size: float
+    largest_basin: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (JSON/CLI friendly)."""
+        return asdict(self)
+
+
+def phase_space_stats(ps: PhaseSpace) -> PhaseSpaceStats:
+    """Compute :class:`PhaseSpaceStats` for a deterministic phase space."""
+    lengths = ps.cycle_lengths()
+    basins = ps.basin_sizes()
+    return PhaseSpaceStats(
+        configurations=ps.size,
+        fixed_points=int(ps.fixed_points.size),
+        proper_cycles=len(ps.proper_cycles),
+        max_cycle_length=max(lengths) if lengths else 0,
+        cycle_configs=int(ps.cycle_configs.size),
+        transient_configs=int(ps.transient_configs.size),
+        gardens_of_eden=int(ps.gardens_of_eden.size),
+        max_transient=ps.max_transient(),
+        mean_basin_size=float(np.mean(basins)) if basins.size else 0.0,
+        largest_basin=int(basins.max()) if basins.size else 0,
+    )
+
+
+@dataclass(frozen=True)
+class NondetStats:
+    """Headline numbers of one sequential (nondeterministic) phase space."""
+
+    configurations: int
+    fixed_points: int
+    pseudo_fixed_points: int
+    has_proper_cycle: bool
+    proper_cycle_components: int
+    largest_cycle_component: int
+    unreachable_configs: int
+    change_edges: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (JSON/CLI friendly)."""
+        return asdict(self)
+
+
+def nondet_stats(nps: NondetPhaseSpace) -> NondetStats:
+    """Compute :class:`NondetStats` for a sequential phase space."""
+    comps = nps.proper_cycle_components()
+    srcs, _, _ = nps._change_edges
+    return NondetStats(
+        configurations=nps.size,
+        fixed_points=int(nps.fixed_points.size),
+        pseudo_fixed_points=int(nps.pseudo_fixed_points.size),
+        has_proper_cycle=nps.has_proper_cycle(),
+        proper_cycle_components=len(comps),
+        largest_cycle_component=max((len(c) for c in comps), default=0),
+        unreachable_configs=int(nps.unreachable_configs().size),
+        change_edges=int(srcs.size),
+    )

@@ -1,0 +1,327 @@
+"""Command-line interface: ``repro-ca`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``list``
+    Show the experiment registry (one entry per paper artifact).
+``run E4 [E5 ...] [--json]``
+    Run experiments and print their verdicts (``all`` runs everything).
+``simulate``
+    Run a CA/SCA trajectory and print an ASCII space-time diagram.
+``phase-space``
+    Summarise (and optionally export as Graphviz DOT) the parallel or
+    sequential phase space of a small automaton.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.drawing import (
+    nondet_phase_space_dot,
+    phase_space_dot,
+    render_spacetime,
+)
+from repro.core.automaton import CellularAutomaton
+from repro.core.evolution import sequential_trajectory
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import (
+    MajorityRule,
+    SimpleThresholdRule,
+    UpdateRule,
+    WolframRule,
+    XorRule,
+)
+from repro.core.schedules import (
+    FixedPermutation,
+    RandomPermutationSweeps,
+    RandomSingleNode,
+    Synchronous,
+    UpdateSchedule,
+)
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.spaces.base import FiniteSpace
+from repro.spaces.grid import Grid2D
+from repro.spaces.hypercube import Hypercube
+from repro.spaces.line import Line, Ring
+from repro.util.bitops import parse_config
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_space(args: argparse.Namespace) -> FiniteSpace:
+    if args.space == "ring":
+        return Ring(args.n, radius=args.radius)
+    if args.space == "line":
+        return Line(args.n, radius=args.radius)
+    if args.space == "grid":
+        return Grid2D(args.rows, args.cols, torus=not args.bounded)
+    if args.space == "hypercube":
+        return Hypercube(args.dimension)
+    raise ValueError(f"unknown space {args.space!r}")
+
+
+def _make_rule(args: argparse.Namespace) -> UpdateRule:
+    if args.rule == "majority":
+        return MajorityRule()
+    if args.rule == "xor":
+        return XorRule()
+    if args.rule == "threshold":
+        if args.threshold is None:
+            raise SystemExit("--threshold is required with --rule threshold")
+        return SimpleThresholdRule(args.threshold)
+    if args.rule == "wolfram":
+        if args.wolfram is None:
+            raise SystemExit("--wolfram is required with --rule wolfram")
+        return WolframRule(args.wolfram)
+    raise ValueError(f"unknown rule {args.rule!r}")
+
+
+def _make_schedule(args: argparse.Namespace) -> UpdateSchedule:
+    if args.schedule == "parallel":
+        return Synchronous()
+    if args.schedule == "sweep":
+        return FixedPermutation()
+    if args.schedule == "random-sweeps":
+        return RandomPermutationSweeps(args.seed)
+    if args.schedule == "random":
+        return RandomSingleNode(args.seed)
+    raise ValueError(f"unknown schedule {args.schedule!r}")
+
+
+def _make_initial(args: argparse.Namespace, n: int) -> np.ndarray:
+    if args.init == "random":
+        return np.random.default_rng(args.seed).integers(0, 2, n).astype(np.uint8)
+    if args.init == "alternating":
+        return (np.arange(n) % 2).astype(np.uint8)
+    if args.init == "one":
+        state = np.zeros(n, dtype=np.uint8)
+        state[n // 2] = 1
+        return state
+    state = parse_config(args.init)
+    if state.size != n:
+        raise SystemExit(f"--init has {state.size} bits, automaton has {n} nodes")
+    return state
+
+
+def _add_space_rule_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--space", default="ring",
+                   choices=["ring", "line", "grid", "hypercube"])
+    p.add_argument("--n", type=int, default=16, help="nodes (ring/line)")
+    p.add_argument("--radius", type=int, default=1)
+    p.add_argument("--rows", type=int, default=4)
+    p.add_argument("--cols", type=int, default=4)
+    p.add_argument("--bounded", action="store_true",
+                   help="grid: fixed instead of toroidal boundary")
+    p.add_argument("--dimension", type=int, default=3, help="hypercube dimension")
+    p.add_argument("--rule", default="majority",
+                   choices=["majority", "xor", "threshold", "wolfram"])
+    p.add_argument("--threshold", type=int, default=None)
+    p.add_argument("--wolfram", type=int, default=None)
+    p.add_argument("--memoryless", action="store_true",
+                   help="exclude the node's own state from its window")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ca",
+        description=(
+            "Concurrency vs. sequential interleavings in 1-D threshold "
+            "cellular automata (Tosic & Agha, IPPS 2004) — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment registry")
+
+    p_run = sub.add_parser("run", help="run experiments by id")
+    p_run.add_argument("ids", nargs="+",
+                       help="experiment ids (E1..E22) or 'all'")
+    p_run.add_argument("--json", action="store_true", dest="as_json")
+
+    p_sim = sub.add_parser("simulate", help="print a space-time diagram")
+    _add_space_rule_args(p_sim)
+    p_sim.add_argument("--schedule", default="parallel",
+                       choices=["parallel", "sweep", "random-sweeps", "random"])
+    p_sim.add_argument("--steps", type=int, default=20)
+    p_sim.add_argument("--init", default="random",
+                       help="'random', 'alternating', 'one', or a 0/1 string")
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_ps = sub.add_parser("phase-space", help="analyse a full phase space")
+    _add_space_rule_args(p_ps)
+    p_ps.add_argument("--mode", default="parallel",
+                      choices=["parallel", "sequential"])
+    p_ps.add_argument("--dot", default=None, metavar="FILE",
+                      help="write a Graphviz DOT rendering to FILE")
+
+    p_census = sub.add_parser(
+        "census", help="phase-space census of MAJORITY rings (E20)"
+    )
+    p_census.add_argument("--min-n", type=int, default=3)
+    p_census.add_argument("--max-n", type=int, default=12)
+
+    p_survey = sub.add_parser(
+        "survey", help="classify all 256 elementary rules (E21)"
+    )
+    p_survey.add_argument("--max-ring", type=int, default=7,
+                          help="largest ring size checked per rule")
+    p_survey.add_argument("--full-table", action="store_true",
+                          help="print one line per rule, not just the summary")
+
+    p_report = sub.add_parser(
+        "report", help="run every experiment and emit a markdown report"
+    )
+    p_report.add_argument("--output", default=None, metavar="FILE",
+                          help="write to FILE instead of stdout")
+
+    return parser
+
+
+def _cmd_list(out) -> int:
+    width = max(len(e.title) for e in EXPERIMENTS.values())
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.id:>4}  {exp.title:<{width}}  [{exp.paper_ref}]", file=out)
+    return 0
+
+
+def _cmd_run(ids: list[str], as_json: bool, out) -> int:
+    if any(i.lower() == "all" for i in ids):
+        ids = list(EXPERIMENTS)
+    results = {}
+    failed = False
+    for exp_id in ids:
+        res = run_experiment(exp_id)
+        results[exp_id.upper()] = res
+        failed |= not res["holds"]
+    if as_json:
+        json.dump(results, out, indent=2, default=str)
+        print(file=out)
+    else:
+        for exp_id, res in results.items():
+            verdict = "HOLDS" if res["holds"] else "FAILS"
+            print(f"{exp_id:>4}  {verdict}  {EXPERIMENTS[exp_id].title}", file=out)
+    return 1 if failed else 0
+
+
+def _cmd_simulate(args: argparse.Namespace, out) -> int:
+    space = _make_space(args)
+    ca = CellularAutomaton(space, _make_rule(args), memory=not args.memoryless)
+    state = _make_initial(args, ca.n)
+    schedule = _make_schedule(args)
+    traj = sequential_trajectory(ca, state, schedule, args.steps)
+    print(ca.describe(), file=out)
+    print(f"schedule: {schedule.describe()}", file=out)
+    print(render_spacetime(traj, ruler=True), file=out)
+    return 0
+
+
+def _cmd_phase_space(args: argparse.Namespace, out) -> int:
+    space = _make_space(args)
+    ca = CellularAutomaton(space, _make_rule(args), memory=not args.memoryless)
+    if ca.n > 20:
+        raise SystemExit(f"phase space over 2**{ca.n} configurations is too large")
+    print(ca.describe(), file=out)
+    if args.mode == "parallel":
+        ps = PhaseSpace.from_automaton(ca)
+        for key, value in ps.summary().items():
+            print(f"  {key}: {value}", file=out)
+        dot = phase_space_dot(ps, title=ca.describe()) if args.dot else None
+    else:
+        nps = NondetPhaseSpace.from_automaton(ca)
+        for key, value in nps.summary().items():
+            print(f"  {key}: {value}", file=out)
+        dot = (
+            nondet_phase_space_dot(nps, title=ca.describe()) if args.dot else None
+        )
+    if args.dot and dot is not None:
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(dot)
+        print(f"wrote {args.dot}", file=out)
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace, out) -> int:
+    from repro.analysis.census import find_linear_recurrence, majority_ring_census
+
+    if not 3 <= args.min_n <= args.max_n <= 18:
+        raise SystemExit("census needs 3 <= min-n <= max-n <= 18")
+    rows = majority_ring_census(range(args.min_n, args.max_n + 1))
+    print(f"{'n':>3} {'configs':>8} {'FPs':>6} {'CCs':>4} {'GoE':>7} "
+          f"{'GoE%':>6} {'maxT':>5}", file=out)
+    for r in rows:
+        print(
+            f"{r.n:>3} {r.configurations:>8} {r.fixed_points:>6} "
+            f"{r.cycle_configs:>4} {r.gardens_of_eden:>7} "
+            f"{r.garden_fraction:>6.1%} {r.max_transient:>5}",
+            file=out,
+        )
+    rec = find_linear_recurrence([r.fixed_points for r in rows])
+    if rec is not None:
+        terms = " + ".join(
+            f"{c}*a(n-{k + 1})" for k, c in enumerate(rec[1]) if c != 0
+        )
+        print(f"fixed-point recurrence: a(n) = {terms}", file=out)
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace, out) -> int:
+    from repro.analysis.elementary import survey_all_rules, survey_summary
+
+    sizes = tuple(range(5, max(6, args.max_ring + 1)))
+    profiles = survey_all_rules(ring_sizes=sizes)
+    if args.full_table:
+        print(f"{'rule':>5} {'mono':>5} {'sym':>4} {'thr':>4} "
+              f"{'par-cycles':>10} {'seq-cycles':>10}", file=out)
+        for p in profiles:
+            print(
+                f"{p.number:>5} {str(p.monotone):>5} {str(p.symmetric):>4} "
+                f"{str(p.linear_threshold):>4} "
+                f"{str(p.parallel_cycles_somewhere):>10} "
+                f"{str(p.sequential_cycles_somewhere):>10}",
+                file=out,
+            )
+    for key, value in survey_summary(profiles).items():
+        print(f"  {key}: {value}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args.ids, args.as_json, out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    if args.command == "phase-space":
+        return _cmd_phase_space(args, out)
+    if args.command == "census":
+        return _cmd_census(args, out)
+    if args.command == "survey":
+        return _cmd_survey(args, out)
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.output}", file=out)
+        else:
+            print(text, file=out)
+        return 0 if "**FAILS**" not in text else 1
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

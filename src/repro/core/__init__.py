@@ -1,0 +1,127 @@
+"""The paper's primary contribution, as executable mathematics.
+
+This package implements classical (parallel/concurrent) cellular automata,
+their sequential counterparts (SCA), the phase-space machinery needed to
+compare them, the Goles–Martinez Lyapunov energy that explains the paper's
+convergence results, and executable versions of every lemma, theorem,
+corollary and proposition in the paper.
+"""
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.boolean import (
+    BooleanFunction,
+    all_boolean_functions,
+    majority_function,
+    monotone_symmetric_functions,
+    symmetric_functions,
+    xor_function,
+)
+from repro.core.heterogeneous import HeterogeneousCA
+from repro.core.energy import (
+    ThresholdNetwork,
+    parallel_pair_energy,
+    sequential_energy,
+    verify_parallel_energy_monotone,
+    verify_sequential_energy_decrease,
+)
+from repro.core.evolution import (
+    OrbitInfo,
+    parallel_orbit,
+    parallel_trajectory,
+    sequential_converge,
+    sequential_trajectory,
+)
+from repro.core.interleaving import (
+    InterleavingReport,
+    captures_parallel_step,
+    interleaving_capture_report,
+    orbit_reproducible_sequentially,
+    sequential_reachable_set,
+)
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import ConfigClass, PhaseSpace
+from repro.core.rules import (
+    MajorityRule,
+    SimpleThresholdRule,
+    TableRule,
+    TotalisticRule,
+    UpdateRule,
+    WolframRule,
+    XorRule,
+)
+from repro.core.schedules import (
+    AlphaAsynchronous,
+    BlockSequential,
+    FixedPermutation,
+    FixedWord,
+    RandomPermutationSweeps,
+    RandomSingleNode,
+    Synchronous,
+)
+from repro.core.theorems import (
+    TheoremReport,
+    check_corollary1,
+    check_lemma1_parallel,
+    check_lemma1_sequential,
+    check_lemma2_parallel,
+    check_lemma2_sequential,
+    check_monotone_boundary,
+    check_nonhomogeneous_threshold,
+    check_proposition1,
+    check_theorem1,
+    check_bipartite_two_cycles,
+)
+
+__all__ = [
+    "CellularAutomaton",
+    "HeterogeneousCA",
+    "BooleanFunction",
+    "all_boolean_functions",
+    "majority_function",
+    "monotone_symmetric_functions",
+    "symmetric_functions",
+    "xor_function",
+    "ThresholdNetwork",
+    "sequential_energy",
+    "parallel_pair_energy",
+    "verify_sequential_energy_decrease",
+    "verify_parallel_energy_monotone",
+    "OrbitInfo",
+    "parallel_orbit",
+    "parallel_trajectory",
+    "sequential_converge",
+    "sequential_trajectory",
+    "InterleavingReport",
+    "captures_parallel_step",
+    "interleaving_capture_report",
+    "orbit_reproducible_sequentially",
+    "sequential_reachable_set",
+    "NondetPhaseSpace",
+    "PhaseSpace",
+    "ConfigClass",
+    "UpdateRule",
+    "TableRule",
+    "MajorityRule",
+    "SimpleThresholdRule",
+    "TotalisticRule",
+    "WolframRule",
+    "XorRule",
+    "Synchronous",
+    "AlphaAsynchronous",
+    "FixedPermutation",
+    "FixedWord",
+    "BlockSequential",
+    "RandomPermutationSweeps",
+    "RandomSingleNode",
+    "TheoremReport",
+    "check_lemma1_parallel",
+    "check_lemma1_sequential",
+    "check_lemma2_parallel",
+    "check_lemma2_sequential",
+    "check_theorem1",
+    "check_corollary1",
+    "check_proposition1",
+    "check_bipartite_two_cycles",
+    "check_nonhomogeneous_threshold",
+    "check_monotone_boundary",
+]

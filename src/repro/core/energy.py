@@ -1,0 +1,273 @@
+"""Goles–Martinez Lyapunov energy for threshold automata.
+
+The deep reason behind the paper's results (its Proposition 1 cites Garzon
+and Goles–Martinez) is that threshold networks admit energy functions:
+
+* **Sequential energy** ``E(x) = -1/2 x^T W x + theta^T x`` with symmetric
+  integer weights ``W`` (diagonal = the with-memory self-weight) strictly
+  decreases on every *effective* sequential flip when ``w_ii > 0``, and
+  cannot sustain a cycle even when ``w_ii = 0`` (each returning walk would
+  need energy-neutral up-flips matched by strictly-decreasing down-flips).
+  Bounded below, it forbids cycles in any threshold SCA — the content of
+  Lemma 1(ii) and Theorem 1 — and yields an explicit bound on the number of
+  effective flips, hence convergence under any fair schedule.
+
+* **Parallel pair energy** ``E2(x, y) = -x^T W y + theta^T (x + y)`` is
+  non-increasing along synchronous orbits (with ``y = F(x)``) and is
+  stationary only on orbits of period <= 2 — Proposition 1's "fixed point
+  or two-cycle" dichotomy.
+
+:class:`ThresholdNetwork` converts any monotone-symmetric-rule automaton
+into weight/threshold form; the ``verify_*`` helpers check the Lyapunov
+properties numerically, providing an independent, scalable confirmation of
+the exhaustive phase-space results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import MajorityRule, SimpleThresholdRule, TableRule
+from repro.core.schedules import UpdateSchedule
+from repro.util.validation import check_positive, check_state_vector
+
+__all__ = [
+    "ThresholdNetwork",
+    "sequential_energy",
+    "parallel_pair_energy",
+    "verify_sequential_energy_decrease",
+    "verify_parallel_energy_monotone",
+    "EnergyAudit",
+]
+
+
+class ThresholdNetwork:
+    """A Boolean threshold network: ``x_i' = [ (W x)_i >= theta_i ]``.
+
+    ``W`` is a symmetric integer matrix whose diagonal carries the
+    with-memory self-weight; ``theta`` is the per-node firing threshold.
+    """
+
+    def __init__(self, weights: np.ndarray | sparse.spmatrix, theta: np.ndarray):
+        w = (
+            weights.toarray()
+            if sparse.issparse(weights)
+            else np.asarray(weights, dtype=np.int64)
+        ).astype(np.int64)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ValueError(f"weight matrix must be square, got shape {w.shape}")
+        if not np.array_equal(w, w.T):
+            raise ValueError("weight matrix must be symmetric")
+        th = np.asarray(theta, dtype=np.int64).ravel()
+        if th.size != w.shape[0]:
+            raise ValueError(
+                f"theta has {th.size} entries for {w.shape[0]} nodes"
+            )
+        self.weights = w
+        self.theta = th
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.theta.size
+
+    @classmethod
+    def from_automaton(cls, ca: CellularAutomaton) -> "ThresholdNetwork":
+        """Weight/threshold form of a monotone-symmetric-rule automaton.
+
+        Every monotone symmetric rule is a count threshold; the network has
+        unit weights on the space's edges, a unit diagonal when the
+        automaton is with-memory, and ``theta_i`` equal to the rule's count
+        threshold at node ``i``'s window width.
+        """
+        rule = ca.rule
+        w = ca.space.adjacency_matrix().toarray().astype(np.int64)
+        if ca.memory:
+            np.fill_diagonal(w, 1)
+        _, lengths = ca.space.windows(ca.memory)
+        theta = np.empty(ca.n, dtype=np.int64)
+        for i in range(ca.n):
+            length = int(lengths[i])
+            if isinstance(rule, SimpleThresholdRule):
+                theta[i] = rule.threshold
+            elif isinstance(rule, MajorityRule):
+                theta[i] = (
+                    length // 2 + 1 if rule.ties == "zero" else (length + 1) // 2
+                )
+            elif isinstance(rule, TableRule):
+                t = rule.function.as_count_threshold()
+                if t is None:
+                    raise ValueError(
+                        f"{rule.name} is not monotone symmetric; no threshold form"
+                    )
+                theta[i] = t
+            else:
+                raise ValueError(
+                    f"cannot derive a threshold form for rule {rule.name}"
+                )
+        # Quiescent boundary slots (windows wider than 1 + degree) contribute
+        # zero weight and zero count, so no adjustment to theta is needed.
+        return cls(w, theta)
+
+    # -- dynamics (independent implementation, used for cross-validation) ----
+
+    def node_next(self, state: np.ndarray, i: int) -> int:
+        """Next value of node ``i``: fires iff its weighted input sum >= theta."""
+        s = int(self.weights[i] @ state.astype(np.int64))
+        return int(s >= self.theta[i])
+
+    def step(self, state: np.ndarray) -> np.ndarray:
+        """Synchronous step of the whole network."""
+        state = check_state_vector(state, self.n)
+        sums = self.weights @ state.astype(np.int64)
+        return (sums >= self.theta).astype(np.uint8)
+
+    # -- energies ---------------------------------------------------------------
+
+    def sequential_energy(self, state: np.ndarray) -> float:
+        """``E(x) = -1/2 x^T W x + theta^T x`` — the sequential Lyapunov."""
+        x = check_state_vector(state, self.n).astype(np.int64)
+        return float(-0.5 * (x @ self.weights @ x) + self.theta @ x)
+
+    def parallel_pair_energy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """``E2(x, y) = -x^T W y + theta^T (x + y)`` — the parallel Lyapunov."""
+        xv = check_state_vector(x, self.n).astype(np.int64)
+        yv = check_state_vector(y, self.n).astype(np.int64)
+        return float(-(xv @ self.weights @ yv) + self.theta @ (xv + yv))
+
+    def min_flip_decrease(self) -> float:
+        """Guaranteed energy drop per effective sequential flip.
+
+        ``w_ii / 2`` for an up-flip and ``1 + w_ii / 2`` for a down-flip
+        (integer weights); the bound below is the up-flip one, minimised
+        over nodes.  Positive iff every node has memory weight > 0.
+        """
+        return float(np.min(np.diag(self.weights)) / 2.0)
+
+    def max_flip_bound(self) -> int:
+        """Upper bound on effective flips in *any* sequential run.
+
+        The energy range divided by the per-flip decrease.  Finite only for
+        networks with positive diagonal; with the unit-weight, with-memory
+        construction this is O(edges + n).
+        """
+        delta = self.min_flip_decrease()
+        if delta <= 0:
+            raise ValueError(
+                "flip bound requires positive self-weights (with-memory rules)"
+            )
+        span = 0.5 * np.abs(self.weights).sum() + np.abs(self.theta).sum()
+        return int(np.ceil(2 * span / delta))
+
+
+def sequential_energy(net: ThresholdNetwork, state: np.ndarray) -> float:
+    """Module-level alias for :meth:`ThresholdNetwork.sequential_energy`."""
+    return net.sequential_energy(state)
+
+
+def parallel_pair_energy(
+    net: ThresholdNetwork, x: np.ndarray, y: np.ndarray
+) -> float:
+    """Module-level alias for :meth:`ThresholdNetwork.parallel_pair_energy`."""
+    return net.parallel_pair_energy(x, y)
+
+
+@dataclass(frozen=True)
+class EnergyAudit:
+    """Outcome of a numerical Lyapunov verification."""
+
+    holds: bool
+    runs: int
+    flips_observed: int
+    min_decrease: float
+    violations: int
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+def verify_sequential_energy_decrease(
+    ca: CellularAutomaton,
+    schedule: UpdateSchedule,
+    initial_states: np.ndarray,
+    max_updates: int = 10_000,
+) -> EnergyAudit:
+    """Check that every effective sequential flip strictly drops the energy.
+
+    Runs the given schedule from each initial state, recomputing
+    ``E`` after every singleton update; any non-decreasing effective flip
+    is a violation (and would disprove Lemma 1(ii)/Theorem 1).
+    """
+    check_positive(max_updates, "max_updates")
+    net = ThresholdNetwork.from_automaton(ca)
+    flips = 0
+    violations = 0
+    min_dec = np.inf
+    initial_states = np.atleast_2d(np.asarray(initial_states, dtype=np.uint8))
+    for row in initial_states:
+        state = check_state_vector(row, ca.n)
+        energy = net.sequential_energy(state)
+        stream = schedule.blocks(ca.n)
+        for _ in range(max_updates):
+            block = next(stream)
+            if len(block) != 1:
+                raise ValueError("sequential energy audit needs singleton blocks")
+            if ca.update_node_inplace(state, block[0]):
+                new_energy = net.sequential_energy(state)
+                drop = energy - new_energy
+                flips += 1
+                min_dec = min(min_dec, drop)
+                if drop <= 0:
+                    violations += 1
+                energy = new_energy
+            if ca.is_fixed_point(state):
+                break
+    return EnergyAudit(
+        holds=violations == 0,
+        runs=len(initial_states),
+        flips_observed=flips,
+        min_decrease=float(min_dec) if flips else 0.0,
+        violations=violations,
+    )
+
+
+def verify_parallel_energy_monotone(
+    ca: CellularAutomaton,
+    initial_states: np.ndarray,
+    max_steps: int = 10_000,
+) -> EnergyAudit:
+    """Check the parallel pair energy is non-increasing and orbits have
+    period <= 2 — the numerical form of Proposition 1."""
+    net = ThresholdNetwork.from_automaton(ca)
+    steps = 0
+    violations = 0
+    min_dec = np.inf
+    initial_states = np.atleast_2d(np.asarray(initial_states, dtype=np.uint8))
+    for row in initial_states:
+        prev = check_state_vector(row, ca.n)
+        curr = ca.step(prev)
+        energy = net.parallel_pair_energy(prev, curr)
+        for _ in range(max_steps):
+            nxt = ca.step(curr)
+            if np.array_equal(nxt, prev):  # period <= 2 reached
+                break
+            new_energy = net.parallel_pair_energy(curr, nxt)
+            drop = energy - new_energy
+            steps += 1
+            min_dec = min(min_dec, drop)
+            if drop < 0:
+                violations += 1
+            prev, curr, energy = curr, nxt, new_energy
+        else:
+            violations += 1  # orbit failed to settle into period <= 2
+    return EnergyAudit(
+        holds=violations == 0,
+        runs=len(initial_states),
+        flips_observed=steps,
+        min_decrease=float(min_dec) if steps else 0.0,
+        violations=violations,
+    )

@@ -1,0 +1,251 @@
+"""Trajectory engines: running CA, SCA and block-sequential dynamics.
+
+Covers the paper's notion of "computation": the orbit of a configuration
+under the chosen update discipline.  The deterministic parallel case gets
+exact orbit analysis (transient length and period, which Proposition 1
+predicts to be 1 or 2 for threshold rules); the sequential case gets a
+convergence driver used by the fair-schedule experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.schedules import UpdateSchedule
+from repro.util.validation import check_non_negative, check_state_vector
+
+__all__ = [
+    "OrbitInfo",
+    "ConvergenceResult",
+    "block_step",
+    "run_schedule",
+    "parallel_trajectory",
+    "parallel_orbit",
+    "brent_orbit",
+    "sequential_trajectory",
+    "sequential_converge",
+]
+
+
+@dataclass(frozen=True)
+class OrbitInfo:
+    """Exact structure of a deterministic orbit.
+
+    ``transient`` steps lead from the start into a cycle of length
+    ``period``; ``cycle`` lists the packed codes of the cycle in visit
+    order, starting at the first revisited configuration.
+    """
+
+    transient: int
+    period: int
+    cycle: tuple[int, ...]
+
+    @property
+    def is_fixed_point(self) -> bool:
+        """True iff the orbit ends in a fixed point (period 1)."""
+        return self.period == 1
+
+    @property
+    def is_two_cycle(self) -> bool:
+        """True iff the orbit ends in a proper two-cycle."""
+        return self.period == 2
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Outcome of a sequential run driven until quiescence or a step cap."""
+
+    converged: bool
+    final_state: np.ndarray
+    updates_used: int
+    effective_flips: int
+    flip_times: tuple[int, ...] = field(default=(), repr=False)
+
+    @property
+    def fixed_point_code(self) -> int | None:
+        """Packed code of the fixed point reached, or None if not converged."""
+        if not self.converged:
+            return None
+        value = 0
+        for i, b in enumerate(self.final_state):
+            if b:
+                value |= 1 << i
+        return value
+
+
+def block_step(
+    ca: CellularAutomaton, state: np.ndarray, block: Sequence[int]
+) -> np.ndarray:
+    """Update the nodes of ``block`` simultaneously, all others unchanged.
+
+    All nodes in the block read the *same* pre-step state — this is what
+    "logically simultaneous" means, and with ``block = all nodes`` it is
+    exactly the classical CA step.
+    """
+    new = check_state_vector(state, ca.n)
+    values = [ca.node_next(state, i) for i in block]
+    for i, v in zip(block, values):
+        new[i] = v
+    return new
+
+
+def run_schedule(
+    ca: CellularAutomaton,
+    state: np.ndarray,
+    schedule: UpdateSchedule,
+    macro_steps: int,
+) -> Iterator[np.ndarray]:
+    """Yield the state after each of ``macro_steps`` schedule blocks.
+
+    The initial state is not yielded.  Full-space blocks take the
+    vectorized fast path.
+    """
+    check_non_negative(macro_steps, "macro_steps")
+    state = check_state_vector(state, ca.n)
+    full = tuple(range(ca.n))
+    stream = schedule.blocks(ca.n)
+    for _ in range(macro_steps):
+        block = next(stream)
+        state = ca.step(state) if block == full else block_step(ca, state, block)
+        yield state
+
+
+def parallel_trajectory(
+    ca: CellularAutomaton, state: np.ndarray, steps: int
+) -> np.ndarray:
+    """Array of ``steps + 1`` synchronous states; row 0 is the input."""
+    return ca.trajectory_steps(state, steps)
+
+
+def parallel_orbit(
+    ca: CellularAutomaton, state: np.ndarray, max_steps: int | None = None
+) -> OrbitInfo:
+    """Exact transient and period of the parallel orbit of ``state``.
+
+    Iterates the global map, hashing visited configurations.  A finite
+    deterministic system always closes a cycle within ``2**n`` steps, so
+    ``max_steps=None`` is safe for moderate ``n``; pass a cap to fail fast
+    in exploratory sweeps.
+    """
+    state = check_state_vector(state, ca.n)
+    seen: dict[int, int] = {}
+    codes: list[int] = []
+    current = state
+    t = 0
+    while True:
+        code = ca.pack(current)
+        if code in seen:
+            start = seen[code]
+            return OrbitInfo(
+                transient=start,
+                period=t - start,
+                cycle=tuple(codes[start:]),
+            )
+        seen[code] = t
+        codes.append(code)
+        if max_steps is not None and t >= max_steps:
+            raise RuntimeError(f"no repeat within {max_steps} steps")
+        current = ca.step(current)
+        t += 1
+
+
+def brent_orbit(ca: CellularAutomaton, state: np.ndarray) -> OrbitInfo:
+    """Orbit structure via Brent's cycle-finding algorithm.
+
+    O(1) memory — it never stores the trajectory — so it scales to state
+    spaces far too large for the hashing approach.  Returns the same
+    OrbitInfo (the cycle tuple is reconstructed once the period is known).
+    """
+    state = check_state_vector(state, ca.n)
+
+    # Phase 1: find the period lambda.
+    power = 1
+    lam = 1
+    tortoise = state
+    hare = ca.step(state)
+    while not np.array_equal(tortoise, hare):
+        if power == lam:
+            tortoise = hare
+            power *= 2
+            lam = 0
+        hare = ca.step(hare)
+        lam += 1
+
+    # Phase 2: find the transient mu with two aligned pointers.
+    tortoise = state
+    hare = state
+    for _ in range(lam):
+        hare = ca.step(hare)
+    mu = 0
+    while not np.array_equal(tortoise, hare):
+        tortoise = ca.step(tortoise)
+        hare = ca.step(hare)
+        mu += 1
+
+    cycle = []
+    current = tortoise
+    for _ in range(lam):
+        cycle.append(ca.pack(current))
+        current = ca.step(current)
+    return OrbitInfo(transient=mu, period=lam, cycle=tuple(cycle))
+
+
+def sequential_trajectory(
+    ca: CellularAutomaton,
+    state: np.ndarray,
+    schedule: UpdateSchedule,
+    updates: int,
+) -> np.ndarray:
+    """Array of states after each of ``updates`` schedule blocks (row 0 = input)."""
+    out = np.empty((updates + 1, ca.n), dtype=np.uint8)
+    out[0] = check_state_vector(state, ca.n)
+    for t, s in enumerate(run_schedule(ca, state, schedule, updates)):
+        out[t + 1] = s
+    return out
+
+
+def sequential_converge(
+    ca: CellularAutomaton,
+    state: np.ndarray,
+    schedule: UpdateSchedule,
+    max_updates: int = 100_000,
+    record_flips: bool = False,
+) -> ConvergenceResult:
+    """Drive a sequential/block run until a fixed point or the update cap.
+
+    Fixed-point detection is exact (with-memory rules make "no node wants
+    to change" schedule-independent): the run stops as soon as the current
+    state is a fixed point of the global map, checked whenever a window of
+    ``n`` consecutive blocks produced no change.
+    """
+    state = check_state_vector(state, ca.n)
+    stream = schedule.blocks(ca.n)
+    flips = 0
+    flip_times: list[int] = []
+    quiet = 0
+    if ca.is_fixed_point(state):
+        return ConvergenceResult(True, state, 0, 0, ())
+    for t in range(1, max_updates + 1):
+        block = next(stream)
+        changed = False
+        if len(block) == 1:
+            changed = ca.update_node_inplace(state, block[0])
+        else:
+            new = block_step(ca, state, block)
+            changed = not np.array_equal(new, state)
+            state = new
+        if changed:
+            flips += 1
+            quiet = 0
+            if record_flips:
+                flip_times.append(t)
+        else:
+            quiet += 1
+            if quiet >= ca.n and ca.is_fixed_point(state):
+                return ConvergenceResult(True, state, t, flips, tuple(flip_times))
+    converged = ca.is_fixed_point(state)
+    return ConvergenceResult(converged, state, max_updates, flips, tuple(flip_times))

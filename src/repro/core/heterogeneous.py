@@ -1,0 +1,160 @@
+"""Non-homogeneous cellular automata: a different rule at every node.
+
+Section 4 of the paper proposes "extending our study to non-homogeneous
+threshold CA, where not all the nodes necessarily update according to one
+and the same threshold update rule".  :class:`HeterogeneousCA` implements
+that model as a drop-in :class:`repro.core.CellularAutomaton`: every
+engine, phase-space, energy and theorem facility works unchanged.
+
+The key theoretical fact (verified by ``check_nonhomogeneous_threshold``
+in :mod:`repro.core.theorems`): the Goles–Martinez energy argument never
+used homogeneity — it needs a *symmetric weight matrix* and per-node
+thresholds, both of which survive per-node count thresholds over a fixed
+graph.  So non-homogeneous threshold SCA are still cycle-free, and their
+parallel counterparts still satisfy Proposition 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import UpdateRule
+from repro.spaces.base import FiniteSpace
+from repro.util.validation import check_state_vector
+
+__all__ = ["HeterogeneousCA"]
+
+
+class HeterogeneousCA(CellularAutomaton):
+    """A CA whose nodes carry individual local rules.
+
+    Parameters
+    ----------
+    space:
+        Any finite cellular space.
+    rules:
+        One :class:`UpdateRule` per node.  Fixed-arity rules must match
+        their node's window width; symmetric (count) rules fit any node.
+    memory:
+        Whether each node's own state is part of its window (default True,
+        the paper's convention).
+    """
+
+    def __init__(
+        self, space: FiniteSpace, rules: Sequence[UpdateRule], memory: bool = True
+    ):
+        rules = list(rules)
+        if len(rules) != space.n:
+            raise ValueError(
+                f"{len(rules)} rules supplied for {space.n} nodes"
+            )
+        # Bypass the parent's uniform-arity validation; validate per node.
+        self.space = space
+        self.rule = rules[0]  # representative, used only for describe()
+        self.rules = rules
+        self.memory = memory
+        self._windows, self._lengths = space.windows(memory)
+        for i, rule in enumerate(rules):
+            if rule.arity is not None and rule.arity != int(self._lengths[i]):
+                raise ValueError(
+                    f"node {i}: rule {rule.name} has arity {rule.arity} but "
+                    f"the window has width {int(self._lengths[i])}"
+                )
+
+    def describe(self) -> str:
+        names = {r.name for r in self.rules}
+        label = next(iter(names)) if len(names) == 1 else f"{len(names)} rules"
+        mem = "memory" if self.memory else "memoryless"
+        return f"HeterogeneousCA[{self.space.describe()}, {label}, {mem}]"
+
+    # -- scalar paths ---------------------------------------------------------
+
+    def node_next(self, state: np.ndarray, i: int) -> int:
+        window = self.space.input_window(i, self.memory)
+        inputs = [0 if j < 0 else int(state[j]) for j in window]
+        return self.rules[i].evaluate(inputs)
+
+    def step(self, state: np.ndarray) -> np.ndarray:
+        """Synchronous step: per-node vectorized window application.
+
+        Nodes sharing a rule object are batched, so a two-rule automaton
+        still takes only two vectorized passes.
+        """
+        state = check_state_vector(state, self.n)
+        ext = np.concatenate([state, np.zeros(1, dtype=np.uint8)])
+        out = np.empty(self.n, dtype=np.uint8)
+        for rule, nodes in self._rule_groups():
+            inputs = ext[self._windows[nodes]]
+            out[nodes] = rule.apply_windows(inputs, self._lengths[nodes])
+        return out
+
+    def step_naive(self, state: np.ndarray) -> np.ndarray:
+        state = check_state_vector(state, self.n)
+        out = np.empty(self.n, dtype=np.uint8)
+        for i in range(self.n):
+            out[i] = self.node_next(state, i)
+        return out
+
+    def _rule_groups(self) -> list[tuple[UpdateRule, np.ndarray]]:
+        groups: dict[int, list[int]] = {}
+        by_id: dict[int, UpdateRule] = {}
+        for i, rule in enumerate(self.rules):
+            groups.setdefault(id(rule), []).append(i)
+            by_id[id(rule)] = rule
+        out = []
+        for key, nodes in groups.items():
+            rule = by_id[key]
+            idx = np.array(nodes, dtype=np.int64)
+            # A fixed-arity rule can only be batched over nodes whose
+            # windows share its width; group members already passed the
+            # per-node check, but ragged padding must be sliced off.
+            if rule.arity is not None:
+                widths = self._lengths[idx]
+                for w in np.unique(widths):
+                    sub = idx[widths == w]
+                    out.append((_SlicedRule(rule, int(w)), sub))
+            else:
+                out.append((rule, idx))
+        return out
+
+    # -- whole-space sweeps -----------------------------------------------------
+
+    def node_successors(self, i: int) -> np.ndarray:
+        saved = self.rule
+        try:
+            self.rule = self.rules[i]
+            return super().node_successors(i)
+        finally:
+            self.rule = saved
+
+    def step_all(self) -> np.ndarray:
+        """The synchronous global map, assembled bit-by-bit per node."""
+        n = self.n
+        if n > 24:
+            raise ValueError(f"step_all over 2**{n} configurations is too large")
+        succ = np.zeros(1 << n, dtype=np.int64)
+        for i in range(n):
+            bit = (self.node_successors(i) >> i) & 1
+            succ |= bit << i
+        return succ
+
+
+class _SlicedRule:
+    """Adapter truncating padded windows to a fixed-arity rule's width."""
+
+    def __init__(self, rule: UpdateRule, width: int):
+        self._rule = rule
+        self._width = width
+        self.arity = rule.arity
+        self.name = rule.name
+
+    def apply_windows(self, inputs: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        return self._rule.apply_windows(
+            inputs[..., : self._width], np.minimum(lengths, self._width)
+        )
+
+    def evaluate(self, inputs) -> int:  # pragma: no cover - not used directly
+        return self._rule.evaluate(inputs[: self._width])

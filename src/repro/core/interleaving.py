@@ -1,0 +1,224 @@
+"""Can sequential interleavings capture the concurrent CA computation?
+
+This module turns the paper's central question into decidable queries on
+finite automata:
+
+* **Step capture** — from configuration ``x``, is the parallel image
+  ``F(x)`` reachable by *some* sequence of single-node updates?
+* **Orbit capture** — can any (fair or not) sequential schedule reproduce
+  the parallel orbit of ``x``, i.e. visit the orbit's cycle configurations
+  infinitely often?  For a parallel two-cycle this requires the SCA's
+  nondeterministic phase space to contain a proper cycle through the two
+  configurations — which Theorem 1 rules out for threshold rules.  That
+  gap, made checkable, *is* the paper's headline result.
+
+The report produced by :func:`interleaving_capture_report` quantifies the
+gap over the whole configuration space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.evolution import parallel_orbit
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+
+__all__ = [
+    "InterleavingReport",
+    "OrbitCaptureResult",
+    "sequential_reachable_set",
+    "captures_parallel_step",
+    "orbit_reproducible_sequentially",
+    "interleaving_capture_report",
+]
+
+
+@dataclass(frozen=True)
+class OrbitCaptureResult:
+    """Whether one parallel orbit is sequentially reproducible, and why."""
+
+    start: int
+    parallel_period: int
+    parallel_cycle: tuple[int, ...]
+    reproducible: bool
+    reason: str
+
+
+@dataclass(frozen=True)
+class InterleavingReport:
+    """Space-wide audit of the interleaving semantics against the CA.
+
+    ``step_capture_failures`` lists configurations whose one-step parallel
+    image no interleaving can reach; ``orbit_capture_failures`` lists
+    configurations whose eventual parallel behaviour (its attractor) no
+    interleaving can reproduce.  The paper's result is that for threshold
+    CA the latter is non-empty — every configuration attracted to a
+    two-cycle is a witness — even when the former may be empty.
+    """
+
+    automaton: str
+    total_configs: int
+    step_capture_failures: tuple[int, ...]
+    orbit_capture_failures: tuple[int, ...]
+    parallel_two_cycle_configs: int
+    sequential_has_cycle: bool
+
+    @property
+    def step_capture_rate(self) -> float:
+        """Fraction of configurations whose parallel step is interleavable."""
+        return 1.0 - len(self.step_capture_failures) / self.total_configs
+
+    @property
+    def orbit_capture_rate(self) -> float:
+        """Fraction of configurations whose parallel orbit is interleavable."""
+        return 1.0 - len(self.orbit_capture_failures) / self.total_configs
+
+    @property
+    def interleavings_capture_concurrency(self) -> bool:
+        """The paper's question, answered for this automaton."""
+        return not self.step_capture_failures and not self.orbit_capture_failures
+
+
+def sequential_reachable_set(
+    ca: CellularAutomaton, code: int, nps: NondetPhaseSpace | None = None
+) -> np.ndarray:
+    """Packed codes of all configurations reachable from ``code`` by
+    single-node updates in any order (the union over all interleavings)."""
+    if nps is None:
+        nps = NondetPhaseSpace.from_automaton(ca)
+    return nps.reachable_from(code)
+
+
+def captures_parallel_step(
+    ca: CellularAutomaton,
+    code: int,
+    nps: NondetPhaseSpace | None = None,
+    succ: np.ndarray | None = None,
+) -> bool:
+    """Is the parallel successor of ``code`` sequentially reachable from it?"""
+    if nps is None:
+        nps = NondetPhaseSpace.from_automaton(ca)
+    target = (
+        int(succ[code]) if succ is not None else ca.pack(ca.step(ca.unpack(code)))
+    )
+    return nps.can_reach(code, target)
+
+
+def orbit_reproducible_sequentially(
+    ca: CellularAutomaton,
+    code: int,
+    nps: NondetPhaseSpace | None = None,
+) -> OrbitCaptureResult:
+    """Decide whether the parallel orbit of ``code`` has a sequential replay.
+
+    * Period-1 orbits: reproducible iff the fixed point is sequentially
+      reachable from ``code`` (it then stays there, like the parallel run).
+    * Period >= 2 orbits: reproducible iff the SCA can reach the cycle and
+      then cycle through it — i.e. all cycle configurations lie in one
+      strongly connected component of the change-edge digraph reachable
+      from ``code``.
+    """
+    if nps is None:
+        nps = NondetPhaseSpace.from_automaton(ca)
+    orbit = parallel_orbit(ca, ca.unpack(code))
+    cycle = orbit.cycle
+    if orbit.period == 1:
+        ok = nps.can_reach(code, cycle[0])
+        reason = (
+            "fixed point sequentially reachable"
+            if ok
+            else "fixed point not sequentially reachable"
+        )
+        return OrbitCaptureResult(code, 1, cycle, ok, reason)
+
+    reachable = set(int(c) for c in nps.reachable_from(code))
+    if not all(c in reachable for c in cycle):
+        return OrbitCaptureResult(
+            code, orbit.period, cycle, False,
+            "parallel cycle configurations not all sequentially reachable",
+        )
+    comp_sets = [set(int(c) for c in comp) for comp in nps.proper_cycle_components()]
+    in_one_scc = any(all(c in comp for c in cycle) for comp in comp_sets)
+    if in_one_scc:
+        return OrbitCaptureResult(
+            code, orbit.period, cycle, True,
+            "cycle configurations share a strongly connected component",
+        )
+    return OrbitCaptureResult(
+        code, orbit.period, cycle, False,
+        "sequential phase space has no cycle through the parallel cycle "
+        "configurations",
+    )
+
+
+def interleaving_capture_report(ca: CellularAutomaton) -> InterleavingReport:
+    """Audit every configuration of ``ca`` for step and orbit capture.
+
+    Exhaustive over ``2**n`` configurations.  For ``n <= 14`` the audit
+    runs against a one-shot all-pairs reachability closure
+    (:class:`repro.core.closure.ReachabilityClosure`); beyond that it
+    falls back to per-configuration BFS, which is quadratically slower.
+    """
+    from repro.core.closure import ReachabilityClosure
+
+    nps = NondetPhaseSpace.from_automaton(ca)
+    ps = PhaseSpace.from_automaton(ca)
+    succ = ps.succ
+
+    closure: ReachabilityClosure | None
+    try:
+        closure = ReachabilityClosure(nps)
+    except ValueError:
+        closure = None
+
+    def reach_all(code: int, targets: list[int]) -> bool:
+        if closure is not None:
+            return closure.can_reach_all(code, targets)
+        reachable = set(int(c) for c in nps.reachable_from(code))
+        return all(t in reachable for t in targets)
+
+    step_failures: list[int] = []
+    orbit_failures: list[int] = []
+    comp_sets = [set(int(c) for c in comp) for comp in nps.proper_cycle_components()]
+    attractors = ps.graph.attractor_of
+    cycles = ps.cycles
+
+    # Orbit capture is a property of (start, attractor); decide each
+    # attractor once and each start's reachability once.
+    attractor_sequentially_cyclable: dict[int, bool] = {}
+    for k, cyc in enumerate(cycles):
+        if len(cyc) == 1:
+            attractor_sequentially_cyclable[k] = True  # staying put is trivial
+        else:
+            attractor_sequentially_cyclable[k] = any(
+                all(c in comp for c in cyc) for comp in comp_sets
+            )
+
+    two_cycle_configs = 0
+    for code in range(ps.size):
+        if not reach_all(code, [int(succ[code])]):
+            step_failures.append(code)
+        k = int(attractors[code])
+        cyc = cycles[k]
+        if len(cyc) >= 2:
+            two_cycle_configs += 1
+            ok = attractor_sequentially_cyclable[k] and reach_all(
+                code, [int(c) for c in cyc]
+            )
+        else:
+            ok = reach_all(code, [int(cyc[0])])
+        if not ok:
+            orbit_failures.append(code)
+
+    return InterleavingReport(
+        automaton=ca.describe(),
+        total_configs=ps.size,
+        step_capture_failures=tuple(step_failures),
+        orbit_capture_failures=tuple(orbit_failures),
+        parallel_two_cycle_configs=two_cycle_configs,
+        sequential_has_cycle=nps.has_proper_cycle(),
+    )

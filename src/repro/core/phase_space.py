@@ -1,0 +1,184 @@
+"""Deterministic phase spaces and the FP/CC/TC classification.
+
+Definition 3 of the paper classifies the configurations of a deterministic
+automaton into fixed points (FP), cycle configurations (CC) and transient
+configurations (TC) — and observes that determinism makes the three classes
+a partition.  :class:`PhaseSpace` materialises the full phase space of a
+parallel CA (the functional graph of its global map over all ``2**n``
+configurations) and answers every question the paper asks of it: cycles and
+their lengths, attractors and basins, unreachable (Garden-of-Eden)
+configurations, transient depths.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from functools import cached_property
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis.cycles import FunctionalGraph
+from repro.core.automaton import CellularAutomaton
+from repro.util.bitops import config_str
+
+__all__ = ["ConfigClass", "PhaseSpace"]
+
+
+class ConfigClass(IntEnum):
+    """Definition 3's configuration types."""
+
+    FIXED_POINT = 0
+    CYCLE = 1  # proper cycle configuration, period >= 2
+    TRANSIENT = 2
+
+
+class PhaseSpace:
+    """The full phase space of a deterministic automaton.
+
+    Construct with :meth:`from_automaton` (which computes the global map
+    vectorized over all configurations) or directly from a packed successor
+    array.
+    """
+
+    def __init__(self, succ: np.ndarray, n_nodes: int):
+        succ = np.asarray(succ, dtype=np.int64).ravel()
+        if succ.size != 1 << n_nodes:
+            raise ValueError(
+                f"successor array has {succ.size} entries, expected 2**{n_nodes}"
+            )
+        self.succ = succ
+        self.n_nodes = n_nodes
+        self.graph = FunctionalGraph(succ)
+
+    @classmethod
+    def from_automaton(cls, ca: CellularAutomaton) -> "PhaseSpace":
+        """Build the synchronous (parallel) phase space of an automaton."""
+        return cls(ca.step_all(), ca.n)
+
+    @property
+    def size(self) -> int:
+        """Number of configurations (``2**n``)."""
+        return self.succ.size
+
+    # -- Definition 3 ----------------------------------------------------------
+
+    @cached_property
+    def classes(self) -> np.ndarray:
+        """Per-configuration :class:`ConfigClass`, as an int8 array."""
+        out = np.full(self.size, int(ConfigClass.TRANSIENT), dtype=np.int8)
+        out[self.graph.on_cycle] = int(ConfigClass.CYCLE)
+        out[self.graph.fixed_points] = int(ConfigClass.FIXED_POINT)
+        return out
+
+    def classify(self, code: int) -> ConfigClass:
+        """The class of one packed configuration."""
+        return ConfigClass(int(self.classes[code]))
+
+    @property
+    def fixed_points(self) -> np.ndarray:
+        """Packed codes of all fixed points."""
+        return self.graph.fixed_points
+
+    @property
+    def cycle_configs(self) -> np.ndarray:
+        """Packed codes of all proper-cycle configurations (period >= 2)."""
+        return np.flatnonzero(self.classes == int(ConfigClass.CYCLE))
+
+    @property
+    def transient_configs(self) -> np.ndarray:
+        """Packed codes of all transient configurations."""
+        return np.flatnonzero(self.classes == int(ConfigClass.TRANSIENT))
+
+    # -- cycles and attractors ---------------------------------------------------
+
+    @property
+    def cycles(self) -> list[list[int]]:
+        """All attractor cycles (fixed points appear as length-1 cycles)."""
+        return self.graph.cycles
+
+    @property
+    def proper_cycles(self) -> list[list[int]]:
+        """Temporal cycles of period >= 2 — what Lemma 1(i) exhibits."""
+        return self.graph.proper_cycles
+
+    def has_proper_cycle(self) -> bool:
+        """True iff some configuration is on a cycle of period >= 2."""
+        return len(self.graph.proper_cycles) > 0
+
+    def cycle_lengths(self) -> list[int]:
+        """Sorted multiset of attractor cycle lengths."""
+        return sorted(len(c) for c in self.graph.cycles)
+
+    def attractor_of(self, code: int) -> list[int]:
+        """The cycle that the orbit of ``code`` eventually enters."""
+        return self.graph.cycles[int(self.graph.attractor_of[code])]
+
+    def basin_sizes(self) -> np.ndarray:
+        """Basin size per attractor, aligned with :attr:`cycles`."""
+        return self.graph.basin_sizes()
+
+    def basin_members(self, attractor_index: int) -> np.ndarray:
+        """All configurations draining into attractor ``attractor_index``
+        (the attractor's own configurations included), as packed codes."""
+        if not 0 <= attractor_index < len(self.cycles):
+            raise ValueError(
+                f"attractor index {attractor_index} out of range "
+                f"(phase space has {len(self.cycles)} attractors)"
+            )
+        return np.flatnonzero(self.graph.attractor_of == attractor_index)
+
+    def attractor_index_of(self, code: int) -> int:
+        """Index into :attr:`cycles` of the attractor ``code`` falls into."""
+        return int(self.graph.attractor_of[code])
+
+    def transient_length(self, code: int) -> int:
+        """Steps from ``code`` until its orbit first enters its cycle."""
+        return int(self.graph.steps_to_cycle[code])
+
+    def max_transient(self) -> int:
+        """The deepest transient in the whole phase space."""
+        return self.graph.max_transient()
+
+    # -- reachability ------------------------------------------------------------
+
+    @property
+    def gardens_of_eden(self) -> np.ndarray:
+        """Configurations with no preimage under the global map."""
+        return self.graph.gardens_of_eden
+
+    def predecessors(self, code: int) -> np.ndarray:
+        """All configurations mapping onto ``code`` in one step."""
+        return np.flatnonzero(self.succ == code)
+
+    def is_stable_attractor(self, code: int) -> bool:
+        """Deterministic FPs are always stable sinks: once there, stay there.
+
+        Provided for symmetry with the SCA notion of *pseudo*-fixed points,
+        which are not stable; for a deterministic phase space this is just
+        fixed-point membership.
+        """
+        return bool(self.succ[code] == code)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_networkx(self) -> nx.DiGraph:
+        """The phase space as a DiGraph with 0/1-string node labels."""
+        g = nx.DiGraph()
+        for code in range(self.size):
+            g.add_node(code, label=config_str(code, self.n_nodes))
+        for code in range(self.size):
+            g.add_edge(code, int(self.succ[code]))
+        return g
+
+    def summary(self) -> dict[str, object]:
+        """Headline statistics, as a plain dict (CLI/benchmark friendly)."""
+        return {
+            "configurations": self.size,
+            "fixed_points": int(self.fixed_points.size),
+            "proper_cycles": len(self.proper_cycles),
+            "cycle_lengths": self.cycle_lengths(),
+            "transient_configs": int(self.transient_configs.size),
+            "gardens_of_eden": int(self.gardens_of_eden.size),
+            "max_transient": self.max_transient(),
+        }

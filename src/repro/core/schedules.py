@@ -1,0 +1,259 @@
+"""Update schedules: who updates when.
+
+The paper's comparison is between two disciplines — all nodes at once
+(classical CA) and one node at a time in arbitrary order (SCA).  Both are
+special cases of *block-sequential* scheduling, where each macro-step
+simultaneously updates one block of nodes.  Every schedule here therefore
+yields a stream of **blocks** (tuples of node indices updated together):
+
+* :class:`Synchronous` — one block containing every node (the classical CA);
+* :class:`FixedPermutation`, :class:`FixedWord`, :class:`RandomPermutationSweeps`,
+  :class:`RandomSingleNode` — singleton blocks (SCA under various orders);
+* :class:`BlockSequential` — arbitrary ordered partitions, the bridge
+  between the two extremes.
+
+This uniform shape lets one evolution engine (:mod:`repro.core.evolution`)
+run every dynamics in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.orders import is_permutation_word
+from repro.util.validation import check_positive
+
+__all__ = [
+    "UpdateSchedule",
+    "Synchronous",
+    "FixedPermutation",
+    "FixedWord",
+    "BlockSequential",
+    "RandomPermutationSweeps",
+    "RandomSingleNode",
+    "AlphaAsynchronous",
+]
+
+
+class UpdateSchedule(ABC):
+    """A (possibly randomized) infinite stream of update blocks."""
+
+    @abstractmethod
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        """Infinite iterator of blocks for an ``n``-node automaton."""
+
+    @property
+    def is_sequential(self) -> bool:
+        """True if every block is a singleton (a genuine SCA schedule)."""
+        return True
+
+    def fairness_bound(self, n: int) -> int | None:
+        """A B such that every node updates within any B consecutive blocks,
+        or None if no deterministic bound exists."""
+        return None
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+class Synchronous(UpdateSchedule):
+    """The classical CA discipline: every node, every step, simultaneously."""
+
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        block = tuple(range(n))
+        while True:
+            yield block
+
+    @property
+    def is_sequential(self) -> bool:
+        return False
+
+    def fairness_bound(self, n: int) -> int:
+        return 1
+
+
+class FixedPermutation(UpdateSchedule):
+    """SCA schedule repeating one permutation of the nodes forever.
+
+    ``perm=None`` uses the identity order ``0, 1, ..., n-1``.
+    """
+
+    def __init__(self, perm: Sequence[int] | None = None):
+        self.perm = None if perm is None else tuple(int(i) for i in perm)
+
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        order = tuple(range(n)) if self.perm is None else self.perm
+        if not is_permutation_word(order, n):
+            raise ValueError(f"{order} is not a permutation of 0..{n - 1}")
+        while True:
+            for i in order:
+                yield (i,)
+
+    def fairness_bound(self, n: int) -> int:
+        return 2 * n - 1
+
+    def describe(self) -> str:
+        return f"FixedPermutation({self.perm if self.perm is not None else 'identity'})"
+
+
+class FixedWord(UpdateSchedule):
+    """SCA schedule repeating an arbitrary finite word of node indices.
+
+    The word need not be a permutation — the paper's update orders are
+    "arbitrary sequences of node indices, not necessarily permutations".
+    An unfair word (one missing some node) is allowed; convergence theorems
+    then do not apply, which the fairness experiments exploit.
+    """
+
+    def __init__(self, word: Sequence[int]):
+        self.word = tuple(int(i) for i in word)
+        if not self.word:
+            raise ValueError("schedule word must be non-empty")
+
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        for i in self.word:
+            if not 0 <= i < n:
+                raise ValueError(f"word letter {i} out of range for n={n}")
+        while True:
+            for i in self.word:
+                yield (i,)
+
+    def fairness_bound(self, n: int) -> int | None:
+        from repro.util.orders import fairness_bound
+
+        return fairness_bound(self.word, n)
+
+    def describe(self) -> str:
+        return f"FixedWord({self.word})"
+
+
+class BlockSequential(UpdateSchedule):
+    """Repeats an ordered partition of the nodes, one block at a time.
+
+    ``BlockSequential([all nodes])`` is synchronous; singleton blocks give a
+    fixed-permutation SCA; anything in between interpolates.  Blocks must
+    partition ``0..n-1``.
+    """
+
+    def __init__(self, partition: Sequence[Sequence[int]]):
+        self.partition = tuple(tuple(int(i) for i in block) for block in partition)
+        if not self.partition or any(not b for b in self.partition):
+            raise ValueError("partition must consist of non-empty blocks")
+
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        flat = sorted(i for block in self.partition for i in block)
+        if flat != list(range(n)):
+            raise ValueError(
+                f"blocks {self.partition} do not partition 0..{n - 1}"
+            )
+        while True:
+            yield from self.partition
+
+    @property
+    def is_sequential(self) -> bool:
+        return all(len(b) == 1 for b in self.partition)
+
+    def fairness_bound(self, n: int) -> int:
+        return 2 * len(self.partition) - 1
+
+    def describe(self) -> str:
+        return f"BlockSequential({self.partition})"
+
+
+class RandomPermutationSweeps(UpdateSchedule):
+    """SCA schedule: an endless stream of fresh uniformly random sweeps.
+
+    Deterministically fair (every node appears in every sweep) yet
+    order-randomized — the canonical "random order" dynamics of the
+    asynchronous-CA literature.
+    """
+
+    def __init__(self, seed: int | np.random.Generator = 0):
+        self._seed = seed
+
+    def _rng(self) -> np.random.Generator:
+        if isinstance(self._seed, np.random.Generator):
+            return self._seed
+        return np.random.default_rng(self._seed)
+
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        check_positive(n, "n")
+        rng = self._rng()
+        while True:
+            for i in rng.permutation(n).tolist():
+                yield (int(i),)
+
+    def fairness_bound(self, n: int) -> int:
+        return 2 * n - 1
+
+    def describe(self) -> str:
+        return f"RandomPermutationSweeps(seed={self._seed})"
+
+
+class RandomSingleNode(UpdateSchedule):
+    """SCA schedule of i.i.d. uniform node picks (Ingerson–Buvel asynchrony).
+
+    Fair with probability one but not B-fair for any fixed B, so the
+    deterministic convergence bound does not apply — only almost-sure
+    convergence, which the statistical experiments confirm.
+    """
+
+    def __init__(self, seed: int | np.random.Generator = 0):
+        self._seed = seed
+
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        check_positive(n, "n")
+        rng = (
+            self._seed
+            if isinstance(self._seed, np.random.Generator)
+            else np.random.default_rng(self._seed)
+        )
+        while True:
+            yield (int(rng.integers(n)),)
+
+    def describe(self) -> str:
+        return f"RandomSingleNode(seed={self._seed})"
+
+
+class AlphaAsynchronous(UpdateSchedule):
+    """Alpha-asynchronous updating: each step, every node fires
+    independently with probability ``alpha``.
+
+    The standard dial between the paper's two extremes (Fatès'
+    alpha-asynchronism): ``alpha = 1`` is the classical synchronous CA,
+    small ``alpha`` approaches fully sequential behaviour.  Steps may
+    update any subset of nodes simultaneously — including none (an empty
+    step is skipped and re-drawn so the stream always yields non-empty
+    blocks).
+    """
+
+    def __init__(self, alpha: float, seed: int | np.random.Generator = 0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._seed = seed
+
+    def blocks(self, n: int) -> Iterator[tuple[int, ...]]:
+        check_positive(n, "n")
+        rng = (
+            self._seed
+            if isinstance(self._seed, np.random.Generator)
+            else np.random.default_rng(self._seed)
+        )
+        while True:
+            fire = np.flatnonzero(rng.random(n) < self.alpha)
+            if fire.size:
+                yield tuple(int(i) for i in fire)
+
+    @property
+    def is_sequential(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return f"AlphaAsynchronous(alpha={self.alpha}, seed={self._seed})"

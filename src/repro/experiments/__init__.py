@@ -1,0 +1,25 @@
+"""Experiment registry: one entry per paper artifact.
+
+Every figure, lemma, theorem, corollary and proposition of the paper — plus
+the substrate demonstrations its argument relies on — is registered here as
+a named experiment returning a JSON-friendly result dict with a ``holds``
+verdict.  The CLI (``repro-ca run E4``) and the benchmark harness both
+drive this registry, so "what the paper claims" and "what we measured" stay
+in one place (recorded in EXPERIMENTS.md).
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,53 @@
+"""The interleaving semantics of concurrency, as runnable machinery.
+
+Section 1.1 of the paper motivates everything with a classic exercise:
+``x += 1`` and ``x += 2`` executed in parallel can produce a result (both
+read 0, writes collide) that no *high-level* sequential interleaving yields,
+yet refining granularity to machine instructions (LOAD / ADDI / STORE)
+recovers every parallel outcome as some interleaving.  This package builds
+that argument concretely: a tiny shared-memory register machine, exhaustive
+interleaving exploration at both granularities, and the paper's example
+packaged as :func:`tosic_agha_example`.
+"""
+
+from repro.interleave.machine import (
+    AddI,
+    Load,
+    MachineState,
+    Store,
+    Thread,
+    run_schedule,
+)
+from repro.interleave.explorer import (
+    count_interleavings,
+    explore_outcomes,
+    outcome_schedules,
+)
+from repro.interleave.programs import (
+    AtomicAdd,
+    GranularityReport,
+    compile_statement,
+    granularity_report,
+    high_level_sequential_outcomes,
+    parallel_outcomes,
+    tosic_agha_example,
+)
+
+__all__ = [
+    "Load",
+    "AddI",
+    "Store",
+    "Thread",
+    "MachineState",
+    "run_schedule",
+    "explore_outcomes",
+    "outcome_schedules",
+    "count_interleavings",
+    "AtomicAdd",
+    "compile_statement",
+    "parallel_outcomes",
+    "high_level_sequential_outcomes",
+    "granularity_report",
+    "GranularityReport",
+    "tosic_agha_example",
+]

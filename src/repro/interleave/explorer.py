@@ -1,0 +1,85 @@
+"""Exhaustive interleaving exploration.
+
+Enumerates every merge of the threads' instruction streams (memoising on
+machine state so the search is over *states*, not the exponentially larger
+set of schedules) and reports the set of reachable final shared memories.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.interleave.machine import MachineState, Thread, _execute
+
+__all__ = ["explore_outcomes", "outcome_schedules", "count_interleavings"]
+
+
+def count_interleavings(threads: Sequence[Thread]) -> int:
+    """Number of distinct complete interleavings (the multinomial coefficient)."""
+    lengths = [len(t) for t in threads]
+    total = math.factorial(sum(lengths))
+    for length in lengths:
+        total //= math.factorial(length)
+    return total
+
+
+def explore_outcomes(
+    threads: Sequence[Thread], shared: Mapping[str, int]
+) -> set[frozenset[tuple[str, int]]]:
+    """All final shared memories reachable by *some* interleaving.
+
+    Each outcome is a frozenset of ``(variable, value)`` items.  The search
+    is a DFS over machine states with memoisation, so identical
+    intermediate states reached by different schedules are expanded once.
+    """
+    outcomes: set[frozenset[tuple[str, int]]] = set()
+    seen: set[tuple] = set()
+
+    def dfs(state: MachineState) -> None:
+        key = state.snapshot()
+        if key in seen:
+            return
+        seen.add(key)
+        runnable = [t for t in threads if state.pcs[t.name] < len(t.code)]
+        if not runnable:
+            outcomes.add(frozenset(state.shared.items()))
+            return
+        for t in runnable:
+            nxt = state.copy()
+            _execute(nxt, t)
+            dfs(nxt)
+
+    dfs(MachineState.initial(threads, shared))
+    return outcomes
+
+
+def outcome_schedules(
+    threads: Sequence[Thread], shared: Mapping[str, int]
+) -> dict[frozenset[tuple[str, int]], tuple[str, ...]]:
+    """One witness schedule per reachable outcome.
+
+    Returns a mapping from each final shared memory to an explicit
+    interleaving (sequence of thread names) producing it — the
+    constructive half of the paper's granularity argument ("there
+    certainly exists a choice of a sequential interleaving ...").
+    """
+    witnesses: dict[frozenset[tuple[str, int]], tuple[str, ...]] = {}
+    seen: set[tuple] = set()
+
+    def dfs(state: MachineState, trace: tuple[str, ...]) -> None:
+        key = state.snapshot()
+        if key in seen:
+            return
+        seen.add(key)
+        runnable = [t for t in threads if state.pcs[t.name] < len(t.code)]
+        if not runnable:
+            witnesses.setdefault(frozenset(state.shared.items()), trace)
+            return
+        for t in runnable:
+            nxt = state.copy()
+            _execute(nxt, t)
+            dfs(nxt, trace + (t.name,))
+
+    dfs(MachineState.initial(threads, shared), ())
+    return witnesses

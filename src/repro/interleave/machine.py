@@ -1,0 +1,152 @@
+"""A minimal shared-memory register machine.
+
+Threads are straight-line instruction lists over private registers and
+shared variables; the only instructions are the three the paper's Section
+1.1 example needs:
+
+* ``Load(reg, var)``   — read a shared variable into a private register;
+* ``AddI(reg, const)`` — add an immediate to a private register;
+* ``Store(var, reg)``  — write a private register to a shared variable.
+
+Each instruction is atomic; an *interleaving* is any merge of the threads'
+instruction streams.  The machine is deliberately tiny — its whole point is
+to make "granularity of the basic operations" a formal, executable knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+__all__ = ["Load", "AddI", "Store", "Instruction", "Thread", "MachineState",
+           "run_schedule"]
+
+
+@dataclass(frozen=True)
+class Load:
+    """``reg := shared[var]``"""
+
+    reg: str
+    var: str
+
+
+@dataclass(frozen=True)
+class AddI:
+    """``reg := reg + const``"""
+
+    reg: str
+    const: int
+
+
+@dataclass(frozen=True)
+class Store:
+    """``shared[var] := reg``"""
+
+    var: str
+    reg: str
+
+
+Instruction = Load | AddI | Store
+
+
+@dataclass(frozen=True)
+class Thread:
+    """A named straight-line program."""
+
+    name: str
+    code: tuple[Instruction, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "code", tuple(self.code))
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+@dataclass
+class MachineState:
+    """Shared memory plus per-thread registers and program counters."""
+
+    shared: dict[str, int]
+    registers: dict[str, dict[str, int]]
+    pcs: dict[str, int]
+
+    @classmethod
+    def initial(
+        cls, threads: Sequence[Thread], shared: Mapping[str, int]
+    ) -> "MachineState":
+        names = [t.name for t in threads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate thread names in {names}")
+        return cls(
+            shared=dict(shared),
+            registers={t.name: {} for t in threads},
+            pcs={t.name: 0 for t in threads},
+        )
+
+    def snapshot(self) -> tuple:
+        """Hashable key for memoised exploration."""
+        return (
+            tuple(sorted(self.shared.items())),
+            tuple(
+                (name, tuple(sorted(regs.items())))
+                for name, regs in sorted(self.registers.items())
+            ),
+            tuple(sorted(self.pcs.items())),
+        )
+
+    def copy(self) -> "MachineState":
+        return MachineState(
+            shared=dict(self.shared),
+            registers={k: dict(v) for k, v in self.registers.items()},
+            pcs=dict(self.pcs),
+        )
+
+
+def _execute(state: MachineState, thread: Thread) -> None:
+    """Run the next instruction of ``thread`` in place."""
+    pc = state.pcs[thread.name]
+    if pc >= len(thread.code):
+        raise IndexError(f"thread {thread.name} has terminated")
+    instr = thread.code[pc]
+    regs = state.registers[thread.name]
+    if isinstance(instr, Load):
+        if instr.var not in state.shared:
+            raise KeyError(f"undefined shared variable {instr.var!r}")
+        regs[instr.reg] = state.shared[instr.var]
+    elif isinstance(instr, AddI):
+        if instr.reg not in regs:
+            raise KeyError(f"register {instr.reg!r} used before load")
+        regs[instr.reg] += instr.const
+    elif isinstance(instr, Store):
+        if instr.reg not in regs:
+            raise KeyError(f"register {instr.reg!r} stored before load")
+        state.shared[instr.var] = regs[instr.reg]
+    else:  # pragma: no cover - exhaustive over the union type
+        raise TypeError(f"unknown instruction {instr!r}")
+    state.pcs[thread.name] = pc + 1
+
+
+def run_schedule(
+    threads: Sequence[Thread],
+    schedule: Sequence[str],
+    shared: Mapping[str, int],
+) -> dict[str, int]:
+    """Execute one explicit interleaving and return final shared memory.
+
+    ``schedule`` names, in order, the thread executing each step; it must
+    run every thread to completion (a complete merge of the streams).
+    """
+    by_name = {t.name: t for t in threads}
+    state = MachineState.initial(threads, shared)
+    for name in schedule:
+        if name not in by_name:
+            raise KeyError(f"unknown thread {name!r} in schedule")
+        _execute(state, by_name[name])
+    for t in threads:
+        if state.pcs[t.name] != len(t.code):
+            raise ValueError(
+                f"schedule leaves thread {t.name} at pc {state.pcs[t.name]} "
+                f"of {len(t.code)}"
+            )
+    return state.shared

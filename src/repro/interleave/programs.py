@@ -1,0 +1,163 @@
+"""High-level statements vs. machine granularity.
+
+Models the paper's Section 1.1 programs at both levels:
+
+* **High level** — each statement is an atomic read-modify-write
+  (``AtomicAdd``).  Sequential executions are permutations of whole
+  statements; the *parallel* execution has every statement read the initial
+  store simultaneously and the colliding writes resolved by one winner per
+  variable (each possible winner is an outcome).
+* **Machine level** — each statement compiles to ``LOAD; ADDI; STORE``, and
+  the interleavings of those instructions are explored exhaustively.
+
+:func:`granularity_report` packages the three outcome sets and the two
+claims the paper makes: the parallel outcome escapes the high-level
+interleavings but not the machine-level ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.interleave.explorer import count_interleavings, explore_outcomes
+from repro.interleave.machine import AddI, Load, Store, Thread
+
+__all__ = [
+    "AtomicAdd",
+    "compile_statement",
+    "high_level_sequential_outcomes",
+    "parallel_outcomes",
+    "GranularityReport",
+    "granularity_report",
+    "tosic_agha_example",
+]
+
+Outcome = frozenset[tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class AtomicAdd:
+    """High-level statement ``var := var + amount``, atomic as a whole."""
+
+    var: str
+    amount: int
+
+    def apply(self, store: dict[str, int]) -> None:
+        if self.var not in store:
+            raise KeyError(f"undefined shared variable {self.var!r}")
+        store[self.var] += self.amount
+
+
+def compile_statement(stmt: AtomicAdd, thread_name: str) -> Thread:
+    """Compile one high-level statement to a LOAD/ADDI/STORE thread.
+
+    The register is private to the thread, so the name is reused freely.
+    """
+    return Thread(
+        name=thread_name,
+        code=(
+            Load("r", stmt.var),
+            AddI("r", stmt.amount),
+            Store(stmt.var, "r"),
+        ),
+    )
+
+
+def high_level_sequential_outcomes(
+    statements: Sequence[AtomicAdd], shared: Mapping[str, int]
+) -> set[Outcome]:
+    """Final stores over all permutations of atomic statements.
+
+    For commutative ``AtomicAdd`` statements this is always a single
+    outcome — which is exactly why the parallel result below is *not*
+    obtainable at this granularity.
+    """
+    outcomes: set[Outcome] = set()
+    for order in itertools.permutations(statements):
+        store = dict(shared)
+        for stmt in order:
+            stmt.apply(store)
+        outcomes.add(frozenset(store.items()))
+    return outcomes
+
+
+def parallel_outcomes(
+    statements: Sequence[AtomicAdd], shared: Mapping[str, int]
+) -> set[Outcome]:
+    """Final stores when all statements execute logically simultaneously.
+
+    Every statement reads the *initial* store; colliding writes to the same
+    variable are resolved by one writer winning, and each choice of winners
+    is a distinct outcome (this is the standard concurrent-write model the
+    paper's example appeals to).
+    """
+    writes: dict[str, list[int]] = {}
+    for stmt in statements:
+        base = dict(shared)
+        if stmt.var not in base:
+            raise KeyError(f"undefined shared variable {stmt.var!r}")
+        writes.setdefault(stmt.var, []).append(base[stmt.var] + stmt.amount)
+    outcomes: set[Outcome] = set()
+    variables = sorted(writes)
+    for winners in itertools.product(*(writes[v] for v in variables)):
+        store = dict(shared)
+        for var, value in zip(variables, winners):
+            store[var] = value
+        outcomes.add(frozenset(store.items()))
+    return outcomes
+
+
+@dataclass(frozen=True)
+class GranularityReport:
+    """The Section 1.1 comparison, fully enumerated."""
+
+    high_level_outcomes: frozenset[Outcome]
+    parallel_outcomes_: frozenset[Outcome]
+    machine_outcomes: frozenset[Outcome]
+    machine_interleavings: int
+
+    @property
+    def parallel_escapes_high_level(self) -> bool:
+        """Some parallel outcome is NOT a high-level sequential outcome."""
+        return not self.parallel_outcomes_ <= self.high_level_outcomes
+
+    @property
+    def machine_captures_parallel(self) -> bool:
+        """Every parallel outcome IS some machine-level interleaving outcome."""
+        return self.parallel_outcomes_ <= self.machine_outcomes
+
+    @property
+    def machine_captures_high_level(self) -> bool:
+        """Every high-level sequential outcome survives compilation."""
+        return self.high_level_outcomes <= self.machine_outcomes
+
+
+def granularity_report(
+    statements: Sequence[AtomicAdd], shared: Mapping[str, int]
+) -> GranularityReport:
+    """Run the full three-way comparison for any statement set."""
+    threads = [
+        compile_statement(stmt, f"T{k}") for k, stmt in enumerate(statements)
+    ]
+    return GranularityReport(
+        high_level_outcomes=frozenset(
+            high_level_sequential_outcomes(statements, shared)
+        ),
+        parallel_outcomes_=frozenset(parallel_outcomes(statements, shared)),
+        machine_outcomes=frozenset(explore_outcomes(threads, shared)),
+        machine_interleavings=count_interleavings(threads),
+    )
+
+
+def tosic_agha_example() -> GranularityReport:
+    """The paper's exact example: ``x += 1  ||  x += 2`` from ``x = 0``.
+
+    High-level sequential: always ``x = 3``.  Parallel: ``x in {1, 2}``.
+    Machine level: ``x in {1, 2, 3}`` — granularity refinement restores the
+    interleaving semantics.
+    """
+    return granularity_report(
+        [AtomicAdd("x", 1), AtomicAdd("x", 2)], {"x": 0}
+    )

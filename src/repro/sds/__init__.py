@@ -1,0 +1,30 @@
+"""Sequential and synchronous dynamical systems over arbitrary graphs.
+
+The paper's references [2-6] (Barrett, Mortveit, Reidys, et al.) study
+sequential CA generalised to arbitrary finite graphs: a *sequential
+dynamical system* (SDS) applies one Boolean vertex function per node, in
+the order of a fixed permutation, each node reading the current states of
+its closed neighborhood; the *synchronous* variant (SyDS) updates all nodes
+at once.  The paper leans on this theory both for context (its Section 4
+extensions) and for specific notions — Gardens of Eden, update-order
+(in)equivalence — which this package implements and cross-validates against
+the CA machinery.
+"""
+
+from repro.sds.sds import SDS, SyDS
+from repro.sds.equivalence import (
+    acyclic_orientation_count,
+    sds_equivalence_classes,
+    verify_orientation_bound,
+)
+from repro.sds.gardens import garden_of_eden_configs, is_garden_of_eden
+
+__all__ = [
+    "SDS",
+    "SyDS",
+    "sds_equivalence_classes",
+    "acyclic_orientation_count",
+    "verify_orientation_bound",
+    "garden_of_eden_configs",
+    "is_garden_of_eden",
+]

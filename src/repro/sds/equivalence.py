@@ -1,0 +1,127 @@
+"""Functional equivalence of SDS update orders.
+
+Two permutations are *functionally equivalent* when they induce the same
+SDS map.  The classical bound (Mortveit–Reidys; cited by the paper via
+[5, 6]): the number of functionally distinct SDS maps over a graph ``G`` is
+at most ``a(G)``, the number of acyclic orientations of ``G`` — because the
+map depends only on the relative order of *adjacent* vertices, and that
+data is exactly an acyclic orientation.
+
+``a(G)`` is computed exactly as ``|chi_G(-1)|`` (Stanley's theorem) via
+deletion–contraction on multigraphs, memoised on a canonical form; fine for
+the small graphs exhaustive SDS analysis handles anyway.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.sds.sds import SDS
+
+__all__ = [
+    "sds_equivalence_classes",
+    "acyclic_orientation_count",
+    "verify_orientation_bound",
+    "OrientationBoundReport",
+]
+
+
+def sds_equivalence_classes(
+    sds: SDS, permutations: Iterable[Sequence[int]] | None = None
+) -> dict[bytes, list[tuple[int, ...]]]:
+    """Group update orders by the SDS map they induce.
+
+    ``permutations`` defaults to all ``n!`` orders (exhaustive; keep the
+    graph small).  Keys are map fingerprints; values the orders inducing
+    that map.
+    """
+    if permutations is None:
+        permutations = itertools.permutations(range(sds.n))
+    classes: dict[bytes, list[tuple[int, ...]]] = {}
+    for perm in permutations:
+        variant = sds.with_permutation(perm)
+        classes.setdefault(variant.map_fingerprint(), []).append(tuple(perm))
+    return classes
+
+
+def _canonical_multigraph(edges: tuple[tuple[int, int], ...], n: int) -> tuple:
+    return (n, tuple(sorted(tuple(sorted(e)) for e in edges)))
+
+
+def _chromatic_at(edges: tuple[tuple[int, int], ...], n: int, k: int,
+                  memo: dict) -> int:
+    """Evaluate the chromatic polynomial of a loopless multigraph at ``k``.
+
+    Deletion–contraction: ``P(G) = P(G - e) - P(G / e)``.  Parallel edges
+    are collapsed (they do not change proper colourings); loops created by
+    contraction make the polynomial zero.
+    """
+    # Collapse parallel edges; detect loops.
+    simple = set()
+    for u, v in edges:
+        if u == v:
+            return 0
+        simple.add((u, v) if u < v else (v, u))
+    edges = tuple(sorted(simple))
+    key = _canonical_multigraph(edges, n)
+    if key in memo:
+        return memo[key]
+    if not edges:
+        result = k**n
+    else:
+        u, v = edges[0]
+        deleted = edges[1:]
+        # Contract v into u.
+        contracted = []
+        for a, b in deleted:
+            a2 = u if a == v else a
+            b2 = u if b == v else b
+            contracted.append((a2, b2))
+        result = _chromatic_at(deleted, n, k, memo) - _chromatic_at(
+            tuple(contracted), n - 1, k, memo
+        )
+    memo[key] = result
+    return result
+
+
+def acyclic_orientation_count(graph: nx.Graph) -> int:
+    """Number of acyclic orientations: ``a(G) = |chi_G(-1)|`` (Stanley 1973)."""
+    if graph.number_of_nodes() == 0:
+        return 1
+    nodes = {v: i for i, v in enumerate(graph.nodes)}
+    edges = tuple(
+        (nodes[u], nodes[v]) for u, v in graph.edges if u != v
+    )
+    value = _chromatic_at(edges, graph.number_of_nodes(), -1, {})
+    return abs(value)
+
+
+@dataclass(frozen=True)
+class OrientationBoundReport:
+    """Measured distinct-map count against the acyclic-orientation bound."""
+
+    graph: str
+    permutations: int
+    distinct_maps: int
+    acyclic_orientations: int
+
+    @property
+    def bound_holds(self) -> bool:
+        """The Mortveit–Reidys inequality for this instance."""
+        return self.distinct_maps <= self.acyclic_orientations
+
+
+def verify_orientation_bound(sds: SDS) -> OrientationBoundReport:
+    """Exhaustively check ``#distinct SDS maps <= a(G)`` for one system."""
+    classes = sds_equivalence_classes(sds)
+    graph = sds.space.graph
+    return OrientationBoundReport(
+        graph=sds.space.describe(),
+        permutations=sum(len(v) for v in classes.values()),
+        distinct_maps=len(classes),
+        acyclic_orientations=acyclic_orientation_count(graph),
+    )

@@ -1,0 +1,42 @@
+"""Garden-of-Eden configurations for SDS and SyDS.
+
+A Garden of Eden is a configuration with no preimage — it can appear only
+as an initial condition, never during evolution.  The paper's reference [3]
+(Barrett et al., *Gardens of Eden and Fixed Points in Sequential Dynamical
+Systems*) studies these for SDS; here we enumerate them exactly from the
+global map and provide the membership test.
+
+A structural fact worth noting (and tested): an SDS map is a composition of
+single-vertex updates, each of which is *idempotent on its own output bit*,
+and an SDS over invertible vertex functions permutes the configuration
+space — in that case there are no Gardens of Eden at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cycles import FunctionalGraph
+from repro.sds.sds import SDS, SyDS
+
+__all__ = ["garden_of_eden_configs", "is_garden_of_eden", "is_invertible"]
+
+
+def garden_of_eden_configs(system: SDS | SyDS) -> np.ndarray:
+    """Packed codes of all configurations with no preimage."""
+    return FunctionalGraph(system.global_map).gardens_of_eden
+
+
+def is_garden_of_eden(system: SDS | SyDS, code: int) -> bool:
+    """True iff ``code`` has no preimage under the system's global map."""
+    if not 0 <= code < (1 << system.n):
+        raise ValueError(f"configuration code {code} out of range")
+    return not bool(np.any(system.global_map == code))
+
+
+def is_invertible(system: SDS | SyDS) -> bool:
+    """True iff the global map is a bijection on configurations.
+
+    Equivalent to "no Gardens of Eden" for maps on a finite set.
+    """
+    return bool(np.unique(system.global_map).size == system.global_map.size)

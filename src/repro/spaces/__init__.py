@@ -1,0 +1,40 @@
+"""Cellular spaces: the "hardware" of a cellular automaton (Definition 1).
+
+A cellular space is a regular graph plus a finite state set with a quiescent
+state.  This package provides the finite spaces used in the paper (lines,
+rings), the higher-dimensional spaces of its Section 3 remarks (2-D grids,
+hypercubes, general bipartite graphs, Cayley graphs), the arbitrary finite
+graphs of its Section 4 outlook, and an exact finite-support simulation of
+the paper's default space, the two-way infinite line.
+"""
+
+from repro.spaces.base import CellularSpace, FiniteSpace
+from repro.spaces.cayley import CayleySpace, cayley_product
+from repro.spaces.graph import GraphSpace, complete_space, star_space
+from repro.spaces.grid import Grid2D
+from repro.spaces.hypercube import Hypercube
+from repro.spaces.infinite import (
+    InfiniteLine,
+    SupportConfig,
+    infinite_orbit,
+    infinite_step,
+)
+from repro.spaces.line import Line, Ring
+
+__all__ = [
+    "CellularSpace",
+    "FiniteSpace",
+    "Line",
+    "Ring",
+    "Grid2D",
+    "Hypercube",
+    "GraphSpace",
+    "complete_space",
+    "star_space",
+    "CayleySpace",
+    "cayley_product",
+    "InfiniteLine",
+    "SupportConfig",
+    "infinite_step",
+    "infinite_orbit",
+]

@@ -1,0 +1,168 @@
+"""Base classes for finite cellular spaces.
+
+The performance-critical abstraction is the *window matrix*: for each node,
+the ordered tuple of node indices feeding its local rule, padded to a common
+width with a sentinel slot that always reads the quiescent state 0.  With the
+window matrix in hand, one synchronous step over the whole automaton — or
+over *all* ``2**n`` configurations at once — is a single NumPy gather plus a
+vectorized rule application; no Python-level loop over nodes survives on the
+hot path.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+import networkx as nx
+import numpy as np
+from scipy import sparse
+
+__all__ = ["CellularSpace", "FiniteSpace"]
+
+
+class CellularSpace(ABC):
+    """A cellular space: nodes plus a neighborhood structure.
+
+    Subclasses define :meth:`neighbors`; everything else (window matrices,
+    adjacency, bipartiteness) is derived here.  The quiescent state is 0,
+    following the paper's Definition 1.
+    """
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of nodes.  Nodes are always indexed ``0 .. n-1``."""
+
+    @abstractmethod
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        """Ordered tuple of the distinct neighbors of node ``i`` (no self).
+
+        The order is the canonical input order for non-symmetric local rules;
+        1-D spaces list neighbors left to right, graph spaces in ascending
+        index order.  Entries of ``-1`` denote *missing* neighbors (beyond a
+        finite boundary) that read the quiescent state.
+        """
+
+    def describe(self) -> str:
+        """One-line human-readable description (used by the CLI)."""
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class FiniteSpace(CellularSpace):
+    """Shared machinery for all finite spaces."""
+
+    #: sentinel in window matrices: an index equal to ``n`` reads quiescent 0.
+    _QUIESCENT = -1
+
+    def input_window(self, i: int, memory: bool) -> tuple[int, ...]:
+        """Ordered rule inputs for node ``i``; ``-1`` marks quiescent slots.
+
+        With memory, the node's own index is inserted at its canonical
+        position: the centre for 1-D windows (subclasses override
+        :meth:`_window_with_memory` where the centre convention applies),
+        the front for graph-like spaces.
+        """
+        if memory:
+            return self._window_with_memory(i)
+        return self.neighbors(i)
+
+    def _window_with_memory(self, i: int) -> tuple[int, ...]:
+        return (i, *self.neighbors(i))
+
+    @cached_property
+    def _windows_memory(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._build_windows(memory=True)
+
+    @cached_property
+    def _windows_memoryless(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._build_windows(memory=False)
+
+    def windows(self, memory: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(window_matrix, window_len)`` for vectorized stepping.
+
+        ``window_matrix`` has shape ``(n, k_max)``; entry ``n`` (one past the
+        last node) is the quiescent padding slot, so callers gather from the
+        state vector extended by one trailing zero.  ``window_len`` gives
+        each node's true window length (quiescent boundary slots included —
+        they are genuine rule inputs reading state 0; only the padding used
+        to rectangularise ragged windows is excluded).
+        """
+        return self._windows_memory if memory else self._windows_memoryless
+
+    def _build_windows(self, memory: bool) -> tuple[np.ndarray, np.ndarray]:
+        rows = [self.input_window(i, memory) for i in range(self.n)]
+        lengths = np.array([len(r) for r in rows], dtype=np.int64)
+        k_max = int(lengths.max()) if len(rows) else 0
+        mat = np.full((self.n, k_max), self.n, dtype=np.int64)
+        for i, row in enumerate(rows):
+            for j, idx in enumerate(row):
+                mat[i, j] = self.n if idx == self._QUIESCENT else idx
+        return mat, lengths
+
+    @property
+    def uniform_window(self) -> int | None:
+        """Common with-memory window length if all nodes share one, else None.
+
+        Non-symmetric table rules require a uniform window.
+        """
+        _, lengths = self.windows(memory=True)
+        if len(lengths) and np.all(lengths == lengths[0]):
+            return int(lengths[0])
+        return None
+
+    @cached_property
+    def graph(self) -> nx.Graph:
+        """The underlying undirected graph (quiescent slots dropped)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for i in range(self.n):
+            for j in self.neighbors(i):
+                if j != self._QUIESCENT and j != i:
+                    g.add_edge(i, j)
+        return g
+
+    def adjacency_matrix(self) -> sparse.csr_matrix:
+        """Symmetric 0/1 adjacency matrix (CSR), for the energy machinery."""
+        rows, cols = [], []
+        for i in range(self.n):
+            for j in self.neighbors(i):
+                if j != self._QUIESCENT and j != i:
+                    rows.append(i)
+                    cols.append(j)
+        data = np.ones(len(rows), dtype=np.int64)
+        mat = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(self.n, self.n), dtype=np.int64
+        )
+        # Neighborhoods are symmetric in every space we build, but a subclass
+        # bug would silently break the Lyapunov results; fail loudly instead.
+        if (mat != mat.T).nnz:
+            raise ValueError("space has a non-symmetric neighborhood relation")
+        mat.data[:] = 1
+        return mat
+
+    def is_bipartite(self) -> bool:
+        """Whether the underlying graph is bipartite.
+
+        Bipartiteness is the structural hook for the paper's two-cycle
+        constructions: alternating configurations over a bipartition give
+        parallel MAJORITY two-cycles.
+        """
+        return nx.is_bipartite(self.graph)
+
+    def bipartition(self) -> tuple[frozenset[int], frozenset[int]]:
+        """A 2-colouring of the nodes; raises if the graph is odd-cyclic."""
+        left, right = nx.bipartite.sets(self.graph)
+        return frozenset(left), frozenset(right)
+
+    def degree(self, i: int) -> int:
+        """Number of actual (non-quiescent, non-self) neighbors of ``i``."""
+        return sum(
+            1 for j in self.neighbors(i) if j != self._QUIESCENT and j != i
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,149 @@
+"""Cayley-graph cellular spaces.
+
+The general convergence result the paper invokes (its Proposition 1, after
+Garzon and Goles–Martinez) is stated for CA over regular Cayley graphs.
+``CayleySpace`` realises Cayley graphs of the cyclic group ``Z_n`` — rings
+are the special case with generators ``{1, ..., r}`` — and
+:func:`cayley_product` builds Cayley graphs of direct products
+``Z_{n1} x ... x Z_{nk}`` (toroidal grids are the two-factor case).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.spaces.base import FiniteSpace
+from repro.util.validation import check_node_index, check_positive
+
+__all__ = ["CayleySpace", "cayley_product"]
+
+
+class CayleySpace(FiniteSpace):
+    """Cayley graph of ``Z_n`` with a symmetric generator set.
+
+    ``generators`` is any iterable of non-zero residues; the set is closed
+    under negation automatically so the graph is undirected.  Node ``i`` is
+    adjacent to ``i + g (mod n)`` for every generator ``g``.
+    """
+
+    def __init__(self, n: int, generators: Iterable[int]):
+        check_positive(n, "n")
+        gens: set[int] = set()
+        for g in generators:
+            g %= n
+            if g == 0:
+                raise ValueError("0 is not a valid Cayley generator")
+            gens.add(g)
+            gens.add((-g) % n)
+        if not gens:
+            raise ValueError("generator set must be non-empty")
+        self._n = n
+        self.generators = tuple(sorted(gens))
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        check_node_index(i, self._n)
+        seen: list[int] = []
+        for g in self.generators:
+            j = (i + g) % self._n
+            if j != i and j not in seen:
+                seen.append(j)
+        return tuple(sorted(seen))
+
+    def describe(self) -> str:
+        return f"CayleySpace(Z_{self._n}, generators={self.generators})"
+
+
+class _ProductCayley(FiniteSpace):
+    """Cayley graph of ``Z_{d1} x ... x Z_{dk}`` (built by cayley_product)."""
+
+    def __init__(self, dims: tuple[int, ...], generators: tuple[tuple[int, ...], ...]):
+        self.dims = dims
+        self.generators = generators
+        self._n = 1
+        for d in dims:
+            self._n *= d
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def coords(self, i: int) -> tuple[int, ...]:
+        """Mixed-radix coordinates of node ``i`` (last dimension fastest)."""
+        check_node_index(i, self._n)
+        out = []
+        for d in reversed(self.dims):
+            i, c = divmod(i, d)
+            out.append(c)
+        return tuple(reversed(out))
+
+    def index(self, coords: Sequence[int]) -> int:
+        """Node index of a coordinate tuple (entries taken mod each dim)."""
+        if len(coords) != len(self.dims):
+            raise ValueError(
+                f"expected {len(self.dims)} coordinates, got {len(coords)}"
+            )
+        i = 0
+        for c, d in zip(coords, self.dims):
+            i = i * d + (c % d)
+        return i
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        base = self.coords(i)
+        seen: list[int] = []
+        for gen in self.generators:
+            j = self.index(tuple(b + g for b, g in zip(base, gen)))
+            if j != i and j not in seen:
+                seen.append(j)
+        return tuple(sorted(seen))
+
+    def describe(self) -> str:
+        dims = "x".join(f"Z_{d}" for d in self.dims)
+        return f"CayleyProduct({dims}, {len(self.generators)} generators)"
+
+
+def cayley_product(
+    dims: Sequence[int], generators: Iterable[Sequence[int]]
+) -> _ProductCayley:
+    """Cayley graph of a direct product of cyclic groups.
+
+    ``dims`` gives the cyclic factors; each generator is a tuple of offsets,
+    one per factor, and the set is closed under negation.  Example: the
+    ``m x k`` von Neumann torus is
+    ``cayley_product((m, k), [(1, 0), (0, 1)])``.
+    """
+    dims = tuple(int(d) for d in dims)
+    for d in dims:
+        check_positive(d, "dimension")
+    gens: set[tuple[int, ...]] = set()
+    for gen in generators:
+        gen = tuple(int(g) % d for g, d in zip(gen, dims))
+        if len(gen) != len(dims):
+            raise ValueError(
+                f"generator arity {len(gen)} does not match {len(dims)} factors"
+            )
+        if all(g == 0 for g in gen):
+            raise ValueError("the identity is not a valid Cayley generator")
+        gens.add(gen)
+        gens.add(tuple((-g) % d for g, d in zip(gen, dims)))
+    if not gens:
+        raise ValueError("generator set must be non-empty")
+    return _ProductCayley(dims, tuple(sorted(gens)))
+
+
+def hypercube_as_cayley(dimension: int) -> _ProductCayley:
+    """The d-cube as the Cayley graph of ``Z_2^d`` with unit generators.
+
+    Provided for cross-validation against :class:`repro.spaces.Hypercube`.
+    """
+    check_positive(dimension, "dimension")
+    dims = (2,) * dimension
+    gens = []
+    for b in range(dimension):
+        g = [0] * dimension
+        g[b] = 1
+        gens.append(tuple(g))
+    return cayley_product(dims, gens)

@@ -1,0 +1,84 @@
+"""Arbitrary finite graphs as cellular spaces.
+
+Section 4 of the paper proposes studying "CA-like finite automata defined
+over arbitrary rather than only regular (finite) graphs" — exactly the
+setting of the sequential/synchronous dynamical systems literature it cites.
+``GraphSpace`` adapts any undirected ``networkx`` graph; the SDS machinery
+in :mod:`repro.sds` builds on it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import networkx as nx
+
+from repro.spaces.base import FiniteSpace
+from repro.util.validation import check_node_index, check_positive
+
+__all__ = ["GraphSpace", "complete_space", "star_space", "path_space"]
+
+
+class GraphSpace(FiniteSpace):
+    """Cellular space over an arbitrary undirected graph.
+
+    Nodes are relabelled to ``0 .. n-1`` in sorted order of their original
+    labels (sortable labels required); :attr:`labels` maps indices back.
+    Self-loops are dropped — a node's own state participates only through
+    the with-memory convention, never as a graph edge.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        if graph.is_directed():
+            raise ValueError("GraphSpace requires an undirected graph")
+        if graph.number_of_nodes() == 0:
+            raise ValueError("GraphSpace requires at least one node")
+        self.labels: list[Hashable] = sorted(graph.nodes)
+        index = {label: i for i, label in enumerate(self.labels)}
+        self._adj: list[tuple[int, ...]] = [()] * len(self.labels)
+        for label, i in index.items():
+            nbrs = sorted(
+                index[m] for m in graph.neighbors(label) if m != label
+            )
+            self._adj[i] = tuple(nbrs)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Hashable, Hashable]]) -> "GraphSpace":
+        """Build a space from an edge list."""
+        g = nx.Graph()
+        g.add_edges_from(edges)
+        return cls(g)
+
+    @property
+    def n(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        check_node_index(i, self.n)
+        return self._adj[i]
+
+    def describe(self) -> str:
+        m = sum(len(a) for a in self._adj) // 2
+        return f"GraphSpace(n={self.n}, edges={m})"
+
+
+def complete_space(n: int) -> GraphSpace:
+    """The complete graph ``K_n`` — every node sees every other node.
+
+    MAJORITY on ``K_n`` is global majority voting; a useful extreme case for
+    the convergence experiments.
+    """
+    check_positive(n, "n")
+    return GraphSpace(nx.complete_graph(n))
+
+
+def star_space(leaves: int) -> GraphSpace:
+    """The star ``K_{1,leaves}`` — bipartite and maximally irregular."""
+    check_positive(leaves, "leaves")
+    return GraphSpace(nx.star_graph(leaves))
+
+
+def path_space(n: int) -> GraphSpace:
+    """The path graph on ``n`` nodes (radius-1 line, graph form)."""
+    check_positive(n, "n")
+    return GraphSpace(nx.path_graph(n))

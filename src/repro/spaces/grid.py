@@ -1,0 +1,81 @@
+"""Two-dimensional grid spaces.
+
+Section 3 of the paper notes that its two-cycle constructions extend to 2-D
+rectangular grids (any bipartite cellular space).  ``Grid2D`` supports both
+the von Neumann (4-neighbor) and Moore (8-neighbor) neighborhoods, with
+toroidal or fixed (quiescent) boundaries.  Note the Moore torus is *not*
+bipartite, which the bipartite-two-cycle experiments use as a negative
+control.
+"""
+
+from __future__ import annotations
+
+from repro.spaces.base import FiniteSpace
+from repro.util.validation import check_node_index, check_positive
+
+__all__ = ["Grid2D"]
+
+_VON_NEUMANN = ((-1, 0), (0, -1), (0, 1), (1, 0))
+_MOORE = tuple(
+    (dr, dc) for dr in (-1, 0, 1) for dc in (-1, 0, 1) if (dr, dc) != (0, 0)
+)
+
+
+class Grid2D(FiniteSpace):
+    """A ``rows x cols`` grid; node ``(r, c)`` has index ``r * cols + c``."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        neighborhood: str = "von_neumann",
+        torus: bool = True,
+    ):
+        check_positive(rows, "rows")
+        check_positive(cols, "cols")
+        if neighborhood not in ("von_neumann", "moore"):
+            raise ValueError(
+                f"neighborhood must be 'von_neumann' or 'moore', got {neighborhood!r}"
+            )
+        if torus and (rows < 3 or cols < 3):
+            # A 2-wide torus would duplicate neighbors (i-1 == i+1 mod 2).
+            raise ValueError("toroidal grids need rows >= 3 and cols >= 3")
+        self.rows = rows
+        self.cols = cols
+        self.neighborhood = neighborhood
+        self.torus = torus
+        self._offsets = _VON_NEUMANN if neighborhood == "von_neumann" else _MOORE
+
+    @property
+    def n(self) -> int:
+        return self.rows * self.cols
+
+    def index(self, row: int, col: int) -> int:
+        """Node index of cell ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"cell ({row}, {col}) outside {self.rows}x{self.cols}")
+        return row * self.cols + col
+
+    def cell(self, i: int) -> tuple[int, int]:
+        """Cell coordinates of node ``i``."""
+        check_node_index(i, self.n)
+        return divmod(i, self.cols)
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        row, col = self.cell(i)
+        out = []
+        for dr, dc in self._offsets:
+            rr, cc = row + dr, col + dc
+            if self.torus:
+                out.append(self.index(rr % self.rows, cc % self.cols))
+            elif 0 <= rr < self.rows and 0 <= cc < self.cols:
+                out.append(self.index(rr, cc))
+            else:
+                out.append(self._QUIESCENT)
+        return tuple(out)
+
+    def describe(self) -> str:
+        kind = "torus" if self.torus else "bounded"
+        return (
+            f"Grid2D({self.rows}x{self.cols}, {self.neighborhood}, {kind})"
+        )

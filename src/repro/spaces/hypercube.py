@@ -1,0 +1,47 @@
+"""Hypercube cellular spaces.
+
+The paper remarks that "Hypercube CA with MAJORITY ... have two-cycles in
+their respective phase spaces" — the d-cube is bipartite (even/odd parity of
+the node label), so the bipartite two-cycle construction applies.
+"""
+
+from __future__ import annotations
+
+from repro.spaces.base import FiniteSpace
+from repro.util.validation import check_node_index, check_positive
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(FiniteSpace):
+    """The ``d``-dimensional Boolean hypercube: ``2**d`` nodes.
+
+    Node ``i`` is adjacent to every node obtained by flipping one bit of
+    ``i``; neighbors are listed in order of the flipped bit.
+    """
+
+    def __init__(self, dimension: int):
+        check_positive(dimension, "dimension")
+        if dimension > 16:
+            raise ValueError(
+                f"hypercube of dimension {dimension} has 2**{dimension} nodes; "
+                "refusing to build"
+            )
+        self.dimension = dimension
+
+    @property
+    def n(self) -> int:
+        return 1 << self.dimension
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        check_node_index(i, self.n)
+        return tuple(i ^ (1 << b) for b in range(self.dimension))
+
+    def parity_classes(self) -> tuple[frozenset[int], frozenset[int]]:
+        """The canonical bipartition: even-weight vs. odd-weight labels."""
+        even = frozenset(i for i in range(self.n) if int(i).bit_count() % 2 == 0)
+        odd = frozenset(range(self.n)) - even
+        return even, odd
+
+    def describe(self) -> str:
+        return f"Hypercube(d={self.dimension}, n={self.n})"

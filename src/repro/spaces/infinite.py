@@ -1,0 +1,299 @@
+"""Exact simulation of CA on the two-way infinite line.
+
+The paper's default cellular space is the two-way infinite line, and its
+Lemma 1(i) witness — the alternating configuration ``...010101...`` — has
+infinite support.  We therefore represent infinite configurations exactly as
+*two-way eventually periodic* words:
+
+* a left background word ``L`` (value at position ``p < lo`` is
+  ``L[p mod len(L)]``, phase anchored to absolute positions),
+* a finite core over ``[lo, hi)``, and
+* a right background word ``R`` (value at ``p >= hi`` is ``R[p mod len(R)]``).
+
+This class of configurations is closed under one synchronous step of any
+finite-radius rule: far inside a periodic background the rule's window is
+periodic, so the image is periodic with the same period, and the core only
+grows by the radius on each side.  Canonicalisation (minimal periods,
+maximal trimming) makes equality and hashing exact, which is what lets us
+detect genuine temporal cycles *on the infinite line* — no truncation to a
+finite ring is involved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.rules import UpdateRule
+
+__all__ = ["InfiniteLine", "SupportConfig", "infinite_step", "infinite_orbit",
+           "infinite_update_node"]
+
+
+def _minimal_period(word: tuple[int, ...]) -> tuple[int, ...]:
+    """Shortest divisor-period representation of a word under absolute phase."""
+    p = len(word)
+    for d in range(1, p + 1):
+        if p % d:
+            continue
+        if all(word[j] == word[j % d] for j in range(p)):
+            return word[:d]
+    return word  # pragma: no cover - d == p always matches
+
+
+def _parse_word(word: str | tuple[int, ...] | list[int]) -> tuple[int, ...]:
+    if isinstance(word, str):
+        bits = tuple(int(c) for c in word)
+    else:
+        bits = tuple(int(b) for b in word)
+    if not bits:
+        raise ValueError("background word must be non-empty")
+    if any(b not in (0, 1) for b in bits):
+        raise ValueError(f"background word must be binary, got {word!r}")
+    return bits
+
+
+@dataclass(frozen=True)
+class SupportConfig:
+    """A two-way eventually periodic configuration of the infinite line.
+
+    Instances are immutable, canonicalised, hashable, and compare equal
+    exactly when they denote the same bi-infinite word.  Use the
+    constructors :meth:`finite`, :meth:`periodic` or :meth:`build` rather
+    than the raw dataclass fields.
+    """
+
+    left: tuple[int, ...]
+    core: tuple[int, ...]
+    right: tuple[int, ...]
+    lo: int
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def build(
+        left: str | tuple[int, ...],
+        core: str | tuple[int, ...] | list[int] | np.ndarray,
+        right: str | tuple[int, ...],
+        lo: int = 0,
+    ) -> "SupportConfig":
+        """General constructor; canonicalises its arguments."""
+        lw = _parse_word(left)
+        rw = _parse_word(right)
+        if isinstance(core, str):
+            cw = tuple(int(c) for c in core if c not in " _,")
+        else:
+            cw = tuple(int(b) for b in np.asarray(core, dtype=np.int64).ravel())
+        if any(b not in (0, 1) for b in cw):
+            raise ValueError("core must be binary")
+        return SupportConfig._canonical(lw, cw, rw, lo)
+
+    @staticmethod
+    def finite(core: str | tuple[int, ...] | list[int] | np.ndarray,
+               lo: int = 0) -> "SupportConfig":
+        """A finite-support configuration over the quiescent background 0."""
+        return SupportConfig.build("0", core, "0", lo)
+
+    @staticmethod
+    def periodic(word: str | tuple[int, ...]) -> "SupportConfig":
+        """A purely periodic configuration, e.g. ``periodic('01')`` is the
+        paper's alternating two-cycle witness."""
+        return SupportConfig.build(word, (), word, 0)
+
+    @staticmethod
+    def _canonical(
+        left: tuple[int, ...], core: tuple[int, ...],
+        right: tuple[int, ...], lo: int,
+    ) -> "SupportConfig":
+        left = _minimal_period(left)
+        right = _minimal_period(right)
+        p, q = len(left), len(right)
+        core = list(core)
+        hi = lo + len(core)
+        # Trim core cells that already agree with the adjacent background.
+        while core and core[0] == left[lo % p]:
+            core.pop(0)
+            lo += 1
+        while core and core[-1] == right[(hi - 1) % q]:
+            core.pop()
+            hi -= 1
+        if not core:
+            # Pure two-background configuration with a boundary at lo.
+            period = math.lcm(p, q)
+            if all(left[j % p] == right[j % q] for j in range(period)):
+                # One uniform periodic word; lo is meaningless — fix it at 0.
+                return SupportConfig(left=left, core=(), right=left, lo=0)
+            # Slide the boundary left as far as the two words agree;
+            # termination: they disagree somewhere within one lcm-period.
+            while left[(lo - 1) % p] == right[(lo - 1) % q]:
+                lo -= 1
+            return SupportConfig(left=left, core=(), right=right, lo=lo)
+        return SupportConfig(left=left, core=tuple(core), right=right, lo=lo)
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def hi(self) -> int:
+        """One past the last core position."""
+        return self.lo + len(self.core)
+
+    def value_at(self, pos: int) -> int:
+        """The state of the cell at absolute position ``pos``."""
+        if pos < self.lo:
+            return self.left[pos % len(self.left)]
+        if pos >= self.hi:
+            return self.right[pos % len(self.right)]
+        return self.core[pos - self.lo]
+
+    def window_values(self, lo: int, hi: int) -> np.ndarray:
+        """States over ``[lo, hi)`` as a ``uint8`` vector."""
+        if hi < lo:
+            raise ValueError(f"empty-reversed window [{lo}, {hi})")
+        return np.array([self.value_at(p) for p in range(lo, hi)], dtype=np.uint8)
+
+    def to_string(self, lo: int, hi: int) -> str:
+        """Render ``[lo, hi)`` as a 0/1 string."""
+        return "".join(str(self.value_at(p)) for p in range(lo, hi))
+
+    def support(self) -> tuple[int, int] | None:
+        """Extent ``(lo, hi)`` of the ones, for quiescent-background configs.
+
+        Only meaningful when both backgrounds are ``0``; raises otherwise.
+        Returns ``None`` for the all-zero configuration.
+        """
+        if self.left != (0,) or self.right != (0,):
+            raise ValueError("support() requires quiescent backgrounds")
+        ones = [self.lo + i for i, b in enumerate(self.core) if b]
+        if not ones:
+            return None
+        return ones[0], ones[-1] + 1
+
+    def ones_count(self) -> int | float:
+        """Number of ones: finite for quiescent backgrounds, else ``inf``."""
+        if 1 in self.left or 1 in self.right:
+            return float("inf")
+        return sum(self.core)
+
+    def describe(self) -> str:
+        left = "".join(map(str, self.left))
+        right = "".join(map(str, self.right))
+        core = "".join(map(str, self.core))
+        return f"...({left})* [{self.lo}] {core or 'ε'} ({right})*..."
+
+
+class InfiniteLine:
+    """Descriptor for the two-way infinite line of a given rule radius.
+
+    This is a thin façade bundling a radius with the module-level stepping
+    functions, mirroring how finite spaces pair with
+    :class:`repro.core.CellularAutomaton`.
+    """
+
+    def __init__(self, radius: int = 1):
+        if radius < 1:
+            raise ValueError(f"radius must be >= 1, got {radius}")
+        self.radius = radius
+
+    def describe(self) -> str:
+        return f"InfiniteLine(radius={self.radius})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def _rule_radius(rule: "UpdateRule", memory: bool) -> int:
+    """Radius implied by a rule's arity on the line, validating parity."""
+    k = rule.arity
+    if k is None:
+        raise ValueError(
+            "infinite-line stepping needs a fixed-arity rule; wrap symmetric "
+            "rules with .with_arity(k)"
+        )
+    if memory:
+        if k % 2 == 0 or k < 3:
+            raise ValueError(f"with-memory 1-D rules need odd arity >= 3, got {k}")
+        return (k - 1) // 2
+    if k % 2 or k < 2:
+        raise ValueError(f"memoryless 1-D rules need even arity >= 2, got {k}")
+    return k // 2
+
+
+def _window_positions(pos: int, radius: int, memory: bool) -> list[int]:
+    if memory:
+        return list(range(pos - radius, pos + radius + 1))
+    return [pos + d for d in range(-radius, radius + 1) if d != 0]
+
+
+def _step_word(rule: "UpdateRule", word: tuple[int, ...], radius: int,
+               memory: bool) -> tuple[int, ...]:
+    """Image of a purely periodic configuration: periodic with the same period."""
+    p = len(word)
+    out = []
+    for j in range(p):
+        inputs = [word[q % p] for q in _window_positions(j, radius, memory)]
+        out.append(rule.evaluate(inputs))
+    return tuple(out)
+
+
+def infinite_step(rule: "UpdateRule", config: SupportConfig,
+                  memory: bool = True) -> SupportConfig:
+    """One synchronous (parallel) step of the infinite-line CA.
+
+    Exact: the result denotes the true image of the bi-infinite word under
+    the global map, with no truncation.
+    """
+    radius = _rule_radius(rule, memory)
+    new_left = _step_word(rule, config.left, radius, memory)
+    new_right = _step_word(rule, config.right, radius, memory)
+    lo, hi = config.lo - radius, config.hi + radius
+    new_core = []
+    for pos in range(lo, hi):
+        inputs = [config.value_at(q) for q in _window_positions(pos, radius, memory)]
+        new_core.append(rule.evaluate(inputs))
+    return SupportConfig._canonical(new_left, tuple(new_core), new_right, lo)
+
+
+def infinite_update_node(rule: "UpdateRule", config: SupportConfig, pos: int,
+                         memory: bool = True) -> SupportConfig:
+    """One *sequential* step: update only the cell at absolute position ``pos``."""
+    radius = _rule_radius(rule, memory)
+    inputs = [config.value_at(q) for q in _window_positions(pos, radius, memory)]
+    new_bit = rule.evaluate(inputs)
+    if new_bit == config.value_at(pos):
+        return config
+    lo = min(config.lo, pos)
+    hi = max(config.hi, pos + 1)
+    core = [config.value_at(q) for q in range(lo, hi)]
+    core[pos - lo] = new_bit
+    return SupportConfig._canonical(config.left, tuple(core), config.right, lo)
+
+
+def infinite_orbit(
+    rule: "UpdateRule",
+    config: SupportConfig,
+    max_steps: int = 1000,
+    memory: bool = True,
+) -> tuple[int, int, list[SupportConfig]]:
+    """Iterate the parallel map and detect the orbit's eventual cycle.
+
+    Returns ``(transient_length, period, cycle_configs)``; raises
+    ``RuntimeError`` if no repeat is seen within ``max_steps`` (the orbit
+    may genuinely diverge on the infinite line, e.g. a spreading wave).
+    """
+    seen: dict[SupportConfig, int] = {config: 0}
+    trajectory = [config]
+    current = config
+    for t in range(1, max_steps + 1):
+        current = infinite_step(rule, current, memory=memory)
+        if current in seen:
+            start = seen[current]
+            return start, t - start, trajectory[start:]
+        seen[current] = t
+        trajectory.append(current)
+    raise RuntimeError(
+        f"no cycle within {max_steps} steps; orbit may be divergent"
+    )

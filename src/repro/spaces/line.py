@@ -1,0 +1,92 @@
+"""One-dimensional cellular spaces: finite lines and rings.
+
+These are the paper's primary setting.  A 1-D CA of radius ``r`` connects
+each node to the ``r`` nodes on each side; the *ring* imposes the circular
+boundary conditions under which all of the paper's finite-case results are
+stated, while the *line* reads the quiescent state beyond its two ends.
+"""
+
+from __future__ import annotations
+
+from repro.spaces.base import FiniteSpace
+from repro.util.validation import check_node_index, check_positive
+
+__all__ = ["Line", "Ring"]
+
+
+class Ring(FiniteSpace):
+    """A ring (cycle) of ``n`` nodes with interaction radius ``r``.
+
+    The canonical input window of node ``i`` is left-to-right:
+    ``(i-r, ..., i-1, [i,] i+1, ..., i+r)`` with indices mod ``n``.
+
+    Requires ``n >= 2r + 1`` so the ``2r`` neighbors of a node are distinct;
+    smaller rings would make some neighbor coincide with the node itself and
+    the radius-r rule arity would be ill-defined.
+    """
+
+    def __init__(self, n: int, radius: int = 1):
+        check_positive(n, "n")
+        check_positive(radius, "radius")
+        if n < 2 * radius + 1:
+            raise ValueError(
+                f"ring of {n} nodes cannot support radius {radius}; "
+                f"need n >= {2 * radius + 1}"
+            )
+        self._n = n
+        self.radius = radius
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        check_node_index(i, self._n)
+        r, n = self.radius, self._n
+        left = tuple((i + d) % n for d in range(-r, 0))
+        right = tuple((i + d) % n for d in range(1, r + 1))
+        return left + right
+
+    def _window_with_memory(self, i: int) -> tuple[int, ...]:
+        r, n = self.radius, self._n
+        return tuple((i + d) % n for d in range(-r, r + 1))
+
+    def describe(self) -> str:
+        return f"Ring(n={self._n}, radius={self.radius})"
+
+
+class Line(FiniteSpace):
+    """A finite path of ``n`` nodes with interaction radius ``r``.
+
+    Positions beyond the ends read the quiescent state 0 (sentinel ``-1`` in
+    the window), so every node still has a full-width window and table rules
+    of arity ``2r + 1`` apply uniformly — the standard "fixed boundary"
+    convention for truncating the paper's infinite line.
+    """
+
+    def __init__(self, n: int, radius: int = 1):
+        check_positive(n, "n")
+        check_positive(radius, "radius")
+        self._n = n
+        self.radius = radius
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def _clip(self, j: int) -> int:
+        return j if 0 <= j < self._n else self._QUIESCENT
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        check_node_index(i, self._n)
+        r = self.radius
+        left = tuple(self._clip(i + d) for d in range(-r, 0))
+        right = tuple(self._clip(i + d) for d in range(1, r + 1))
+        return left + right
+
+    def _window_with_memory(self, i: int) -> tuple[int, ...]:
+        r = self.radius
+        return tuple(self._clip(i + d) for d in range(-r, r + 1))
+
+    def describe(self) -> str:
+        return f"Line(n={self._n}, radius={self.radius})"

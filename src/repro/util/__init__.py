@@ -1,0 +1,48 @@
+"""Low-level utilities shared across the library.
+
+The modules here are deliberately dependency-light: :mod:`repro.util.bitops`
+implements the bit-packed configuration codecs the phase-space machinery is
+built on, :mod:`repro.util.orders` provides schedule-word helpers, and
+:mod:`repro.util.validation` centralises argument checking so error messages
+are uniform across the public API.
+"""
+
+from repro.util.bitops import (
+    all_configurations,
+    bits_to_int,
+    int_to_bits,
+    popcount,
+    popcount_array,
+    rotate_bits,
+)
+from repro.util.orders import (
+    all_words,
+    cyclic_word,
+    is_b_fair,
+    is_permutation_word,
+    random_fair_stream,
+    sweep_stream,
+)
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_state_vector,
+)
+
+__all__ = [
+    "all_configurations",
+    "bits_to_int",
+    "int_to_bits",
+    "popcount",
+    "popcount_array",
+    "rotate_bits",
+    "all_words",
+    "cyclic_word",
+    "is_b_fair",
+    "is_permutation_word",
+    "random_fair_stream",
+    "sweep_stream",
+    "check_positive",
+    "check_probability",
+    "check_state_vector",
+]

@@ -1,0 +1,165 @@
+"""Bit-packed configuration codecs.
+
+A global configuration of an ``n``-node Boolean automaton is a vector in
+``{0, 1}^n``.  Phase-space algorithms enumerate all ``2**n`` of them, so we
+represent configurations both ways:
+
+* as ``numpy.uint8`` vectors (the simulation engines' working format), and
+* as Python/NumPy integers whose bit ``i`` is the state of node ``i``
+  (the phase-space format: a configuration is an index into dense arrays).
+
+The little-endian convention (node 0 -> bit 0) is used everywhere in the
+library; :func:`bits_to_int` and :func:`int_to_bits` are the only places the
+convention is spelled out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "bits_to_int",
+    "int_to_bits",
+    "all_configurations",
+    "popcount",
+    "popcount_array",
+    "rotate_bits",
+    "reverse_bits",
+    "config_str",
+    "parse_config",
+]
+
+
+def bits_to_int(bits: Sequence[int] | np.ndarray) -> int:
+    """Pack a 0/1 vector into an integer, node ``i`` -> bit ``i``.
+
+    >>> bits_to_int([1, 0, 1])
+    5
+    """
+    value = 0
+    for i, b in enumerate(bits):
+        if b:
+            value |= 1 << i
+    return value
+
+
+def int_to_bits(value: int, n: int) -> np.ndarray:
+    """Unpack an integer into a length-``n`` ``uint8`` vector.
+
+    >>> int_to_bits(5, 4)
+    array([1, 0, 1, 0], dtype=uint8)
+    """
+    if value < 0:
+        raise ValueError(f"configuration code must be non-negative, got {value}")
+    if n < 0:
+        raise ValueError(f"number of nodes must be non-negative, got {n}")
+    if value >> n:
+        raise ValueError(f"code {value} does not fit in {n} bits")
+    out = np.empty(n, dtype=np.uint8)
+    for i in range(n):
+        out[i] = (value >> i) & 1
+    return out
+
+
+def all_configurations(n: int) -> np.ndarray:
+    """Matrix of all ``2**n`` configurations, shape ``(2**n, n)``, ``uint8``.
+
+    Row ``c`` is ``int_to_bits(c, n)``; the row index doubles as the packed
+    configuration code.  Memory is ``2**n * n`` bytes, so this is intended
+    for exhaustive phase-space work at ``n <= ~22``.
+    """
+    if n < 0:
+        raise ValueError(f"number of nodes must be non-negative, got {n}")
+    if n > 26:
+        raise ValueError(
+            f"refusing to materialise 2**{n} configurations; "
+            "use streaming APIs for large n"
+        )
+    codes = np.arange(1 << n, dtype=np.uint32 if n <= 31 else np.uint64)
+    return ((codes[:, None] >> np.arange(n, dtype=codes.dtype)) & 1).astype(np.uint8)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"popcount of negative value {value}")
+    return int(value).bit_count()
+
+
+def popcount_array(codes: np.ndarray) -> np.ndarray:
+    """Vectorized popcount over an integer array.
+
+    Uses the SWAR reduction on 64-bit lanes, which is branch-free and keeps
+    everything inside NumPy (no Python-level loop over elements).
+    """
+    v = codes.astype(np.uint64, copy=True)
+    v = v - ((v >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    v = (v & np.uint64(0x3333333333333333)) + (
+        (v >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    v = (v + (v >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((v * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.int64)
+
+
+def rotate_bits(value: int, n: int, shift: int) -> int:
+    """Cyclically rotate the low ``n`` bits of ``value`` left by ``shift``.
+
+    Rotating a ring configuration corresponds to the ring's translation
+    symmetry; phase-space code uses this to quotient orbits by rotation.
+    """
+    if n <= 0:
+        raise ValueError(f"bit width must be positive, got {n}")
+    if value >> n:
+        raise ValueError(f"code {value} does not fit in {n} bits")
+    shift %= n
+    mask = (1 << n) - 1
+    return ((value << shift) | (value >> (n - shift))) & mask
+
+
+def reverse_bits(value: int, n: int) -> int:
+    """Reverse the low ``n`` bits of ``value`` (the ring's mirror symmetry)."""
+    if n <= 0:
+        raise ValueError(f"bit width must be positive, got {n}")
+    if value >> n:
+        raise ValueError(f"code {value} does not fit in {n} bits")
+    out = 0
+    for i in range(n):
+        if (value >> i) & 1:
+            out |= 1 << (n - 1 - i)
+    return out
+
+
+def config_str(value: int, n: int) -> str:
+    """Render a packed configuration as a left-to-right 0/1 string.
+
+    Node 0 is the leftmost character, matching the paper's notation for
+    configurations such as ``...010101...``.
+
+    >>> config_str(5, 4)
+    '1010'
+    """
+    return "".join("1" if (value >> i) & 1 else "0" for i in range(n))
+
+
+def parse_config(text: str | Iterable[int]) -> np.ndarray:
+    """Parse a 0/1 string (or iterable of bits) into a ``uint8`` vector.
+
+    >>> parse_config("0110")
+    array([0, 1, 1, 0], dtype=uint8)
+    """
+    if isinstance(text, str):
+        bits = []
+        for ch in text:
+            if ch in "01":
+                bits.append(int(ch))
+            elif ch in " _,":
+                continue
+            else:
+                raise ValueError(f"invalid character {ch!r} in configuration string")
+        return np.array(bits, dtype=np.uint8)
+    arr = np.asarray(list(text), dtype=np.uint8)
+    if arr.ndim != 1 or not np.all((arr == 0) | (arr == 1)):
+        raise ValueError("configuration must be a flat 0/1 sequence")
+    return arr

@@ -1,0 +1,141 @@
+"""Schedule-word utilities for sequential automata.
+
+A *schedule word* is a finite or infinite sequence of node indices saying
+which node updates at each sequential step.  The paper's convergence claims
+for threshold SCA require only that the word be *fair*: every node keeps
+getting turns.  For finite words we use the quantitative version from the
+paper's footnote 2 — a fixed upper bound ``B`` on the gap between successive
+occurrences of any node (*B-fairness*).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "is_permutation_word",
+    "is_b_fair",
+    "fairness_bound",
+    "cyclic_word",
+    "all_words",
+    "all_permutations",
+    "sweep_stream",
+    "random_fair_stream",
+    "random_single_stream",
+]
+
+
+def is_permutation_word(word: Sequence[int], n: int) -> bool:
+    """True if ``word`` is a permutation of ``0..n-1``."""
+    return len(word) == n and sorted(word) == list(range(n))
+
+
+def is_b_fair(word: Sequence[int], n: int, bound: int) -> bool:
+    """Check B-fairness of a finite word.
+
+    The word is ``bound``-fair for ``n`` nodes if every window of ``bound``
+    consecutive letters contains every node at least once.  Windows that run
+    past the end of the word are not checked (the word is treated as a finite
+    prefix of an infinite schedule).
+    """
+    if bound <= 0:
+        raise ValueError(f"fairness bound must be positive, got {bound}")
+    if bound < n:
+        return False  # a window shorter than n letters cannot contain n nodes
+    word = list(word)
+    full = set(range(n))
+    for start in range(0, len(word) - bound + 1):
+        if set(word[start : start + bound]) != full:
+            return False
+    return True
+
+
+def fairness_bound(word: Sequence[int], n: int) -> int | None:
+    """Smallest ``B`` such that the word is B-fair, or ``None`` if unfair.
+
+    A finite word gets the bound implied by treating it as one period of a
+    cyclic schedule: the maximum gap between consecutive occurrences of the
+    same node, wrapping around.
+    """
+    word = list(word)
+    if not word:
+        return None
+    positions: dict[int, list[int]] = {i: [] for i in range(n)}
+    for t, node in enumerate(word):
+        if node not in positions:
+            raise ValueError(f"node {node} out of range for n={n}")
+        positions[node].append(t)
+    worst = 0
+    length = len(word)
+    for occ in positions.values():
+        if not occ:
+            return None
+        gaps = [occ[0] + length - occ[-1]]
+        gaps.extend(b - a for a, b in zip(occ, occ[1:]))
+        worst = max(worst, max(gaps))
+    return worst
+
+
+def cyclic_word(word: Sequence[int], repetitions: int) -> list[int]:
+    """Concatenate ``repetitions`` copies of a finite word."""
+    if repetitions < 0:
+        raise ValueError(f"repetitions must be non-negative, got {repetitions}")
+    return list(word) * repetitions
+
+
+def all_words(n: int, length: int) -> Iterator[tuple[int, ...]]:
+    """All words of the given length over the alphabet ``0..n-1``.
+
+    The count is ``n**length``; intended for exhaustive small-case proofs.
+    """
+    return itertools.product(range(n), repeat=length)
+
+
+def all_permutations(n: int) -> Iterator[tuple[int, ...]]:
+    """All permutations of ``0..n-1`` (there are ``n!``)."""
+    return itertools.permutations(range(n))
+
+
+def sweep_stream(n: int, perm: Sequence[int] | None = None) -> Iterator[int]:
+    """Infinite schedule repeating one permutation forever.
+
+    This is the canonical fair schedule (B-fair with ``B = 2n - 1``) used by
+    the sequential-dynamical-systems literature [Barrett et al.].
+    """
+    order = list(range(n)) if perm is None else list(perm)
+    if not is_permutation_word(order, n):
+        raise ValueError(f"{order} is not a permutation of 0..{n - 1}")
+    return itertools.cycle(order)
+
+
+def random_fair_stream(n: int, rng: np.random.Generator) -> Iterator[int]:
+    """Infinite fair schedule: an i.i.d. sequence of fresh random sweeps.
+
+    Each block of ``n`` letters is a uniformly random permutation, so the
+    stream is ``(2n - 1)``-fair with certainty — unlike uniform single-node
+    sampling, which is only fair with probability one.
+    """
+
+    def gen() -> Iterator[int]:
+        while True:
+            yield from rng.permutation(n).tolist()
+
+    return gen()
+
+
+def random_single_stream(n: int, rng: np.random.Generator) -> Iterator[int]:
+    """Infinite schedule of i.i.d. uniform node choices.
+
+    This is the classical 'fully asynchronous' update discipline of
+    Ingerson & Buvel [10]; it is almost-surely fair but not B-fair for any
+    fixed B.
+    """
+
+    def gen() -> Iterator[int]:
+        while True:
+            yield int(rng.integers(n))
+
+    return gen()

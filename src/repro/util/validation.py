@@ -1,0 +1,66 @@
+"""Uniform argument validation helpers.
+
+Centralising the checks keeps error messages consistent and lets the hot
+paths validate once at the boundary instead of deep inside vectorized loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_state_vector",
+    "check_node_index",
+]
+
+
+def check_positive(value: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``value`` is a positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative(value: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``value`` is a non-negative integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    p = float(value)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return p
+
+
+def check_state_vector(state, n: int) -> np.ndarray:
+    """Coerce ``state`` to a length-``n`` ``uint8`` 0/1 vector.
+
+    Accepts any 0/1 sequence; always returns a fresh contiguous array so
+    callers may mutate the result without aliasing the input.
+    """
+    arr = np.array(state, dtype=np.uint8, copy=True).ravel()
+    if arr.size != n:
+        raise ValueError(f"state has {arr.size} entries, expected {n}")
+    if not np.all(arr <= 1):
+        raise ValueError("state entries must be 0 or 1")
+    return arr
+
+
+def check_node_index(i: int, n: int) -> int:
+    """Raise unless ``i`` is a valid node index for an ``n``-node automaton."""
+    if not isinstance(i, (int, np.integer)) or isinstance(i, bool):
+        raise TypeError(f"node index must be an integer, got {type(i).__name__}")
+    if not 0 <= i < n:
+        raise ValueError(f"node index {i} out of range for {n} nodes")
+    return int(i)

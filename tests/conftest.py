@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import MajorityRule, XorRule
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for randomized tests."""
+    return np.random.default_rng(20040426)
+
+
+@pytest.fixture
+def majority_ring8() -> CellularAutomaton:
+    """The workhorse automaton: MAJORITY with memory on an 8-ring."""
+    return CellularAutomaton(Ring(8, radius=1), MajorityRule(), memory=True)
+
+
+@pytest.fixture
+def xor_two_node() -> CellularAutomaton:
+    """The paper's Figure 1 automaton: two-node XOR with memory."""
+    return CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule(), memory=True)
+
+
+def random_states(rng: np.random.Generator, count: int, n: int) -> np.ndarray:
+    """Matrix of random 0/1 states, shape (count, n)."""
+    return rng.integers(0, 2, size=(count, n)).astype(np.uint8)

@@ -1,0 +1,199 @@
+"""Tests for the asynchronous CA simulator (repro.aca)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.aca.aca import AsyncCA
+from repro.aca.channels import (
+    AdversarialDelay,
+    FixedDelay,
+    UniformRandomDelay,
+    ZeroDelay,
+)
+from repro.aca.events import Event, EventQueue
+from repro.aca.subsumption import (
+    aca_exceeds_interleavings,
+    replay_parallel,
+    replay_sequential,
+)
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import MajorityRule, XorRule
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(2.0, "b")
+        q.push(1.0, "a")
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+    def test_tie_break_by_insertion(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.push(3.5, "x")
+        q.pop()
+        assert q.now == 3.5
+
+    def test_no_scheduling_into_past(self):
+        q = EventQueue()
+        q.push(5.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(4.0, "y")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, "x")
+        assert q.peek_time() == 7.0
+
+    def test_event_ordering_dataclass(self):
+        assert Event(1.0, 0, "a") < Event(1.0, 1, "b") < Event(2.0, 0, "c")
+
+
+class TestDelayModels:
+    def test_zero(self):
+        assert ZeroDelay().checked_delay(0, 1, 5.0) == 0.0
+
+    def test_fixed(self):
+        assert FixedDelay(2.5).checked_delay(0, 1, 0.0) == 2.5
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-1.0)
+
+    def test_uniform_in_range(self):
+        model = UniformRandomDelay(1.0, 2.0, seed=3)
+        for _ in range(50):
+            assert 1.0 <= model.checked_delay(0, 1, 0.0) <= 2.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformRandomDelay(2.0, 1.0)
+
+    def test_adversarial_callback(self):
+        model = AdversarialDelay(lambda s, d, t: 1.0 if s == 0 else 0.0)
+        assert model.checked_delay(0, 1, 0.0) == 1.0
+        assert model.checked_delay(1, 0, 0.0) == 0.0
+
+    def test_contract_enforced(self):
+        model = AdversarialDelay(lambda s, d, t: -1.0)
+        with pytest.raises(ValueError):
+            model.checked_delay(0, 1, 0.0)
+
+
+class TestAsyncCA:
+    def test_initial_views_consistent(self):
+        space = Ring(5)
+        init = np.array([1, 0, 1, 0, 0], dtype=np.uint8)
+        aca = AsyncCA(space, MajorityRule(), init)
+        assert aca.views[0] == {4: 0, 1: 0}
+        assert aca.view_staleness() == 0
+
+    def test_single_update_changes_state_and_sends(self):
+        space = Ring(5)
+        init = np.array([1, 0, 1, 0, 0], dtype=np.uint8)
+        aca = AsyncCA(space, MajorityRule(), init, delays=FixedDelay(1.0))
+        aca.schedule_update(1.0, 1)  # window (1, 0, 1) -> 1
+        aca.run_until(1.0)
+        assert aca.snapshot()[1] == 1
+        # Announcements are still in flight: neighbors' views are stale.
+        assert aca.view_staleness() == 2
+        aca.run()
+        assert aca.view_staleness() == 0
+
+    def test_noop_update_sends_nothing(self):
+        space = Ring(5)
+        aca = AsyncCA(space, MajorityRule(), np.zeros(5, dtype=np.uint8))
+        aca.schedule_update(1.0, 0)
+        aca.run()
+        assert aca.deliveries == 0
+        assert aca.trace == []
+
+    def test_trace_records_changes(self):
+        space = Ring(5)
+        init = np.array([1, 0, 1, 0, 0], dtype=np.uint8)
+        aca = AsyncCA(space, MajorityRule(), init)
+        aca.schedule_update(1.0, 1)
+        aca.run()
+        assert len(aca.trace) == 1
+        entry = aca.trace[0]
+        assert (entry.node, entry.old, entry.new) == (1, 0, 1)
+
+    def test_event_budget_guard(self):
+        space = Ring(5)
+        aca = AsyncCA(space, MajorityRule(), np.zeros(5, dtype=np.uint8))
+        aca.schedule_updates((float(t), t % 5) for t in range(1, 20))
+        with pytest.raises(RuntimeError):
+            aca.run(max_events=3)
+
+    def test_schedule_rejects_bad_node(self):
+        aca = AsyncCA(Ring(5), MajorityRule(), np.zeros(5, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            aca.schedule_update(1.0, 9)
+
+    def test_synchronous_rounds_helper(self):
+        space = Ring(6)
+        alt = (np.arange(6) % 2).astype(np.uint8)
+        aca = AsyncCA(space, MajorityRule(), alt, delays=FixedDelay(0.5))
+        aca.schedule_synchronous_rounds([1.0, 2.0])
+        aca.run()
+        np.testing.assert_array_equal(aca.snapshot(), alt)  # two-cycle replay
+
+
+class TestSubsumption:
+    def test_parallel_replay_majority(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x0 = rng.integers(0, 2, 10).astype(np.uint8)
+            a, b = replay_parallel(ca, x0, 6)
+            np.testing.assert_array_equal(a, b)
+
+    def test_parallel_replay_xor(self):
+        ca = CellularAutomaton(Ring(7), XorRule())
+        x0 = np.array([1, 0, 0, 1, 0, 1, 1], dtype=np.uint8)
+        a, b = replay_parallel(ca, x0, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sequential_replay_random_words(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x0 = rng.integers(0, 2, 8).astype(np.uint8)
+            word = rng.integers(0, 8, size=30).tolist()
+            a, b = replay_sequential(ca, x0, word)
+            np.testing.assert_array_equal(a, b)
+
+    def test_aca_exceeds(self):
+        rep = aca_exceeds_interleavings()
+        assert rep.exceeded
+        assert rep.reached == 0  # the parallel sink 00
+        assert 0 not in rep.sequentially_reachable
+
+    def test_stale_views_emulate_parallel_on_xor_pair(self):
+        # Direct construction of the exceed witness, step by step.
+        space = GraphSpace(nx.path_graph(2))
+        aca = AsyncCA(
+            space, XorRule(), np.array([1, 1], dtype=np.uint8),
+            delays=FixedDelay(10.0),
+        )
+        aca.schedule_update(1.0, 0)
+        aca.schedule_update(2.0, 1)
+        aca.run_until(2.0)
+        np.testing.assert_array_equal(aca.snapshot(), [0, 0])
+        assert aca.view_staleness() == 2  # both views are stale

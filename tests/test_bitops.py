@@ -1,0 +1,155 @@
+"""Unit and property tests for repro.util.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    all_configurations,
+    bits_to_int,
+    config_str,
+    int_to_bits,
+    parse_config,
+    popcount,
+    popcount_array,
+    reverse_bits,
+    rotate_bits,
+)
+
+
+class TestBitsToInt:
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+    def test_single_bits(self):
+        assert bits_to_int([1]) == 1
+        assert bits_to_int([0, 1]) == 2
+        assert bits_to_int([0, 0, 1]) == 4
+
+    def test_little_endian_convention(self):
+        # Node 0 is bit 0: "110" -> 1 + 2 = 3.
+        assert bits_to_int([1, 1, 0]) == 3
+
+    def test_accepts_numpy(self):
+        assert bits_to_int(np.array([1, 0, 1], dtype=np.uint8)) == 5
+
+
+class TestIntToBits:
+    def test_roundtrip_small(self):
+        for n in range(1, 9):
+            for code in range(1 << n):
+                assert bits_to_int(int_to_bits(code, n)) == code
+
+    def test_dtype(self):
+        assert int_to_bits(3, 4).dtype == np.uint8
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_roundtrip_property(self, code):
+        assert bits_to_int(int_to_bits(code, 20)) == code
+
+
+class TestAllConfigurations:
+    def test_shape(self):
+        mat = all_configurations(5)
+        assert mat.shape == (32, 5)
+
+    def test_rows_are_codes(self):
+        mat = all_configurations(4)
+        for code in range(16):
+            assert bits_to_int(mat[code]) == code
+
+    def test_zero_nodes(self):
+        mat = all_configurations(0)
+        assert mat.shape == (1, 0)
+
+    def test_refuses_huge(self):
+        with pytest.raises(ValueError):
+            all_configurations(30)
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 63) | 1) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**62), min_size=1,
+                    max_size=50))
+    def test_vectorized_matches_scalar(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = [popcount(v) for v in values]
+        assert popcount_array(arr).tolist() == expected
+
+
+class TestRotateBits:
+    def test_identity(self):
+        assert rotate_bits(0b0110, 4, 0) == 0b0110
+
+    def test_basic_rotation(self):
+        # bit i moves to bit i+1 (mod 4)
+        assert rotate_bits(0b0001, 4, 1) == 0b0010
+        assert rotate_bits(0b1000, 4, 1) == 0b0001
+
+    def test_full_cycle(self):
+        assert rotate_bits(0b1011, 4, 4) == 0b1011
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=16))
+    def test_inverse(self, value, shift):
+        assert rotate_bits(rotate_bits(value, 8, shift), 8, -shift) == value
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            rotate_bits(16, 4, 1)
+
+
+class TestReverseBits:
+    def test_basic(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 10), 10) == value
+
+
+class TestConfigStr:
+    def test_rendering(self):
+        assert config_str(0b101, 4) == "1010"
+        assert config_str(0, 3) == "000"
+
+    def test_roundtrip_with_parse(self):
+        for code in range(32):
+            s = config_str(code, 5)
+            assert bits_to_int(parse_config(s)) == code
+
+
+class TestParseConfig:
+    def test_string(self):
+        np.testing.assert_array_equal(parse_config("0110"), [0, 1, 1, 0])
+
+    def test_separators_ignored(self):
+        np.testing.assert_array_equal(parse_config("01 10"), [0, 1, 1, 0])
+
+    def test_iterable(self):
+        np.testing.assert_array_equal(parse_config([1, 0]), [1, 0])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_config("01a0")
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            parse_config([0, 2, 1])

@@ -1,0 +1,128 @@
+"""Tests for block-sequential global maps (repro.core.block_maps)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.block_maps import (
+    block_sequential_map,
+    check_block_synchrony,
+    ordered_partitions,
+    structured_partitions,
+)
+from repro.core.evolution import run_schedule
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, XorRule
+from repro.core.schedules import BlockSequential
+from repro.spaces.line import Ring
+
+
+def fubini(n: int) -> int:
+    """Ordered Bell numbers, for checking the enumerator's count."""
+    total = 0
+    for k in range(n + 1):
+        total += sum(
+            (-1) ** (k - j) * math.comb(k, j) * j**n for j in range(k + 1)
+        )
+    # The standard formula sum_k sum_j ... double counts; use recurrence:
+    a = [1]
+    for m in range(1, n + 1):
+        a.append(sum(math.comb(m, k) * a[m - k] for k in range(1, m + 1)))
+    return a[n]
+
+
+class TestEnumerator:
+    @pytest.mark.parametrize("n,count", [(1, 1), (2, 3), (3, 13), (4, 75),
+                                         (5, 541), (6, 4683)])
+    def test_fubini_counts(self, n, count):
+        assert sum(1 for _ in ordered_partitions(n)) == count
+        assert fubini(n) == count
+
+    def test_partitions_are_partitions(self):
+        for part in ordered_partitions(4):
+            flat = sorted(i for b in part for i in b)
+            assert flat == [0, 1, 2, 3]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(ordered_partitions(-1))
+
+
+class TestBlockMap:
+    def test_full_block_is_synchronous_map(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        succ = block_sequential_map(ca, [list(range(6))])
+        np.testing.assert_array_equal(succ, ca.step_all())
+
+    def test_singletons_are_identity_sweep(self):
+        ca = CellularAutomaton(Ring(5), MajorityRule())
+        succ = block_sequential_map(ca, [[i] for i in range(5)])
+        from repro.sds.sds import SDS
+
+        sds = SDS(Ring(5), MajorityRule())
+        np.testing.assert_array_equal(succ, sds.global_map)
+
+    def test_agrees_with_schedule_driver(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        partition = [[0, 3], [1, 4], [2, 5]]
+        succ = block_sequential_map(ca, partition)
+        sched = BlockSequential(partition)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 2, 6).astype(np.uint8)
+            states = list(run_schedule(ca, x, sched, len(partition)))
+            np.testing.assert_array_equal(
+                states[-1], ca.unpack(int(succ[ca.pack(x)]))
+            )
+
+    def test_rejects_non_partition(self):
+        ca = CellularAutomaton(Ring(4, radius=1), MajorityRule())
+        with pytest.raises(ValueError):
+            block_sequential_map(ca, [[0, 1], [1, 2, 3]])
+
+    def test_xor_block_map_differs_by_order(self):
+        ca = CellularAutomaton(Ring(4, radius=1), XorRule())
+        a = block_sequential_map(ca, [[0, 1], [2, 3]])
+        b = block_sequential_map(ca, [[2, 3], [0, 1]])
+        assert not np.array_equal(a, b)
+
+
+class TestStructuredPartitions:
+    def test_families_are_partitions(self):
+        for name, part in structured_partitions(8).items():
+            flat = sorted(i for b in part for i in b)
+            assert flat == list(range(8)), name
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            structured_partitions(7)
+
+
+class TestSynchronyThreshold:
+    def test_only_full_sync_cycles_exhaustive_n5(self):
+        ca = CellularAutomaton(Ring(5), MajorityRule())
+        cyclic = []
+        for part in ordered_partitions(5):
+            succ = block_sequential_map(ca, part)
+            if PhaseSpace(succ, 5).has_proper_cycle():
+                cyclic.append(part)
+        # Odd ring: even full synchrony has no cycle (no alternating config).
+        assert cyclic == []
+
+    def test_only_full_sync_cycles_exhaustive_n4(self):
+        ca = CellularAutomaton(Ring(4, radius=1), MajorityRule())
+        cyclic = []
+        for part in ordered_partitions(4):
+            succ = block_sequential_map(ca, part)
+            if PhaseSpace(succ, 4).has_proper_cycle():
+                cyclic.append(tuple(tuple(b) for b in part))
+        assert cyclic == [((0, 1, 2, 3),)]
+
+    def test_report_holds(self):
+        report = check_block_synchrony(exhaustive_n=4, structured_sizes=(8,))
+        assert report.holds
+        assert report.details["ring4_cyclic_partitions"] == 1
+        assert report.details["ring8_full-sync"] is True
+        assert report.details["ring8_straggler-last"] is False

@@ -1,0 +1,90 @@
+"""Tests for the phase-space census machinery (repro.analysis.census)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.census import (
+    CensusRow,
+    find_linear_recurrence,
+    has_isolated_run,
+    majority_ring_census,
+    run_lengths_cyclic,
+)
+
+
+class TestRunLengths:
+    def test_uniform(self):
+        assert run_lengths_cyclic(np.array([1, 1, 1])) == [3]
+        assert run_lengths_cyclic(np.array([0, 0])) == [2]
+
+    def test_alternating(self):
+        assert run_lengths_cyclic(np.array([0, 1, 0, 1])) == [1, 1, 1, 1]
+
+    def test_wraparound_run(self):
+        # 1 1 0 0 1: the ones wrap around -> runs 3 (ones) and 2 (zeros).
+        assert sorted(run_lengths_cyclic(np.array([1, 1, 0, 0, 1]))) == [2, 3]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            run_lengths_cyclic(np.array([]))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=16))
+    @settings(max_examples=50)
+    def test_lengths_sum_to_n(self, bits):
+        assert sum(run_lengths_cyclic(np.array(bits))) == len(bits)
+
+
+class TestIsolatedRuns:
+    def test_detection(self):
+        assert has_isolated_run(np.array([0, 1, 0, 0]))
+        assert not has_isolated_run(np.array([0, 0, 1, 1]))
+        assert not has_isolated_run(np.array([1, 1, 1]))
+
+
+class TestRecurrenceFitting:
+    def test_fibonacci(self):
+        fib = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+        rec = find_linear_recurrence(fib)
+        assert rec is not None
+        order, coeffs = rec
+        assert order == 2 and [int(c) for c in coeffs] == [1, 1]
+
+    def test_geometric(self):
+        rec = find_linear_recurrence([3, 6, 12, 24, 48, 96])
+        assert rec is not None
+        assert rec[0] == 1 and int(rec[1][0]) == 2
+
+    def test_no_recurrence_for_noise(self):
+        # Factorials satisfy no fixed-order constant-coefficient recurrence.
+        seq = [1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800,
+               39916800, 479001600, 6227020800]
+        assert find_linear_recurrence(seq, max_order=3) is None
+
+    def test_order4_majority_fp_recurrence(self):
+        fps = [2, 6, 12, 20, 30, 46, 74, 122, 200, 324, 522, 842]
+        rec = find_linear_recurrence(fps)
+        assert rec is not None
+        order, coeffs = rec
+        assert order == 4
+        assert [int(c) for c in coeffs] == [2, -1, 0, 1]
+
+    def test_short_sequences_return_none(self):
+        assert find_linear_recurrence([5], max_order=4) is None
+
+
+class TestCensus:
+    def test_rows_and_characterisation(self):
+        rows = majority_ring_census(range(3, 10))
+        assert [r.fixed_points for r in rows] == [2, 6, 12, 20, 30, 46, 74]
+        assert all(isinstance(r, CensusRow) for r in rows)
+
+    def test_cycle_config_parity(self):
+        rows = majority_ring_census(range(3, 11))
+        for r in rows:
+            assert r.cycle_configs == (2 if r.n % 2 == 0 else 0)
+
+    def test_garden_fraction_bounds(self):
+        for r in majority_ring_census((8, 12)):
+            assert 0 < r.garden_fraction < 1

@@ -1,0 +1,178 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_experiments(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for k in range(1, 17):
+            assert f"E{k} " in text or f"E{k} " in text or f"E{k}  " in text
+
+
+class TestRun:
+    def test_run_single(self):
+        code, text = run_cli("run", "E1")
+        assert code == 0
+        assert "HOLDS" in text
+
+    def test_run_multiple(self):
+        code, text = run_cli("run", "E1", "E3")
+        assert code == 0
+        assert text.count("HOLDS") == 2
+
+    def test_run_json(self):
+        code, text = run_cli("run", "E1", "--json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["E1"]["holds"] is True
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_cli("run", "E42")
+
+
+class TestSimulate:
+    def test_parallel_raster(self):
+        code, text = run_cli(
+            "simulate", "--space", "ring", "--n", "12", "--steps", "5",
+            "--init", "alternating",
+        )
+        assert code == 0
+        lines = text.splitlines()
+        assert "CA[Ring(n=12" in lines[0]
+        # Alternating under parallel majority flips every step.
+        assert ".#.#.#.#.#.#" in text and "#.#.#.#.#.#." in text
+
+    def test_explicit_init_string(self):
+        code, text = run_cli(
+            "simulate", "--n", "8", "--steps", "2", "--init", "11110000"
+        )
+        assert code == 0
+        assert "####...." in text
+
+    def test_init_length_mismatch(self):
+        with pytest.raises(SystemExit):
+            run_cli("simulate", "--n", "8", "--init", "101")
+
+    def test_wolfram_rule(self):
+        code, text = run_cli(
+            "simulate", "--n", "16", "--rule", "wolfram", "--wolfram", "90",
+            "--steps", "4", "--init", "one",
+        )
+        assert code == 0
+        assert "Wolfram" in text
+
+    def test_wolfram_requires_number(self):
+        with pytest.raises(SystemExit):
+            run_cli("simulate", "--rule", "wolfram")
+
+    def test_threshold_requires_value(self):
+        with pytest.raises(SystemExit):
+            run_cli("simulate", "--rule", "threshold")
+
+    def test_sequential_schedule(self):
+        code, text = run_cli(
+            "simulate", "--n", "10", "--schedule", "random-sweeps",
+            "--steps", "30", "--seed", "5",
+        )
+        assert code == 0
+        assert "RandomPermutationSweeps" in text
+
+    def test_hypercube_space(self):
+        code, text = run_cli(
+            "simulate", "--space", "hypercube", "--dimension", "3",
+            "--steps", "3",
+        )
+        assert code == 0
+        assert "Hypercube" in text
+
+
+class TestPhaseSpace:
+    def test_parallel_summary(self):
+        code, text = run_cli("phase-space", "--n", "8")
+        assert code == 0
+        assert "proper_cycles: 1" in text
+
+    def test_sequential_summary(self):
+        code, text = run_cli("phase-space", "--n", "6", "--mode", "sequential")
+        assert code == 0
+        assert "has_proper_cycle: False" in text
+
+    def test_dot_export(self, tmp_path):
+        dot_file = tmp_path / "ps.dot"
+        code, text = run_cli(
+            "phase-space", "--n", "4", "--rule", "xor", "--dot", str(dot_file)
+        )
+        assert code == 0
+        content = dot_file.read_text()
+        assert content.startswith("digraph")
+
+    def test_too_large_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("phase-space", "--n", "24")
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--n", "9"])
+        assert args.command == "simulate" and args.n == 9
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCensusCommand:
+    def test_table_and_recurrence(self):
+        code, text = run_cli("census", "--min-n", "3", "--max-n", "8")
+        assert code == 0
+        assert "fixed-point recurrence" in text
+        assert " 46 " in text  # n=8 fixed points
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(SystemExit):
+            run_cli("census", "--min-n", "10", "--max-n", "4")
+
+
+class TestSurveyCommand:
+    def test_summary(self):
+        code, text = run_cli("survey", "--max-ring", "6")
+        assert code == 0
+        assert "monotone: 20" in text
+        assert "theorem1_violations: []" in text
+
+    def test_full_table(self):
+        code, text = run_cli("survey", "--max-ring", "6", "--full-table")
+        assert code == 0
+        assert text.count("\n") > 256
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self):
+        code, text = run_cli("report")
+        assert code == 0
+        assert "Measured reproduction report" in text
+        assert "22 / 22 experiments hold" in text
+        assert "**FAILS**" not in text
+
+    def test_report_to_file(self, tmp_path):
+        target = tmp_path / "report.md"
+        code, text = run_cli("report", "--output", str(target))
+        assert code == 0
+        assert "wrote" in text
+        content = target.read_text()
+        assert content.count("## E") == 22

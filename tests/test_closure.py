@@ -1,0 +1,91 @@
+"""Tests for the all-pairs reachability closure (repro.core.closure)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.closure import ReachabilityClosure
+from repro.core.interleaving import interleaving_capture_report
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.rules import MajorityRule, WolframRule, XorRule
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+@pytest.fixture(scope="module")
+def majority8_closure():
+    ca = CellularAutomaton(Ring(8), MajorityRule())
+    nps = NondetPhaseSpace.from_automaton(ca)
+    return nps, ReachabilityClosure(nps)
+
+
+class TestAgainstBFS:
+    def test_random_pairs_agree(self, majority8_closure):
+        nps, closure = majority8_closure
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            a, b = int(rng.integers(256)), int(rng.integers(256))
+            assert closure.can_reach(a, b) == nps.can_reach(a, b)
+
+    def test_reachable_counts_agree(self, majority8_closure):
+        nps, closure = majority8_closure
+        for code in range(0, 256, 17):
+            assert closure.reachable_count(code) == len(
+                nps.reachable_from(code)
+            )
+
+    def test_cyclic_graph_closure(self):
+        # XOR has SCCs: the closure must treat whole components correctly.
+        ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        nps = NondetPhaseSpace.from_automaton(ca)
+        closure = ReachabilityClosure(nps)
+        # Inside the cycling component {01, 10, 11} everything reaches
+        # everything; nothing reaches 00.
+        for a in (1, 2, 3):
+            for b in (1, 2, 3):
+                assert closure.can_reach(a, b)
+            assert not closure.can_reach(a, 0)
+        assert closure.can_reach(0, 0)
+
+    def test_rule110_closure_matches_bfs(self):
+        ca = CellularAutomaton(Ring(7), WolframRule(110))
+        nps = NondetPhaseSpace.from_automaton(ca)
+        closure = ReachabilityClosure(nps)
+        rng = np.random.default_rng(3)
+        for _ in range(150):
+            a, b = int(rng.integers(128)), int(rng.integers(128))
+            assert closure.can_reach(a, b) == nps.can_reach(a, b)
+
+
+class TestGuards:
+    def test_size_cap(self):
+        ca = CellularAutomaton(Ring(16), MajorityRule())
+        nps = NondetPhaseSpace.from_automaton(ca)
+        with pytest.raises(ValueError):
+            ReachabilityClosure(nps)
+
+    def test_can_reach_all(self, majority8_closure):
+        _, closure = majority8_closure
+        # A lone 1 dies: it reaches both itself and the all-zero FP.
+        assert closure.can_reach_all(0b00000001, [0, 0b00000001])
+        assert not closure.can_reach_all(0, [0, 1])
+
+
+class TestReportUsesClosure:
+    def test_report_identical_with_and_without_closure(self, monkeypatch):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        with_closure = interleaving_capture_report(ca)
+
+        import repro.core.closure as closure_mod
+
+        monkeypatch.setattr(closure_mod, "_MAX_NODES", 0)  # force BFS path
+        without_closure = interleaving_capture_report(ca)
+        assert with_closure == without_closure
+
+    def test_report_scales_to_n12(self):
+        ca = CellularAutomaton(Ring(12), MajorityRule())
+        rep = interleaving_capture_report(ca)
+        assert rep.total_configs == 4096
+        assert not rep.interleavings_capture_concurrency
+        assert rep.parallel_two_cycle_configs == 2

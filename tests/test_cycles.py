@@ -1,0 +1,118 @@
+"""Tests for functional-graph machinery (repro.analysis.cycles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cycles import (
+    FunctionalGraph,
+    scc_labels,
+    strongly_connected_sizes,
+)
+
+
+class TestFunctionalGraph:
+    def test_identity_map_all_fixed(self):
+        fg = FunctionalGraph(np.arange(5))
+        assert fg.fixed_points.tolist() == [0, 1, 2, 3, 4]
+        assert fg.on_cycle.all()
+        assert len(fg.cycles) == 5
+        assert fg.proper_cycles == []
+
+    def test_single_cycle(self):
+        # 0 -> 1 -> 2 -> 0
+        fg = FunctionalGraph(np.array([1, 2, 0]))
+        assert len(fg.cycles) == 1
+        assert sorted(fg.cycles[0]) == [0, 1, 2]
+        assert fg.proper_cycles == fg.cycles
+
+    def test_rho_shape(self):
+        # 3 -> 2 -> 0 <-> 1 (two-cycle with a tail)
+        succ = np.array([1, 0, 0, 2])
+        fg = FunctionalGraph(succ)
+        assert sorted(fg.cycles[0]) == [0, 1]
+        assert fg.on_cycle.tolist() == [True, True, False, False]
+        assert fg.steps_to_cycle.tolist() == [0, 0, 1, 2]
+        assert fg.attractor_of.tolist() == [0, 0, 0, 0]
+        assert fg.max_transient() == 2
+
+    def test_two_attractors_and_basins(self):
+        # 0 fixed; 1 fixed; 2->0, 3->1, 4->3
+        succ = np.array([0, 1, 0, 1, 3])
+        fg = FunctionalGraph(succ)
+        assert len(fg.cycles) == 2
+        basins = fg.basin_sizes()
+        assert sorted(basins.tolist()) == [2, 3]
+
+    def test_gardens_of_eden(self):
+        succ = np.array([0, 0, 1, 1])
+        fg = FunctionalGraph(succ)
+        assert fg.gardens_of_eden.tolist() == [2, 3]
+
+    def test_in_degrees(self):
+        succ = np.array([0, 0, 0, 1])
+        fg = FunctionalGraph(succ)
+        assert fg.in_degrees.tolist() == [3, 1, 0, 0]
+
+    def test_cycle_listed_in_successor_order(self):
+        succ = np.array([2, 0, 1])  # 0 -> 2 -> 1 -> 0
+        fg = FunctionalGraph(succ)
+        cyc = fg.cycles[0]
+        for a, b in zip(cyc, cyc[1:] + cyc[:1]):
+            assert succ[a] == b
+
+    def test_rejects_bad_successors(self):
+        with pytest.raises(ValueError):
+            FunctionalGraph(np.array([0, 5]))
+        with pytest.raises(ValueError):
+            FunctionalGraph(np.array([], dtype=np.int64))
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=32,
+                    max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_random_maps(self, succ_list):
+        fg = FunctionalGraph(np.array(succ_list))
+        # Partition: every node is on a cycle or a transient tree node.
+        cyc_nodes = {v for c in fg.cycles for v in c}
+        assert cyc_nodes == set(np.flatnonzero(fg.on_cycle).tolist())
+        # Walking steps_to_cycle steps lands on a cycle node.
+        for v in range(32):
+            w = v
+            for _ in range(int(fg.steps_to_cycle[v])):
+                w = succ_list[w]
+            assert fg.on_cycle[w]
+        # Attractor labels are consistent along edges.
+        for v in range(32):
+            assert fg.attractor_of[v] == fg.attractor_of[succ_list[v]]
+        # Basin sizes sum to the number of nodes.
+        assert fg.basin_sizes().sum() == 32
+
+
+class TestSCC:
+    def test_two_cycle(self):
+        sizes = strongly_connected_sizes(
+            np.array([0, 1]), np.array([1, 0]), 3
+        )
+        assert sorted(sizes.tolist()) == [1, 2]
+
+    def test_dag_all_singletons(self):
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 2, 3])
+        sizes = strongly_connected_sizes(rows, cols, 4)
+        assert sizes.tolist() == [1, 1, 1, 1]
+
+    def test_labels_count(self):
+        n_comp, labels = scc_labels(np.array([0, 1, 2]), np.array([1, 2, 0]), 4)
+        assert n_comp == 2  # the triangle plus the isolated node
+        assert len(set(labels[:3].tolist())) == 1
+
+    def test_empty_edges(self):
+        sizes = strongly_connected_sizes(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), 5
+        )
+        assert sizes.tolist() == [1] * 5
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            scc_labels(np.array([0]), np.array([0, 1]), 2)

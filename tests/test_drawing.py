@@ -1,0 +1,95 @@
+"""Tests for rendering utilities (repro.analysis.drawing)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.drawing import (
+    ascii_phase_space,
+    nondet_phase_space_dot,
+    phase_space_dot,
+    render_spacetime,
+)
+from repro.core.automaton import CellularAutomaton
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, XorRule
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+@pytest.fixture(scope="module")
+def xor2():
+    return CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+
+
+class TestPhaseSpaceDot:
+    def test_contains_all_nodes_and_edges(self, xor2):
+        ps = PhaseSpace.from_automaton(xor2)
+        dot = phase_space_dot(ps, title="fig1a")
+        assert dot.startswith("digraph")
+        assert 'label="fig1a"' in dot
+        for code in range(4):
+            assert f"c{code} [" in dot
+        assert "c3 -> c0;" in dot  # 11 -> 00
+
+    def test_fixed_point_styled(self, xor2):
+        ps = PhaseSpace.from_automaton(xor2)
+        dot = phase_space_dot(ps)
+        assert 'c0 [label="00", shape=doublecircle];' in dot
+
+
+class TestNondetDot:
+    def test_edge_labels_one_based(self, xor2):
+        nps = NondetPhaseSpace.from_automaton(xor2)
+        dot = nondet_phase_space_dot(nps)
+        # From 11 (c3): node 0 (paper's node 1) leads to 10 (c2).
+        assert 'c3 -> c2 [label="1"];' in dot
+        assert 'c3 -> c1 [label="2"];' in dot
+
+    def test_pseudo_fp_dashed(self, xor2):
+        nps = NondetPhaseSpace.from_automaton(xor2)
+        dot = nondet_phase_space_dot(nps)
+        assert 'c1 [label="10", shape=circle, style=dashed];' in dot
+
+    def test_self_loops_toggle(self, xor2):
+        nps = NondetPhaseSpace.from_automaton(xor2)
+        without = nondet_phase_space_dot(nps)
+        with_loops = nondet_phase_space_dot(nps, include_self_loops=True)
+        assert with_loops.count("->") > without.count("->")
+
+
+class TestSpacetime:
+    def test_basic_raster(self):
+        traj = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        assert render_spacetime(traj) == ".#\n#."
+
+    def test_custom_glyphs(self):
+        traj = np.array([[0, 1]], dtype=np.uint8)
+        assert render_spacetime(traj, chars=" X") == " X"
+
+    def test_ruler(self):
+        traj = np.zeros((1, 12), dtype=np.uint8)
+        out = render_spacetime(traj, ruler=True)
+        assert out.splitlines()[0] == "012345678901"
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            render_spacetime(np.zeros(3))
+        with pytest.raises(ValueError):
+            render_spacetime(np.zeros((2, 2)), chars="#")
+
+
+class TestAsciiPhaseSpace:
+    def test_lists_classes(self):
+        ca = CellularAutomaton(Ring(4, radius=1), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        text = ascii_phase_space(ps)
+        assert "0000 -> 0000   [FP]" in text
+        assert "[CC]" in text  # 0101/1010 two-cycle
+
+    def test_refuses_large(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        with pytest.raises(ValueError):
+            ascii_phase_space(ps)

@@ -1,0 +1,270 @@
+"""Tests for the elementary-rule survey (repro.analysis.elementary)
+plus the outer-totalistic rule family and lossy-channel fault injection
+added alongside it."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.elementary import (
+    RuleProfile,
+    survey_all_rules,
+    survey_rule,
+    survey_summary,
+)
+from repro.core.automaton import CellularAutomaton
+from repro.core.evolution import parallel_orbit
+from repro.core.rules import OuterTotalisticRule, life_rule
+from repro.spaces.grid import Grid2D
+from repro.spaces.line import Ring
+
+
+class TestSurveyRule:
+    def test_rule_232_is_paper_class(self):
+        p = survey_rule(232, (5, 6))
+        assert p.monotone and p.symmetric and p.linear_threshold
+        assert p.is_paper_class
+        assert not p.sequential_cycles_somewhere
+        assert p.parallel_cycles_somewhere  # the two-cycle on the 6-ring
+        assert p.parallel_max_period == 2
+
+    def test_rule_150_xor(self):
+        p = survey_rule(150, (5, 6))
+        assert p.symmetric and not p.monotone
+        assert not p.linear_threshold
+        assert p.sequential_cycles_somewhere
+
+    def test_shift_rules(self):
+        for number in (170, 240):
+            p = survey_rule(number, (5, 6))
+            assert p.monotone and not p.symmetric
+            assert not p.self_dependent
+            assert p.sequential_cycles_somewhere
+
+    def test_identity_rule_204(self):
+        # Rule 204 is the identity: every configuration is a fixed point.
+        p = survey_rule(204, (5, 6))
+        assert p.self_dependent
+        assert not p.parallel_cycles_somewhere
+        assert not p.sequential_cycles_somewhere
+        assert p.parallel_max_period == 1
+
+    def test_constants(self):
+        p0 = survey_rule(0, (5,))
+        p255 = survey_rule(255, (5,))
+        assert p0.preserves_quiescence and not p255.preserves_quiescence
+        assert not p0.parallel_cycles_somewhere
+        assert not p255.parallel_cycles_somewhere
+
+
+class TestSurveySummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return survey_summary(survey_all_rules(ring_sizes=(5, 6)))
+
+    def test_class_counts(self, summary):
+        assert summary["rules"] == 256
+        assert summary["monotone"] == 20  # Dedekind number M(3)
+        assert summary["monotone_symmetric"] == 5
+        assert summary["linear_threshold"] == 104  # known count at k=3
+
+    def test_theorem1_over_whole_space(self, summary):
+        assert summary["theorem1_violations"] == []
+
+    def test_shift_rules_are_the_monotone_cyclers(self, summary):
+        assert summary["monotone_sequential_cyclers"] == [170, 240]
+
+    def test_majority_of_rules_cycle_in_parallel(self, summary):
+        assert summary["parallel_cyclers"] > 128
+        assert summary["sequentially_cycle_free"] < summary["rules"]
+
+
+class TestOuterTotalistic:
+    def test_life_blinker(self):
+        grid = Grid2D(6, 6, neighborhood="moore", torus=True)
+        ca = CellularAutomaton(grid, life_rule())
+        state = np.zeros(36, dtype=np.uint8)
+        for c in (1, 2, 3):
+            state[grid.index(2, c)] = 1
+        orbit = parallel_orbit(ca, state)
+        assert orbit.period == 2  # the blinker oscillates
+
+    def test_life_block_still_life(self):
+        grid = Grid2D(6, 6, neighborhood="moore", torus=True)
+        ca = CellularAutomaton(grid, life_rule())
+        state = np.zeros(36, dtype=np.uint8)
+        for r, c in ((2, 2), (2, 3), (3, 2), (3, 3)):
+            state[grid.index(r, c)] = 1
+        assert ca.is_fixed_point(state)
+
+    def test_glider_period_on_torus(self):
+        grid = Grid2D(8, 8, neighborhood="moore", torus=True)
+        ca = CellularAutomaton(grid, life_rule())
+        state = np.zeros(64, dtype=np.uint8)
+        for r, c in ((0, 1), (1, 2), (2, 0), (2, 1), (2, 2)):
+            state[grid.index(r, c)] = 1
+        orbit = parallel_orbit(ca, state)
+        # One diagonal lap of the 8-torus: 4 steps/cell * 8 cells.
+        assert (orbit.transient, orbit.period) == (0, 32)
+
+    def test_majority_as_outer_totalistic(self):
+        # B{2,3}/S{1,2,3} on degree 2 + self at centre == ring majority.
+        from repro.core.rules import MajorityRule
+
+        outer = OuterTotalisticRule(
+            2, birth=(2,), survive=(1, 2), self_position=1
+        )
+        maj = MajorityRule()
+        for code in range(8):
+            bits = [(code >> j) & 1 for j in range(3)]
+            assert outer.evaluate(bits) == maj.evaluate(bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OuterTotalisticRule(3, birth=(5,), survive=())
+        with pytest.raises(ValueError):
+            OuterTotalisticRule(3, birth=(1,), survive=(), self_position=7)
+
+
+class TestLossyChannels:
+    def test_drops_leave_stale_views(self):
+        from repro.aca import AsyncCA, LossyDelay, ZeroDelay
+        from repro.core.rules import MajorityRule
+
+        alt = (np.arange(10) % 2).astype(np.uint8)
+        aca = AsyncCA(
+            Ring(10), MajorityRule(), alt,
+            delays=LossyDelay(ZeroDelay(), 0.5, seed=1),
+        )
+        for k in range(1, 11):
+            for i in range(10):
+                aca.schedule_update(float(k) + 0.01 * i, i)
+        aca.run()
+        assert aca.dropped > 0
+        assert aca.view_staleness() > 0  # permanent disagreement
+
+    def test_zero_drop_probability_is_lossless(self):
+        from repro.aca import AsyncCA, LossyDelay, ZeroDelay
+        from repro.core.rules import MajorityRule
+
+        alt = (np.arange(8) % 2).astype(np.uint8)
+        aca = AsyncCA(
+            Ring(8), MajorityRule(), alt,
+            delays=LossyDelay(ZeroDelay(), 0.0, seed=2),
+        )
+        for k in range(1, 9):
+            for i in range(8):
+                aca.schedule_update(float(k) + 0.01 * i, i)
+        aca.run()
+        assert aca.dropped == 0
+        assert aca.view_staleness() == 0
+
+    def test_invalid_probability(self):
+        from repro.aca import LossyDelay, ZeroDelay
+
+        with pytest.raises(ValueError):
+            LossyDelay(ZeroDelay(), 1.5)
+
+    def test_dropped_sentinel_contract(self):
+        from repro.aca import DROPPED, LossyDelay, ZeroDelay
+
+        model = LossyDelay(ZeroDelay(), 1.0, seed=0)
+        assert model.checked_delay(0, 1, 0.0) == DROPPED
+
+
+class TestThresholdVsConvergenceCrossTab:
+    """Threshold representability (arbitrary weights) neither implies nor
+    is implied by sequential cycle-freeness — the energy theorem's real
+    hypothesis is symmetric weights with positive diagonal."""
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return survey_summary(survey_all_rules(ring_sizes=(5, 6)))
+
+    def test_threshold_not_sufficient(self, summary):
+        assert summary["threshold_but_cycling"] > 0  # e.g. the shifts
+
+    def test_threshold_not_necessary(self, summary):
+        assert summary["cycle_free_not_threshold"] > 0
+
+    def test_counts_consistent(self, summary):
+        assert (
+            summary["cycle_free_and_threshold"]
+            + summary["cycle_free_not_threshold"]
+            == summary["sequentially_cycle_free"]
+        )
+
+    def test_shifts_are_threshold_yet_cycle(self):
+        # x_i' = x_{i-1} IS a threshold function (weights (1,0,0), theta 1)
+        # — but with zero self-weight and asymmetric influence.
+        p = survey_rule(240, (5, 6))
+        assert p.linear_threshold and p.sequential_cycles_somewhere
+
+
+class TestEquivalenceClasses:
+    def test_classical_count_of_88(self):
+        from repro.analysis.elementary import elementary_equivalence_classes
+
+        classes = elementary_equivalence_classes()
+        assert len(classes) == 88
+        assert sum(len(c) for c in classes) == 256
+
+    def test_known_orbits(self):
+        from repro.analysis.elementary import (
+            complement_rule,
+            equivalence_class,
+            mirror_rule,
+        )
+
+        assert mirror_rule(110) == 124
+        assert complement_rule(110) == 137
+        assert equivalence_class(110) == (110, 124, 137, 193)
+        assert equivalence_class(90) == (90, 165)   # mirror-symmetric
+        assert equivalence_class(204) == (204,)     # fully self-conjugate
+
+    def test_involutions(self):
+        from repro.analysis.elementary import complement_rule, mirror_rule
+
+        for k in range(256):
+            assert mirror_rule(mirror_rule(k)) == k
+            assert complement_rule(complement_rule(k)) == k
+            # The two symmetries commute.
+            assert mirror_rule(complement_rule(k)) == complement_rule(
+                mirror_rule(k)
+            )
+
+    def test_dynamics_invariant_on_classes(self):
+        """Cycle structure is a class invariant: conjugate rules have the
+        same parallel/sequential cycling behaviour."""
+        from repro.analysis.elementary import equivalence_class
+
+        for rep in (30, 90, 110, 232, 170, 184):
+            base = survey_rule(rep, (5, 6))
+            for other in equivalence_class(rep):
+                p = survey_rule(other, (5, 6))
+                assert (
+                    p.parallel_cycles_somewhere
+                    == base.parallel_cycles_somewhere
+                )
+                assert (
+                    p.sequential_cycles_somewhere
+                    == base.sequential_cycles_somewhere
+                )
+                assert p.parallel_max_period == base.parallel_max_period
+
+    def test_mirror_conjugates_dynamics_exactly(self):
+        """F_mirror(rev(x)) == rev(F(x)) — the conjugation, verified on
+        actual trajectories."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        from repro.analysis.elementary import mirror_rule
+        from repro.core.rules import WolframRule
+
+        for k in (30, 110, 184):
+            ca = CellularAutomaton(Ring(9), WolframRule(k))
+            ca_m = CellularAutomaton(Ring(9), WolframRule(mirror_rule(k)))
+            for _ in range(5):
+                x = rng.integers(0, 2, 9).astype(np.uint8)
+                np.testing.assert_array_equal(
+                    ca_m.step(x[::-1].copy())[::-1], ca.step(x)
+                )

@@ -1,0 +1,200 @@
+"""Tests for the Goles–Martinez energy machinery (repro.core.energy)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.energy import (
+    ThresholdNetwork,
+    parallel_pair_energy,
+    sequential_energy,
+    verify_parallel_energy_monotone,
+    verify_sequential_energy_decrease,
+)
+from repro.core.rules import (
+    MajorityRule,
+    SimpleThresholdRule,
+    TableRule,
+    XorRule,
+)
+from repro.core.boolean import majority_function, xor_function
+from repro.core.schedules import RandomPermutationSweeps, Synchronous
+from repro.spaces.grid import Grid2D
+from repro.spaces.hypercube import Hypercube
+from repro.spaces.line import Line, Ring
+
+
+class TestThresholdNetworkConstruction:
+    def test_from_majority_ring(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        assert net.n == 6
+        assert np.all(np.diag(net.weights) == 1)  # with-memory self weight
+        assert net.theta.tolist() == [2] * 6  # majority of 3 inputs
+
+    def test_from_radius2_ring(self):
+        ca = CellularAutomaton(Ring(9, radius=2), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        assert net.theta.tolist() == [3] * 9  # majority of 5 inputs
+        assert net.weights.sum() == 9 * 5  # 4 neighbors + self each
+
+    def test_memoryless_zero_diagonal(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule(), memory=False)
+        net = ThresholdNetwork.from_automaton(ca)
+        assert np.all(np.diag(net.weights) == 0)
+
+    def test_from_threshold_rule(self):
+        ca = CellularAutomaton(Hypercube(3), SimpleThresholdRule(2))
+        net = ThresholdNetwork.from_automaton(ca)
+        assert net.theta.tolist() == [2] * 8
+
+    def test_from_monotone_table_rule(self):
+        ca = CellularAutomaton(Ring(5), TableRule(majority_function(3)))
+        net = ThresholdNetwork.from_automaton(ca)
+        assert net.theta.tolist() == [2] * 5
+
+    def test_rejects_xor(self):
+        ca = CellularAutomaton(Ring(5), TableRule(xor_function(3)))
+        with pytest.raises(ValueError):
+            ThresholdNetwork.from_automaton(ca)
+        ca2 = CellularAutomaton(Ring(5), XorRule())
+        with pytest.raises(ValueError):
+            ThresholdNetwork.from_automaton(ca2)
+
+    def test_rejects_asymmetric_weights(self):
+        w = np.array([[0, 1], [0, 0]])
+        with pytest.raises(ValueError):
+            ThresholdNetwork(w, np.array([1, 1]))
+
+    def test_rejects_bad_theta_length(self):
+        with pytest.raises(ValueError):
+            ThresholdNetwork(np.eye(3, dtype=int), np.array([1, 1]))
+
+
+class TestNetworkDynamicsAgree:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_network_step_matches_automaton(self, seed):
+        rng = np.random.default_rng(seed)
+        ca = CellularAutomaton(Ring(9, radius=2), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        state = rng.integers(0, 2, ca.n).astype(np.uint8)
+        np.testing.assert_array_equal(net.step(state), ca.step(state))
+
+    def test_node_next_matches(self):
+        ca = CellularAutomaton(Grid2D(3, 3), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            state = rng.integers(0, 2, 9).astype(np.uint8)
+            for i in range(9):
+                assert net.node_next(state, i) == ca.node_next(state, i)
+
+    def test_line_boundary_handled(self):
+        # On a line the boundary windows include quiescent slots; the
+        # network must still agree with the rule exactly.
+        ca = CellularAutomaton(Line(5), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            state = rng.integers(0, 2, 5).astype(np.uint8)
+            np.testing.assert_array_equal(net.step(state), ca.step(state))
+
+
+class TestEnergies:
+    def test_sequential_energy_formula(self):
+        net = ThresholdNetwork(np.array([[1, 1], [1, 1]]), np.array([1, 1]))
+        # E(x) = -0.5 x^T W x + theta . x
+        assert sequential_energy(net, np.array([0, 0])) == 0.0
+        assert sequential_energy(net, np.array([1, 0])) == -0.5 + 1
+        assert sequential_energy(net, np.array([1, 1])) == -2.0 + 2
+
+    def test_pair_energy_symmetric_in_arguments(self):
+        ca = CellularAutomaton(Ring(7), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 2, 7).astype(np.uint8)
+        y = rng.integers(0, 2, 7).astype(np.uint8)
+        assert parallel_pair_energy(net, x, y) == parallel_pair_energy(net, y, x)
+
+    def test_every_effective_flip_strictly_decreases(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            state = rng.integers(0, 2, 10).astype(np.uint8)
+            node = int(rng.integers(10))
+            before = net.sequential_energy(state)
+            new = ca.update_node(state, node)
+            if not np.array_equal(new, state):
+                after = net.sequential_energy(new)
+                assert after <= before - 0.5
+
+    def test_min_flip_decrease(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        assert net.min_flip_decrease() == 0.5
+
+    def test_flip_bound_finite_with_memory(self):
+        ca = CellularAutomaton(Ring(12), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        assert net.max_flip_bound() > 0
+
+    def test_flip_bound_requires_memory(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule(), memory=False)
+        net = ThresholdNetwork.from_automaton(ca)
+        with pytest.raises(ValueError):
+            net.max_flip_bound()
+
+    def test_flip_bound_is_respected(self):
+        # Exhaustively: from any start, any greedy sequential run performs
+        # at most max_flip_bound() effective flips.
+        from repro.core.evolution import sequential_converge
+
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        bound = ThresholdNetwork.from_automaton(ca).max_flip_bound()
+        for code in range(256):
+            res = sequential_converge(
+                ca, ca.unpack(code), RandomPermutationSweeps(code)
+            )
+            assert res.converged
+            assert res.effective_flips <= bound
+
+
+class TestAudits:
+    def test_sequential_audit_holds(self, rng):
+        ca = CellularAutomaton(Grid2D(3, 3), MajorityRule())
+        inits = rng.integers(0, 2, size=(10, 9)).astype(np.uint8)
+        audit = verify_sequential_energy_decrease(
+            ca, RandomPermutationSweeps(3), inits
+        )
+        assert audit.holds and audit.violations == 0
+        assert audit.min_decrease >= 0.5
+
+    def test_sequential_audit_rejects_synchronous(self, rng):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        inits = rng.integers(0, 2, size=(2, 6)).astype(np.uint8)
+        with pytest.raises(ValueError):
+            verify_sequential_energy_decrease(ca, Synchronous(), inits)
+
+    def test_parallel_audit_holds(self, rng):
+        ca = CellularAutomaton(Hypercube(3), MajorityRule())
+        inits = rng.integers(0, 2, size=(20, 8)).astype(np.uint8)
+        audit = verify_parallel_energy_monotone(ca, inits)
+        assert audit.holds
+
+    def test_parallel_audit_from_two_cycle(self):
+        # Starting on the two-cycle itself: settles immediately, no
+        # violations.
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        alt = (np.arange(8) % 2).astype(np.uint8)
+        audit = verify_parallel_energy_monotone(ca, alt[None, :])
+        assert audit.holds
+
+    def test_audit_bool(self, rng):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        inits = rng.integers(0, 2, size=(2, 6)).astype(np.uint8)
+        audit = verify_parallel_energy_monotone(ca, inits)
+        assert bool(audit) == audit.holds

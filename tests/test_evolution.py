@@ -1,0 +1,182 @@
+"""Tests for trajectory engines (repro.core.evolution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.evolution import (
+    block_step,
+    brent_orbit,
+    parallel_orbit,
+    parallel_trajectory,
+    run_schedule,
+    sequential_converge,
+    sequential_trajectory,
+)
+from repro.core.rules import MajorityRule, WolframRule, XorRule
+from repro.core.schedules import (
+    BlockSequential,
+    FixedPermutation,
+    FixedWord,
+    RandomPermutationSweeps,
+    Synchronous,
+)
+from repro.spaces.line import Ring
+
+
+class TestBlockStep:
+    def test_full_block_equals_synchronous(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            state = rng.integers(0, 2, 8).astype(np.uint8)
+            np.testing.assert_array_equal(
+                block_step(ca, state, range(8)), ca.step(state)
+            )
+
+    def test_block_reads_pre_state(self):
+        # Both nodes of the XOR pair update against the OLD values.
+        import networkx as nx
+
+        from repro.spaces.graph import GraphSpace
+
+        ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        state = np.array([1, 1], dtype=np.uint8)
+        np.testing.assert_array_equal(block_step(ca, state, [0, 1]), [0, 0])
+
+    def test_singleton_block_is_node_update(self):
+        ca = CellularAutomaton(Ring(5), MajorityRule())
+        state = np.array([1, 0, 1, 0, 0], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            block_step(ca, state, [1]), ca.update_node(state, 1)
+        )
+
+
+class TestParallelOrbit:
+    def test_fixed_point_orbit(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        orbit = parallel_orbit(ca, np.zeros(8, dtype=np.uint8))
+        assert orbit.transient == 0 and orbit.period == 1
+        assert orbit.is_fixed_point and not orbit.is_two_cycle
+
+    def test_two_cycle_orbit(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        alt = (np.arange(8) % 2).astype(np.uint8)
+        orbit = parallel_orbit(ca, alt)
+        assert orbit.period == 2 and orbit.is_two_cycle
+        assert set(orbit.cycle) == {0b01010101, 0b10101010}
+
+    def test_transient_then_fixed(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        state = np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=np.uint8)
+        orbit = parallel_orbit(ca, state)
+        assert orbit.transient == 1 and orbit.period == 1
+        assert orbit.cycle == (0,)
+
+    def test_max_steps_guard(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        alt = (np.arange(8) % 2).astype(np.uint8)
+        with pytest.raises(RuntimeError):
+            parallel_orbit(ca, alt, max_steps=0)
+
+    @given(st.integers(min_value=0, max_value=2**14 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_brent_matches_hashing(self, code):
+        ca = CellularAutomaton(Ring(14), WolframRule(110))
+        state = ca.unpack(code)
+        a = parallel_orbit(ca, state)
+        b = brent_orbit(ca, state)
+        assert (a.transient, a.period) == (b.transient, b.period)
+        # Cycles are the same set (Brent may start at a different phase).
+        assert set(a.cycle) == set(b.cycle)
+
+
+class TestTrajectories:
+    def test_parallel_trajectory_shape_and_rows(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        x0 = np.array([1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        traj = parallel_trajectory(ca, x0, 4)
+        assert traj.shape == (5, 6)
+        np.testing.assert_array_equal(traj[0], x0)
+        np.testing.assert_array_equal(traj[1], ca.step(x0))
+
+    def test_sequential_trajectory_records_each_block(self):
+        ca = CellularAutomaton(Ring(5), MajorityRule())
+        x0 = np.array([1, 0, 1, 0, 0], dtype=np.uint8)
+        traj = sequential_trajectory(ca, x0, FixedPermutation(), 5)
+        assert traj.shape == (6, 5)
+        state = x0.copy()
+        for t, node in enumerate(range(5)):
+            ca.update_node_inplace(state, node)
+            np.testing.assert_array_equal(traj[t + 1], state)
+
+    def test_run_schedule_synchronous_fast_path(self):
+        ca = CellularAutomaton(Ring(7), MajorityRule())
+        x0 = np.random.default_rng(1).integers(0, 2, 7).astype(np.uint8)
+        states = list(run_schedule(ca, x0, Synchronous(), 3))
+        np.testing.assert_array_equal(states[0], ca.step(x0))
+        np.testing.assert_array_equal(states[2], ca.trajectory_steps(x0, 3)[3])
+
+    def test_block_sequential_interpolates(self):
+        # Even/odd block schedule on the alternating config: the even
+        # block flips first (reading old odd values), then the odd block
+        # reads the *new* even values.
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        alt = (np.arange(6) % 2).astype(np.uint8)
+        sched = BlockSequential([(0, 2, 4), (1, 3, 5)])
+        states = list(run_schedule(ca, alt, sched, 2))
+        # After even block: evens become 1 (each saw two 1s).
+        np.testing.assert_array_equal(states[0], np.ones(6, dtype=np.uint8))
+        # After odd block: all-ones is fixed.
+        np.testing.assert_array_equal(states[1], np.ones(6, dtype=np.uint8))
+
+
+class TestSequentialConverge:
+    def test_converges_to_fixed_point(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            x0 = rng.integers(0, 2, 10).astype(np.uint8)
+            res = sequential_converge(ca, x0, RandomPermutationSweeps(5))
+            assert res.converged
+            assert ca.is_fixed_point(res.final_state)
+
+    def test_immediate_fixed_point(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        res = sequential_converge(ca, np.zeros(6, dtype=np.uint8),
+                                  FixedPermutation())
+        assert res.converged and res.updates_used == 0
+        assert res.fixed_point_code == 0
+
+    def test_unfair_schedule_may_stall(self):
+        # Only node 0 ever updates: the alternating config cannot converge,
+        # but also never changes (node 0 keeps seeing majority-0 window...).
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        alt = (np.arange(6) % 2).astype(np.uint8)
+        res = sequential_converge(ca, alt, FixedWord([0]), max_updates=100)
+        assert not res.converged
+
+    def test_flip_recording(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        x0 = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        res = sequential_converge(
+            ca, x0, FixedPermutation(), record_flips=True
+        )
+        assert res.converged
+        assert len(res.flip_times) == res.effective_flips
+
+    def test_fixed_point_code_none_when_stalled(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        alt = (np.arange(6) % 2).astype(np.uint8)
+        res = sequential_converge(ca, alt, FixedWord([0]), max_updates=10)
+        assert res.fixed_point_code is None
+
+    def test_synchronous_schedule_may_oscillate_forever(self):
+        # The same driver under the synchronous schedule does NOT converge
+        # from the alternating config — the parallel two-cycle in action.
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        alt = (np.arange(6) % 2).astype(np.uint8)
+        res = sequential_converge(ca, alt, Synchronous(), max_updates=500)
+        assert not res.converged

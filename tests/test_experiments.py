@@ -1,0 +1,136 @@
+"""Tests for the experiment registry (repro.experiments)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistryShape:
+    def test_registry_complete(self):
+        assert len(EXPERIMENTS) == 22
+        assert set(EXPERIMENTS) == {f"E{k}" for k in range(1, 23)}
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e4").id == "E4"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_all_have_paper_refs(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.paper_ref
+            assert exp.title
+
+
+class TestIndividualExperiments:
+    """Each experiment runs and its verdict HOLDS.
+
+    These double as the paper-vs-measured record behind EXPERIMENTS.md.
+    """
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPERIMENTS, key=lambda s: int(s[1:])))
+    def test_experiment_holds(self, exp_id):
+        result = run_experiment(exp_id)
+        assert result["holds"], f"{exp_id} failed: {result}"
+
+
+class TestExperimentDetails:
+    def test_fig1a_successors(self):
+        res = run_experiment("E1")
+        assert res["successors"] == [0, 3, 3, 0]
+
+    def test_fig1b_unreachable_sink(self):
+        res = run_experiment("E2")
+        assert res["unreachable"] == [0]
+        assert res["reach_00_from_11"] is False
+
+    def test_granularity_values(self):
+        res = run_experiment("E3")
+        assert res["high_level_sequential_x"] == [3]
+        assert res["parallel_x"] == [1, 2]
+        assert res["machine_x"] == [1, 2, 3]
+
+    def test_interleaving_failure_quantified(self):
+        res = run_experiment("E11")
+        assert res["orbit_failures"] > 0
+        assert res["sequential_has_cycle"] is False
+        assert 0 < res["step_capture_rate"] < 1
+
+    def test_fair_convergence_within_bound(self):
+        res = run_experiment("E12")
+        assert res["converged"] == res["runs"]
+        assert res["worst_effective_flips"] <= res["energy_flip_bound"]
+
+    def test_engine_scaling_speedup(self):
+        res = run_experiment("E15")
+        assert res["speedup"] > 1
+
+    def test_infinite_line_details(self):
+        res = run_experiment("E16")
+        assert res["alternating_orbit"] == {"transient": 0, "period": 2}
+        assert res["invading_block_diverges"] is True
+
+
+class TestReportRendering:
+    def test_render_markdown_shapes(self):
+        from repro.experiments.report import render_markdown
+
+        text = render_markdown(
+            {"E1": {"holds": True, "value": 3, "nested": {"a": [1, 2]}}}
+        )
+        assert "## E1" in text
+        assert "HOLDS" in text
+        assert "**value**: 3" in text
+
+    def test_render_flags_failures(self):
+        from repro.experiments.report import render_markdown
+
+        text = render_markdown({"EX": {"holds": False}})
+        assert "**FAILS**" in text
+        assert "0 / 1 experiments hold" in text
+
+
+class TestExtensionExperimentDetails:
+    def test_e17_assignments_counted(self):
+        res = run_experiment("E17")
+        assert res["parameters"]["assignments_checked"] == 24
+
+    def test_e18_shift_rules_identified(self):
+        res = run_experiment("E18")
+        assert res["shift_sequential_has_cycles"] is True
+        assert len(res["witnesses"]) == 2
+
+    def test_e19_unique_cyclic_partition(self):
+        res = run_experiment("E19")
+        assert res["details"]["ring6_ordered_partitions"] == "4683"
+        assert res["details"]["ring6_cyclic_partitions"] == "1"
+
+    def test_e20_recurrence_and_parity(self):
+        res = run_experiment("E20")
+        assert res["fp_recurrence_order"] == 4
+        assert res["fp_recurrence"] == ["2", "-1", "0", "1"]
+        assert res["cycle_configs"] == [2 if n % 2 == 0 else 0
+                                        for n in res["sizes"]]
+
+    def test_e21_landscape_counts(self):
+        res = run_experiment("E21")
+        assert res["monotone"] == 20
+        assert res["monotone_sequential_cyclers"] == [170, 240]
+        assert res["threshold_but_cycling"] > 0
+
+    def test_e22_alpha_one_is_the_exception(self):
+        res = run_experiment("E22")
+        assert res["alpha_1_converges"] is False
+        assert all(v > 0 for v in
+                   res["mean_steps_to_fixed_point_by_alpha"].values())
+
+    def test_e11_capture_decays(self):
+        res = run_experiment("E11")
+        assert res["capture_rates_decay_with_n"] is True
+        series = res["step_capture_by_size"]
+        assert series[6] > series[12]

@@ -1,0 +1,208 @@
+"""Tests for the exact infinite-line machinery (repro.spaces.infinite)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rules import MajorityRule, WolframRule, XorRule
+from repro.spaces.infinite import (
+    InfiniteLine,
+    SupportConfig,
+    infinite_orbit,
+    infinite_step,
+    infinite_update_node,
+)
+
+
+@pytest.fixture(scope="module")
+def maj3():
+    return MajorityRule().with_arity(3)
+
+
+@pytest.fixture(scope="module")
+def maj5():
+    return MajorityRule().with_arity(5)
+
+
+class TestSupportConfig:
+    def test_finite_constructor(self):
+        c = SupportConfig.finite("0110", lo=0)
+        assert c.value_at(1) == 1 and c.value_at(0) == 0
+        assert c.value_at(-100) == 0 and c.value_at(100) == 0
+
+    def test_trimming(self):
+        # Leading/trailing zeros merge into the quiescent background.
+        a = SupportConfig.finite("0011 0", lo=0)
+        b = SupportConfig.finite("11", lo=2)
+        assert a == b
+
+    def test_periodic_constructor(self):
+        c = SupportConfig.periodic("01")
+        assert c.value_at(0) == 0 and c.value_at(1) == 1
+        assert c.value_at(-2) == 0 and c.value_at(101) == 1
+
+    def test_periodic_phase_matters(self):
+        assert SupportConfig.periodic("01") != SupportConfig.periodic("10")
+
+    def test_minimal_period_canonicalised(self):
+        assert SupportConfig.periodic("0101") == SupportConfig.periodic("01")
+
+    def test_boundary_slides_to_canonical_position(self):
+        # 0-background left, 1-background right with boundary anywhere the
+        # words agree is normalised deterministically.
+        a = SupportConfig.build("0", "", "1", lo=5)
+        b = SupportConfig.build("0", "1", "1", lo=5)  # core "1" merges right
+        assert a == b
+        assert a.value_at(4) == 0 and a.value_at(5) == 1
+
+    def test_uniform_word_normalises_lo(self):
+        a = SupportConfig.build("0", "", "00", lo=77)
+        assert a == SupportConfig.finite("", lo=0)
+
+    def test_hashable(self):
+        s = {SupportConfig.periodic("01"), SupportConfig.periodic("0101")}
+        assert len(s) == 1
+
+    def test_support(self):
+        c = SupportConfig.finite("0110100", lo=3)
+        assert c.support() == (4, 8)  # ones at positions 4, 5, 7
+
+    def test_support_of_zero(self):
+        assert SupportConfig.finite("000").support() is None
+
+    def test_support_requires_quiescent_background(self):
+        with pytest.raises(ValueError):
+            SupportConfig.periodic("01").support()
+
+    def test_ones_count(self):
+        assert SupportConfig.finite("01101").ones_count() == 3
+        assert SupportConfig.periodic("01").ones_count() == float("inf")
+
+    def test_window_values_and_string(self):
+        c = SupportConfig.finite("111", lo=0)
+        assert c.to_string(-1, 4) == "01110"
+        assert c.window_values(-1, 4).tolist() == [0, 1, 1, 1, 0]
+
+    def test_rejects_bad_words(self):
+        with pytest.raises(ValueError):
+            SupportConfig.build("", "1", "0")
+        with pytest.raises(ValueError):
+            SupportConfig.build("02", "1", "0")
+
+    def test_describe_readable(self):
+        assert "(01)*" in SupportConfig.periodic("01").describe()
+
+
+class TestInfiniteStep:
+    def test_alternating_two_cycle(self, maj3):
+        alt = SupportConfig.periodic("01")
+        one = infinite_step(maj3, alt)
+        assert one == SupportConfig.periodic("10")
+        assert infinite_step(maj3, one) == alt
+
+    def test_lonely_one_dies(self, maj3):
+        c = SupportConfig.finite("1")
+        assert infinite_step(maj3, c) == SupportConfig.finite("")
+
+    def test_solid_block_is_fixed(self, maj3):
+        c = SupportConfig.finite("1111")
+        assert infinite_step(maj3, c) == c
+
+    def test_gap_of_one_fills(self, maj3):
+        c = SupportConfig.finite("11011")
+        assert infinite_step(maj3, c) == SupportConfig.finite("11111")
+
+    def test_radius2_block_two_cycle(self, maj5):
+        blocks = SupportConfig.periodic("0011")
+        one = infinite_step(maj5, blocks)
+        assert one == SupportConfig.periodic("1100")
+        assert infinite_step(maj5, one) == blocks
+
+    def test_memoryless_two_input_xor(self):
+        rule = XorRule().with_arity(2)
+        c = SupportConfig.finite("1")
+        out = infinite_step(rule, c, memory=False)
+        # Neighbors of the 1 see parity 1; the 1 itself sees two 0s.
+        assert out == SupportConfig.finite("101", lo=-1)
+
+    def test_rule90_growth(self):
+        # Rule 90 (with-memory table equal to left XOR right) from a single
+        # 1 produces the Sierpinski pattern; after 2 steps support width 5.
+        rule = WolframRule(90)
+        c = SupportConfig.finite("1")
+        c2 = infinite_step(rule, infinite_step(rule, c))
+        assert c2.support() == (-2, 3)
+
+    def test_needs_fixed_arity(self):
+        with pytest.raises(ValueError):
+            infinite_step(MajorityRule(), SupportConfig.finite("1"))
+
+    def test_arity_parity_validation(self):
+        with pytest.raises(ValueError):
+            infinite_step(MajorityRule().with_arity(4), SupportConfig.finite("1"))
+        with pytest.raises(ValueError):
+            infinite_step(
+                MajorityRule().with_arity(3), SupportConfig.finite("1"),
+                memory=False,
+            )
+
+
+class TestSequentialInfinite:
+    def test_update_changes_one_cell(self, maj3):
+        c = SupportConfig.finite("101")
+        out = infinite_update_node(maj3, c, 1)  # window (1,0,1) -> 1
+        assert out == SupportConfig.finite("111")
+
+    def test_noop_update_returns_same(self, maj3):
+        c = SupportConfig.finite("1111")
+        assert infinite_update_node(maj3, c, 1) is c
+
+    def test_update_outside_support(self, maj3):
+        c = SupportConfig.finite("11")
+        # Cell at position 2 sees (1, 0, 0) -> 0: unchanged.
+        assert infinite_update_node(maj3, c, 2) == c
+
+    def test_sequential_erodes_alternating_locally(self, maj3):
+        # One sequential update of the infinite alternating configuration
+        # flips a single 0 to 1 (window 1,0,1); the result is a distinct,
+        # eventually periodic configuration — no return to the start.
+        alt = SupportConfig.periodic("01")
+        out = infinite_update_node(maj3, alt, 0)
+        assert out != alt
+        assert out.value_at(0) == 1
+
+
+class TestInfiniteOrbit:
+    def test_two_cycle_detected(self, maj3):
+        t, p, cycle = infinite_orbit(maj3, SupportConfig.periodic("01"))
+        assert (t, p) == (0, 2)
+        assert len(cycle) == 2
+
+    def test_fixed_point_detected(self, maj3):
+        t, p, cycle = infinite_orbit(maj3, SupportConfig.finite("111"))
+        assert p == 1
+
+    def test_transient_counted(self, maj3):
+        t, p, _ = infinite_orbit(maj3, SupportConfig.finite("11011"))
+        assert t == 1 and p == 1
+
+    def test_divergent_raises(self, maj3):
+        invader = SupportConfig.build("01", "1111", "01", lo=0)
+        with pytest.raises(RuntimeError):
+            infinite_orbit(maj3, invader, max_steps=30)
+
+    @given(st.integers(min_value=1, max_value=2**12 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_finite_support_majority_settles_period_le_2(self, maj3, bits):
+        word = bin(bits)[2:]
+        t, p, _ = infinite_orbit(maj3, SupportConfig.finite(word), max_steps=100)
+        assert p <= 2
+
+
+class TestInfiniteLineFacade:
+    def test_describe(self):
+        assert "radius=2" in InfiniteLine(2).describe()
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            InfiniteLine(0)

@@ -1,0 +1,154 @@
+"""End-to-end integration tests: the paper's storyline, executed.
+
+Each test here crosses several subsystems — spaces, rules, engines, phase
+spaces, energies, ACA — rather than exercising one module.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.aca.subsumption import replay_parallel, replay_sequential
+from repro.core.automaton import CellularAutomaton
+from repro.core.evolution import parallel_orbit, sequential_converge
+from repro.core.energy import ThresholdNetwork
+from repro.core.interleaving import interleaving_capture_report
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, SimpleThresholdRule, XorRule
+from repro.core.schedules import FixedPermutation, RandomPermutationSweeps
+from repro.sds.sds import SDS
+from repro.spaces.graph import GraphSpace
+from repro.spaces.grid import Grid2D
+from repro.spaces.hypercube import Hypercube
+from repro.spaces.infinite import SupportConfig, infinite_orbit
+from repro.spaces.line import Ring
+
+
+class TestThePapersStory:
+    """The complete argument of the paper, as one narrative of assertions."""
+
+    def test_act1_parallel_threshold_ca_can_oscillate(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        alt = (np.arange(10) % 2).astype(np.uint8)
+        orbit = parallel_orbit(ca, alt)
+        assert orbit.is_two_cycle
+
+    def test_act2_no_sequential_order_ever_cycles(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        nps = NondetPhaseSpace.from_automaton(ca)
+        assert not nps.has_proper_cycle()
+
+    def test_act3_hence_interleavings_cannot_capture_concurrency(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        rep = interleaving_capture_report(ca)
+        assert not rep.interleavings_capture_concurrency
+
+    def test_act4_every_fair_sequential_run_converges_instead(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        alt = (np.arange(10) % 2).astype(np.uint8)
+        res = sequential_converge(ca, alt, RandomPermutationSweeps(1))
+        assert res.converged
+        assert ca.is_fixed_point(res.final_state)
+
+    def test_act5_energy_explains_why(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        # Strictly decreasing, bounded-below energy => finitely many flips.
+        assert net.min_flip_decrease() > 0
+        assert net.max_flip_bound() < np.inf
+
+    def test_act6_the_story_holds_on_the_infinite_line_too(self):
+        rule = MajorityRule().with_arity(3)
+        t, p, _ = infinite_orbit(rule, SupportConfig.periodic("01"))
+        assert p == 2  # the infinite parallel CA oscillates
+
+
+class TestCrossSubsystemConsistency:
+    def test_phase_space_counts_vs_orbit_sampling(self):
+        ca = CellularAutomaton(Ring(9), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        fps = set(ps.fixed_points.tolist())
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            x0 = rng.integers(0, 2, 9).astype(np.uint8)
+            orbit = parallel_orbit(ca, x0)
+            if orbit.period == 1:
+                assert orbit.cycle[0] in fps
+
+    def test_sds_identity_sweep_equals_sca_identity_word(self):
+        g = nx.cycle_graph(6)
+        sds = SDS(g, MajorityRule())
+        ca = CellularAutomaton(GraphSpace(g), MajorityRule())
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.integers(0, 2, 6).astype(np.uint8)
+            via_sds = sds.apply(x.copy())
+            state = x.copy()
+            sched = FixedPermutation()
+            stream = sched.blocks(6)
+            for _ in range(6):
+                (node,) = next(stream)
+                ca.update_node_inplace(state, node)
+            np.testing.assert_array_equal(via_sds, state)
+
+    def test_aca_replays_agree_with_both_engines(self):
+        ca = CellularAutomaton(Grid2D(3, 3), MajorityRule())
+        rng = np.random.default_rng(2)
+        x0 = rng.integers(0, 2, 9).astype(np.uint8)
+        par_a, par_b = replay_parallel(ca, x0, 5)
+        np.testing.assert_array_equal(par_a, par_b)
+        word = rng.integers(0, 9, size=25).tolist()
+        seq_a, seq_b = replay_sequential(ca, x0, word)
+        np.testing.assert_array_equal(seq_a, seq_b)
+
+    def test_bipartite_two_cycle_on_hypercube_end_to_end(self):
+        space = Hypercube(4)
+        ca = CellularAutomaton(space, MajorityRule())
+        even, odd = space.parity_classes()
+        state = np.zeros(space.n, dtype=np.uint8)
+        for i in even:
+            state[i] = 1
+        orbit = parallel_orbit(ca, state)
+        assert orbit.is_two_cycle
+        # And sequentially it converges instead.
+        res = sequential_converge(ca, state, RandomPermutationSweeps(3))
+        assert res.converged
+
+    def test_threshold_sweep_grid(self):
+        """Threshold rules from OR (t=1) to AND (t=window) on a grid: all
+        obey period <= 2 in parallel and cycle-freeness sequentially."""
+        space = Grid2D(3, 3)
+        for t in range(1, 6):
+            ca = CellularAutomaton(space, SimpleThresholdRule(t))
+            ps = PhaseSpace.from_automaton(ca)
+            assert max(ps.cycle_lengths()) <= 2
+            nps = NondetPhaseSpace.from_automaton(ca)
+            assert not nps.has_proper_cycle()
+
+    def test_xor_contrast_structured(self):
+        """The XOR contrast: sequential phase space *does* cycle, parallel
+        reaches a sink — opposite of the threshold situation."""
+        ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        ps = PhaseSpace.from_automaton(ca)
+        nps = NondetPhaseSpace.from_automaton(ca)
+        assert not ps.has_proper_cycle()
+        assert nps.has_proper_cycle()
+
+
+class TestScaleSmoke:
+    def test_large_ring_simulation(self):
+        """A 100k-node synchronous run completes quickly (vectorized path)."""
+        ca = CellularAutomaton(Ring(100_000, radius=2), MajorityRule())
+        rng = np.random.default_rng(7)
+        state = rng.integers(0, 2, ca.n).astype(np.uint8)
+        for _ in range(10):
+            state = ca.step(state)
+        assert state.shape == (100_000,)
+
+    def test_medium_phase_space(self):
+        """Full 2**16 phase space builds and classifies."""
+        ca = CellularAutomaton(Ring(16), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        assert ps.size == 65536
+        assert max(ps.cycle_lengths()) <= 2

@@ -1,0 +1,129 @@
+"""Tests for the interleaving-capture analysis (repro.core.interleaving)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.interleaving import (
+    captures_parallel_step,
+    interleaving_capture_report,
+    orbit_reproducible_sequentially,
+    sequential_reachable_set,
+)
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.rules import MajorityRule, XorRule
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+@pytest.fixture(scope="module")
+def majority8():
+    return CellularAutomaton(Ring(8), MajorityRule())
+
+
+@pytest.fixture(scope="module")
+def majority8_nps(majority8):
+    return NondetPhaseSpace.from_automaton(majority8)
+
+
+class TestSequentialReachableSet:
+    def test_contains_start(self, majority8, majority8_nps):
+        assert 5 in sequential_reachable_set(majority8, 5, majority8_nps)
+
+    def test_fixed_point_reaches_only_itself(self, majority8, majority8_nps):
+        reach = sequential_reachable_set(majority8, 0, majority8_nps)
+        assert reach.tolist() == [0]
+
+    def test_builds_nps_when_missing(self):
+        ca = CellularAutomaton(Ring(5), MajorityRule())
+        reach = sequential_reachable_set(ca, 0b00111)
+        assert 0b00111 in reach.tolist()
+
+
+class TestStepCapture:
+    def test_fixed_point_always_captured(self, majority8, majority8_nps):
+        assert captures_parallel_step(majority8, 0, majority8_nps)
+
+    def test_two_cycle_step_not_captured(self, majority8, majority8_nps):
+        # step(alt) is the complement: sequentially unreachable from alt
+        # (each effective sequential update moves *toward* a fixed point).
+        assert not captures_parallel_step(majority8, 0b01010101, majority8_nps)
+
+    def test_accepts_precomputed_succ(self, majority8, majority8_nps):
+        from repro.core.phase_space import PhaseSpace
+
+        succ = PhaseSpace.from_automaton(majority8).succ
+        assert captures_parallel_step(majority8, 0, majority8_nps, succ=succ)
+
+
+class TestOrbitCapture:
+    def test_two_cycle_orbit_not_reproducible(self, majority8, majority8_nps):
+        res = orbit_reproducible_sequentially(majority8, 0b01010101,
+                                              majority8_nps)
+        assert res.parallel_period == 2
+        assert not res.reproducible
+
+    def test_fixed_point_orbit_reproducible(self, majority8, majority8_nps):
+        res = orbit_reproducible_sequentially(majority8, 0, majority8_nps)
+        assert res.parallel_period == 1
+        assert res.reproducible
+
+    def test_transient_to_fp_reproducible(self, majority8, majority8_nps):
+        # A single 1 dies in parallel; sequentially the same fixed point is
+        # reachable (update the lone 1).
+        res = orbit_reproducible_sequentially(majority8, 0b00000001,
+                                              majority8_nps)
+        assert res.reproducible
+
+    def test_xor_two_cycle_orbit_reproducible(self):
+        # Contrast: the two-node XOR SCA *does* have proper cycles, so some
+        # parallel behaviour has a sequential analogue... but the parallel
+        # orbit of 01 ends in the fixed point 00, which is sequentially
+        # unreachable — a different kind of failure.
+        ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        res = orbit_reproducible_sequentially(ca, 0b01)
+        assert res.parallel_period == 1
+        assert res.parallel_cycle == (0,)
+        assert not res.reproducible
+
+
+class TestFullReport:
+    def test_majority_report(self, majority8):
+        rep = interleaving_capture_report(majority8)
+        assert rep.total_configs == 256
+        assert not rep.sequential_has_cycle
+        # The two-cycle configurations are guaranteed witnesses; the basin
+        # of the two-cycle is just the cycle itself (the paper notes
+        # threshold-CA non-FP cycles have no incoming transients [19]).
+        assert rep.parallel_two_cycle_configs == 2
+        assert {0b01010101, 0b10101010} <= set(rep.orbit_capture_failures)
+        assert not rep.interleavings_capture_concurrency
+        assert 0 < rep.step_capture_rate < 1
+        assert 0 < rep.orbit_capture_rate < 1
+
+    def test_odd_ring_two_cycle_free_but_fp_capture_partial(self):
+        # Odd rings have no parallel two-cycle, so the cycle-based failure
+        # mode vanishes; FP-orbit capture can still fail when the parallel
+        # map jumps to a fixed point no interleaving can reach.
+        ca = CellularAutomaton(Ring(7), MajorityRule())
+        rep = interleaving_capture_report(ca)
+        assert rep.parallel_two_cycle_configs == 0
+        failures = set(rep.orbit_capture_failures)
+        from repro.core.phase_space import PhaseSpace
+
+        ps = PhaseSpace.from_automaton(ca)
+        assert failures <= set(ps.transient_configs.tolist())
+
+    def test_xor_two_node_report(self):
+        ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        rep = interleaving_capture_report(ca)
+        # 00 is unreachable from 01/10/11 => their orbits (all ending at 00)
+        # cannot be captured; 00 itself trivially can.
+        assert sorted(rep.orbit_capture_failures) == [1, 2, 3]
+        assert rep.sequential_has_cycle  # unlike the threshold case
+
+    def test_report_rates_consistent(self, majority8):
+        rep = interleaving_capture_report(majority8)
+        assert rep.step_capture_rate == 1 - len(rep.step_capture_failures) / 256
+        assert rep.orbit_capture_rate == 1 - len(rep.orbit_capture_failures) / 256

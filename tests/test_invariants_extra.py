@@ -1,0 +1,204 @@
+"""Additional cross-cutting invariants: classic CA conservation laws,
+linearity, threshold-representability edge cases, boundary behaviour.
+
+These are not claims from the paper; they are independent ground truths
+about well-studied rules, used to validate the engines from yet another
+angle (a bug in windows/packing/vectorization would almost surely break
+one of them).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.boolean import BooleanFunction
+from repro.core.rules import MajorityRule, WolframRule
+from repro.spaces.infinite import SupportConfig, infinite_step
+from repro.spaces.line import Line, Ring
+
+
+class TestRule184Traffic:
+    """Rule 184 is the traffic rule: cars (1s) move right into gaps.
+    It conserves the number of cars on any ring."""
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=4, max_value=24))
+    @settings(max_examples=40, deadline=None)
+    def test_density_conserved(self, seed, n):
+        ca = CellularAutomaton(Ring(n), WolframRule(184))
+        state = np.random.default_rng(seed).integers(0, 2, n).astype(np.uint8)
+        for _ in range(5):
+            new = ca.step(state)
+            assert int(new.sum()) == int(state.sum())
+            state = new
+
+    def test_free_flow(self):
+        # A lone car advances one cell per step.
+        ca = CellularAutomaton(Ring(8), WolframRule(184))
+        state = np.zeros(8, dtype=np.uint8)
+        state[2] = 1
+        out = ca.step(state)
+        assert out[3] == 1 and out.sum() == 1
+
+
+class TestRule90Linearity:
+    """Rule 90 is additive: F(x XOR y) = F(x) XOR F(y)."""
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_additivity(self, seed):
+        rng = np.random.default_rng(seed)
+        ca = CellularAutomaton(Ring(12), WolframRule(90))
+        x = rng.integers(0, 2, 12).astype(np.uint8)
+        y = rng.integers(0, 2, 12).astype(np.uint8)
+        np.testing.assert_array_equal(
+            ca.step(x ^ y), ca.step(x) ^ ca.step(y)
+        )
+
+    def test_zero_is_fixed(self):
+        ca = CellularAutomaton(Ring(9), WolframRule(90))
+        assert ca.is_fixed_point(np.zeros(9, dtype=np.uint8))
+
+
+class TestThresholdRepresentabilityEdge:
+    def test_monotone_but_not_threshold_needs_four_inputs(self):
+        # f = (x0 AND x1) OR (x2 AND x3): the classic monotone
+        # non-threshold function.
+        table = np.zeros(16, dtype=np.uint8)
+        for code in range(16):
+            x = [(code >> j) & 1 for j in range(4)]
+            table[code] = int((x[0] and x[1]) or (x[2] and x[3]))
+        f = BooleanFunction(table)
+        assert f.is_monotone()
+        assert not f.is_symmetric()
+        assert not f.is_linear_threshold()
+
+    def test_every_3_input_monotone_is_threshold(self):
+        from repro.core.boolean import all_boolean_functions
+
+        for f in all_boolean_functions(3):
+            if f.is_monotone():
+                assert f.is_linear_threshold()
+
+
+class TestLineBoundarySemantics:
+    def test_line_vs_ring_interior_agrees(self):
+        # Away from the boundary, Line and Ring dynamics coincide.
+        rng = np.random.default_rng(8)
+        line = CellularAutomaton(Line(12), MajorityRule())
+        ring = CellularAutomaton(Ring(12), MajorityRule())
+        for _ in range(10):
+            state = rng.integers(0, 2, 12).astype(np.uint8)
+            np.testing.assert_array_equal(
+                line.step(state)[2:-2], ring.step(state)[2:-2]
+            )
+
+    def test_line_edge_majority_biased_to_zero(self):
+        # The quiescent boundary acts as a permanent 0 vote.
+        ca = CellularAutomaton(Line(4), MajorityRule())
+        state = np.array([1, 0, 0, 0], dtype=np.uint8)
+        assert ca.step(state)[0] == 0  # window (q=0, 1, 0)
+
+    def test_aca_on_line_handles_boundary(self):
+        from repro.aca import AsyncCA, ZeroDelay
+
+        aca = AsyncCA(
+            Line(5), MajorityRule(),
+            np.array([1, 1, 0, 1, 1], dtype=np.uint8), delays=ZeroDelay(),
+        )
+        aca.schedule_update(1.0, 0)  # window (0, 1, 1) -> stays 1
+        aca.schedule_update(2.0, 2)  # window (1, 0, 1) -> flips to 1
+        aca.run()
+        np.testing.assert_array_equal(aca.snapshot(), [1, 1, 1, 1, 1])
+
+
+class TestInfiniteLineTranslation:
+    """The infinite global map commutes with translation."""
+
+    @given(st.integers(min_value=1, max_value=2**10 - 1),
+           st.integers(min_value=-5, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_step_commutes_with_shift(self, bits, shift):
+        rule = MajorityRule().with_arity(3)
+        word = bin(bits)[2:]
+        config = SupportConfig.finite(word, lo=0)
+        shifted = SupportConfig.finite(word, lo=shift)
+        stepped_then_read = infinite_step(rule, config)
+        shifted_then_stepped = infinite_step(rule, shifted)
+        # Compare pointwise over a window covering both supports.
+        for pos in range(-4, len(word) + 10):
+            assert shifted_then_stepped.value_at(pos + shift) == (
+                stepped_then_read.value_at(pos)
+            )
+
+    @given(st.integers(min_value=1, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_canonicalisation_idempotent(self, bits):
+        word = bin(bits)[2:]
+        a = SupportConfig.finite(word)
+        b = SupportConfig.build("00", tuple(a.core), "000", lo=a.lo)
+        assert a == b and hash(a) == hash(b)
+
+    def test_infinite_matches_large_ring(self):
+        # Finite-support infinite dynamics agree with a ring big enough
+        # that influence never wraps within the horizon.
+        rule3 = MajorityRule().with_arity(3)
+        word = "110100111"
+        config = SupportConfig.finite(word, lo=0)
+        n = 40
+        ring = CellularAutomaton(Ring(n), MajorityRule())
+        state = np.zeros(n, dtype=np.uint8)
+        state[10 : 10 + len(word)] = [int(c) for c in word]
+        for _ in range(6):
+            config = infinite_step(rule3, config)
+            state = ring.step(state)
+        for pos in range(-3, len(word) + 3):
+            assert config.value_at(pos) == state[10 + pos]
+
+
+class TestWolframRuleFamilies:
+    @pytest.mark.parametrize("number,complement", [(0, 255), (90, 165)])
+    def test_complement_conjugation(self, number, complement):
+        """Rule c(k) satisfies F_c(x) = NOT F_k(NOT x) when c is k's
+        complementary rule (table negated and input-flipped)."""
+        ca_k = CellularAutomaton(Ring(9), WolframRule(number))
+        ca_c = CellularAutomaton(Ring(9), WolframRule(complement))
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.integers(0, 2, 9).astype(np.uint8)
+            np.testing.assert_array_equal(
+                ca_c.step(x), 1 - ca_k.step((1 - x).astype(np.uint8))
+            )
+
+    def test_rule_51_is_global_complement(self):
+        # Rule 51 maps every configuration to its complement: period 2
+        # everywhere, no fixed points.
+        ca = CellularAutomaton(Ring(6), WolframRule(51))
+        from repro.core.phase_space import PhaseSpace
+
+        ps = PhaseSpace.from_automaton(ca)
+        assert ps.fixed_points.size == 0
+        assert all(len(c) == 2 for c in ps.cycles)
+
+
+class TestConsistencyAcrossEncodings:
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_wolfram_complement_pairs_on_graphspace_vs_ring(self, number):
+        """WolframRule on Ring(n) equals the same rule run through a
+        cycle-graph GraphSpace with explicit ordered windows... rings ARE
+        cycle graphs, but GraphSpace orders neighbors by index — so this
+        passes exactly for symmetric tables and is skipped otherwise."""
+        rule = WolframRule(number)
+        if not rule.is_symmetric():
+            return
+        ring = CellularAutomaton(Ring(5), rule)
+        from repro.spaces.graph import GraphSpace
+
+        graph = CellularAutomaton(GraphSpace(nx.cycle_graph(5)), rule)
+        rng = np.random.default_rng(number)
+        x = rng.integers(0, 2, 5).astype(np.uint8)
+        np.testing.assert_array_equal(ring.step(x), graph.step(x))

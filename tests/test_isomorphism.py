@@ -1,0 +1,134 @@
+"""Tests for functional-graph isomorphism (repro.analysis.isomorphism)."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.isomorphism import (
+    canonical_form,
+    functional_graphs_isomorphic,
+    phase_spaces_isomorphic,
+)
+from repro.core.automaton import CellularAutomaton
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, XorRule
+from repro.sds.sds import SDS
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+def relabel(succ: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """The conjugate map: relabel states by ``perm``."""
+    out = np.empty_like(succ)
+    out[perm] = perm[succ]
+    return out
+
+
+class TestCanonicalForm:
+    def test_identity_maps(self):
+        assert canonical_form(np.arange(4)) == canonical_form(np.arange(4))
+        # n fixed points vs n-cycle: different forms.
+        cycle = np.roll(np.arange(4), -1)
+        assert canonical_form(np.arange(4)) != canonical_form(cycle)
+
+    def test_rotation_of_trees_around_cycle(self):
+        # Two 2-cycles, one with a tail on node A, the other on node B:
+        # isomorphic (rotate the cycle).
+        a = np.array([1, 0, 0])  # tail 2 -> 0, cycle 0 <-> 1
+        b = np.array([1, 0, 1])  # tail 2 -> 1, same cycle
+        assert functional_graphs_isomorphic(a, b)
+
+    def test_tail_depth_distinguishes(self):
+        shallow = np.array([0, 0, 0])          # two tails of depth 1
+        deep = np.array([0, 0, 1])             # a chain 2 -> 1 -> 0
+        assert not functional_graphs_isomorphic(shallow, deep)
+
+    def test_size_mismatch(self):
+        assert not functional_graphs_isomorphic(np.arange(3), np.arange(4))
+
+    @given(st.lists(st.integers(0, 9), min_size=10, max_size=10),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_conjugation_invariance(self, succ_list, seed):
+        succ = np.array(succ_list)
+        perm = np.random.default_rng(seed).permutation(10)
+        assert functional_graphs_isomorphic(succ, relabel(succ, perm))
+
+    @given(st.lists(st.integers(0, 7), min_size=8, max_size=8),
+           st.lists(st.integers(0, 7), min_size=8, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_equal_form_implies_same_statistics(self, a_list, b_list):
+        a, b = np.array(a_list), np.array(b_list)
+        if functional_graphs_isomorphic(a, b):
+            from repro.analysis.cycles import FunctionalGraph
+
+            fa, fb = FunctionalGraph(a), FunctionalGraph(b)
+            assert sorted(map(len, fa.cycles)) == sorted(map(len, fb.cycles))
+            assert fa.max_transient() == fb.max_transient()
+            assert sorted(fa.in_degrees) == sorted(fb.in_degrees.tolist())
+
+
+class TestExhaustiveSmall:
+    def test_all_maps_on_three_points_classified(self):
+        """Group all 27 maps on {0,1,2} by canonical form and verify each
+        class is closed under conjugation (brute force over S_3)."""
+        perms = [np.array(p) for p in itertools.permutations(range(3))]
+        maps = [np.array(m) for m in itertools.product(range(3), repeat=3)]
+        for succ in maps:
+            form = canonical_form(succ)
+            for perm in perms:
+                assert canonical_form(relabel(succ, perm)) == form
+
+    def test_non_isomorphic_classes_distinct(self):
+        # Representatives of distinct conjugacy classes on 3 points.
+        reps = [
+            np.array([0, 1, 2]),  # three fixed points
+            np.array([1, 0, 2]),  # 2-cycle + fixed point
+            np.array([1, 2, 0]),  # 3-cycle
+            np.array([0, 0, 0]),  # star into a fixed point
+            np.array([0, 0, 1]),  # chain
+        ]
+        forms = {canonical_form(r) for r in reps}
+        assert len(forms) == len(reps)
+
+
+class TestThePapersClaim:
+    def test_fig1_parallel_not_isomorphic_to_any_sequential_order(self):
+        """Section 3.1: no update order of the two-node XOR SCA induces a
+        map isomorphic to the parallel one — checked over every word of
+        length <= 2 (the natural 'one sweep' candidates)."""
+        ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        parallel = ca.step_all()
+        sds = SDS(GraphSpace(nx.path_graph(2)), XorRule())
+        for word in ([0], [1], [0, 1], [1, 0], [0, 0], [1, 1]):
+            sequential = sds.word_map(word)
+            assert not functional_graphs_isomorphic(parallel, sequential), word
+
+    def test_majority_parallel_vs_sds_not_isomorphic(self):
+        # The parallel map has a proper cycle; every SDS sweep is
+        # cycle-free: necessarily non-isomorphic.
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        parallel = PhaseSpace.from_automaton(ca)
+        for perm in ([0, 1, 2, 3, 4, 5], [5, 3, 1, 4, 2, 0]):
+            sds = SDS(Ring(6), MajorityRule(), permutation=perm)
+            assert not phase_spaces_isomorphic(parallel, sds.phase_space())
+
+    def test_odd_ring_majority_sometimes_isomorphic_question(self):
+        # On odd rings the parallel map is also cycle-free; isomorphism is
+        # then a real question, not settled by cycle structure alone.
+        ca = CellularAutomaton(Ring(5), MajorityRule())
+        parallel = PhaseSpace.from_automaton(ca)
+        sds = SDS(Ring(5), MajorityRule())
+        result = phase_spaces_isomorphic(parallel, sds.phase_space())
+        assert isinstance(result, bool)  # decided exactly, either way
+
+    def test_isomorphic_across_rotated_update_orders(self):
+        # Rotating the update order conjugates the SDS map by the ring
+        # rotation: the phase spaces must be isomorphic.
+        base = SDS(Ring(5), MajorityRule(), permutation=[0, 1, 2, 3, 4])
+        rotated = SDS(Ring(5), MajorityRule(), permutation=[1, 2, 3, 4, 0])
+        assert functional_graphs_isomorphic(base.global_map, rotated.global_map)

@@ -1,0 +1,128 @@
+"""Tests for the GF(2) linear analysis (repro.analysis.linear)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linear import (
+    check_linear_structure,
+    gf2_rank,
+    is_linear_ca,
+    transition_matrix_gf2,
+)
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import MajorityRule, WolframRule, XorRule
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+class TestGF2Rank:
+    def test_identity(self):
+        assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_zero(self):
+        assert gf2_rank(np.zeros((3, 3), dtype=np.uint8)) == 0
+
+    def test_dependent_rows(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])  # row3 = row1^row2
+        assert gf2_rank(m) == 2
+
+    def test_input_not_mutated(self):
+        m = np.array([[1, 1], [1, 0]], dtype=np.uint8)
+        before = m.copy()
+        gf2_rank(m)
+        np.testing.assert_array_equal(m, before)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_bounds_and_transpose_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 2, size=(6, 6)).astype(np.uint8)
+        r = gf2_rank(m)
+        assert 0 <= r <= 6
+        assert gf2_rank(m.T) == r
+
+
+class TestLinearityDetection:
+    def test_xor_rules_linear(self):
+        for number in (60, 90, 102, 150, 170, 204, 240):
+            ca = CellularAutomaton(Ring(8), WolframRule(number))
+            assert is_linear_ca(ca), number
+
+    def test_majority_not_linear(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        assert not is_linear_ca(ca)
+
+    def test_constant_one_not_linear(self):
+        ca = CellularAutomaton(Ring(6), WolframRule(255))
+        assert not is_linear_ca(ca)  # F(0) != 0
+
+    def test_xor_on_graph_linear(self):
+        ca = CellularAutomaton(GraphSpace(nx.cycle_graph(6)), XorRule())
+        assert is_linear_ca(ca)
+
+
+class TestTransitionMatrix:
+    def test_matrix_reproduces_map(self):
+        ca = CellularAutomaton(Ring(7), WolframRule(90))
+        a = transition_matrix_gf2(ca)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.integers(0, 2, 7).astype(np.uint8)
+            np.testing.assert_array_equal((a @ x) % 2, ca.step(x))
+
+    def test_rule204_is_identity_matrix(self):
+        ca = CellularAutomaton(Ring(5), WolframRule(204))
+        np.testing.assert_array_equal(
+            transition_matrix_gf2(ca), np.eye(5, dtype=np.uint8)
+        )
+
+    def test_shift_matrix_is_permutation(self):
+        ca = CellularAutomaton(Ring(5), WolframRule(240))  # x_i' = x_{i-1}
+        a = transition_matrix_gf2(ca)
+        assert np.all(a.sum(axis=0) == 1) and np.all(a.sum(axis=1) == 1)
+
+
+class TestStructurePredictions:
+    @pytest.mark.parametrize("number,n", [(90, 8), (90, 9), (150, 8),
+                                          (150, 9), (60, 7), (204, 6),
+                                          (170, 8)])
+    def test_predictions_match_phase_space(self, number, n):
+        ca = CellularAutomaton(Ring(n), WolframRule(number))
+        structure = check_linear_structure(ca)
+        assert structure.consistent, structure
+
+    def test_rule90_even_ring_known_values(self):
+        # A for rule 90 on an even ring is singular: corank 2.
+        ca = CellularAutomaton(Ring(8), WolframRule(90))
+        s = check_linear_structure(ca)
+        assert s.rank == 6
+        assert s.predicted_in_degree == 4
+        assert s.measured_in_degrees == (0, 4)
+
+    def test_rule90_corank_by_parity(self):
+        # A = S + S^{-1} always shares the factor (x+1) with x^n + 1, so
+        # rule 90 is never bijective on a ring: corank 1 for odd n
+        # (in-degree 2), corank 2 for even n (in-degree 4).
+        s_odd = check_linear_structure(
+            CellularAutomaton(Ring(9), WolframRule(90))
+        )
+        assert s_odd.rank == 8 and s_odd.predicted_in_degree == 2
+        s_even = check_linear_structure(
+            CellularAutomaton(Ring(10), WolframRule(90))
+        )
+        assert s_even.rank == 8 and s_even.predicted_in_degree == 4
+
+    def test_shift_is_bijection_with_trivial_kernel(self):
+        ca = CellularAutomaton(Ring(6), WolframRule(240))
+        s = check_linear_structure(ca)
+        assert s.rank == 6 and s.measured_gardens == 0
+        # Fixed points of the shift: constant configurations only.
+        assert s.measured_fixed_points == 2
+
+    def test_rejects_nonlinear(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        with pytest.raises(ValueError):
+            check_linear_structure(ca)

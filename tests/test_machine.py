@@ -1,0 +1,117 @@
+"""Tests for the shared-memory machine and interleaving explorer."""
+
+import pytest
+
+from repro.interleave.explorer import (
+    count_interleavings,
+    explore_outcomes,
+    outcome_schedules,
+)
+from repro.interleave.machine import (
+    AddI,
+    Load,
+    MachineState,
+    Store,
+    Thread,
+    run_schedule,
+)
+
+
+def incr_thread(name: str, amount: int) -> Thread:
+    return Thread(name, (Load("r", "x"), AddI("r", amount), Store("x", "r")))
+
+
+class TestMachine:
+    def test_single_thread_runs_to_completion(self):
+        t = incr_thread("T0", 5)
+        out = run_schedule([t], ["T0"] * 3, {"x": 0})
+        assert out == {"x": 5}
+
+    def test_lost_update_schedule(self):
+        # Both threads read before either writes: one update is lost.
+        t0, t1 = incr_thread("A", 1), incr_thread("B", 2)
+        out = run_schedule([t0, t1], ["A", "B", "A", "B", "A", "B"], {"x": 0})
+        assert out == {"x": 2}  # B's store lands last
+
+    def test_serial_schedule(self):
+        t0, t1 = incr_thread("A", 1), incr_thread("B", 2)
+        out = run_schedule([t0, t1], ["A"] * 3 + ["B"] * 3, {"x": 0})
+        assert out == {"x": 3}
+
+    def test_incomplete_schedule_rejected(self):
+        t = incr_thread("T0", 1)
+        with pytest.raises(ValueError):
+            run_schedule([t], ["T0"] * 2, {"x": 0})
+
+    def test_unknown_thread_rejected(self):
+        t = incr_thread("T0", 1)
+        with pytest.raises(KeyError):
+            run_schedule([t], ["T9"] * 3, {"x": 0})
+
+    def test_undefined_variable_rejected(self):
+        t = Thread("T0", (Load("r", "y"),))
+        with pytest.raises(KeyError):
+            run_schedule([t], ["T0"], {"x": 0})
+
+    def test_register_before_load_rejected(self):
+        t = Thread("T0", (Store("x", "r"),))
+        with pytest.raises(KeyError):
+            run_schedule([t], ["T0"], {"x": 0})
+
+    def test_duplicate_thread_names_rejected(self):
+        t = incr_thread("T0", 1)
+        with pytest.raises(ValueError):
+            MachineState.initial([t, t], {"x": 0})
+
+    def test_snapshot_hashable_and_stable(self):
+        t = incr_thread("T0", 1)
+        s1 = MachineState.initial([t], {"x": 0})
+        s2 = MachineState.initial([t], {"x": 0})
+        assert s1.snapshot() == s2.snapshot()
+        assert hash(s1.snapshot()) == hash(s2.snapshot())
+
+    def test_copy_is_deep(self):
+        t = incr_thread("T0", 1)
+        s = MachineState.initial([t], {"x": 0})
+        c = s.copy()
+        c.shared["x"] = 9
+        c.registers["T0"]["r"] = 1
+        assert s.shared["x"] == 0 and "r" not in s.registers["T0"]
+
+
+class TestExplorer:
+    def test_count_interleavings(self):
+        t0, t1 = incr_thread("A", 1), incr_thread("B", 2)
+        assert count_interleavings([t0, t1]) == 20  # C(6, 3)
+
+    def test_count_three_threads(self):
+        ts = [incr_thread(f"T{k}", 1) for k in range(3)]
+        assert count_interleavings(ts) == 1680  # 9! / (3!)^3
+
+    def test_explore_outcomes_x1_x2(self):
+        t0, t1 = incr_thread("A", 1), incr_thread("B", 2)
+        outs = {dict(o)["x"] for o in explore_outcomes([t0, t1], {"x": 0})}
+        assert outs == {1, 2, 3}
+
+    def test_single_thread_single_outcome(self):
+        outs = explore_outcomes([incr_thread("A", 7)], {"x": 0})
+        assert len(outs) == 1
+
+    def test_outcome_schedules_are_witnesses(self):
+        t0, t1 = incr_thread("A", 1), incr_thread("B", 2)
+        threads = [t0, t1]
+        for outcome, schedule in outcome_schedules(threads, {"x": 0}).items():
+            replay = run_schedule(threads, schedule, {"x": 0})
+            assert frozenset(replay.items()) == outcome
+
+    def test_three_increments_outcomes(self):
+        # Three x+=1 threads: final x in {1, 2, 3}.
+        ts = [incr_thread(f"T{k}", 1) for k in range(3)]
+        outs = {dict(o)["x"] for o in explore_outcomes(ts, {"x": 0})}
+        assert outs == {1, 2, 3}
+
+    def test_disjoint_variables_single_outcome(self):
+        a = Thread("A", (Load("r", "x"), AddI("r", 1), Store("x", "r")))
+        b = Thread("B", (Load("r", "y"), AddI("r", 2), Store("y", "r")))
+        outs = explore_outcomes([a, b], {"x": 0, "y": 0})
+        assert outs == {frozenset({("x", 1), ("y", 2)})}

@@ -1,0 +1,138 @@
+"""Tests for sequential (nondeterministic) phase spaces (repro.core.nondet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, XorRule
+from repro.spaces.line import Ring
+
+
+@pytest.fixture(scope="module")
+def xor2_nps(request):
+    import networkx as nx
+
+    from repro.spaces.graph import GraphSpace
+
+    ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+    return NondetPhaseSpace.from_automaton(ca)
+
+
+@pytest.fixture(scope="module")
+def majority6_nps():
+    ca = CellularAutomaton(Ring(6), MajorityRule())
+    return NondetPhaseSpace.from_automaton(ca)
+
+
+class TestConstruction:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            NondetPhaseSpace(np.zeros((3, 4), dtype=np.int64), 2)
+
+    def test_transitions_listing(self, xor2_nps):
+        # From 11, node 0 -> 10 (code 2), node 1 -> 01 (code 1).
+        assert xor2_nps.transitions(0b11) == [(0, 0b10), (1, 0b01)]
+
+
+class TestFigure1bStructure:
+    """The paper's Fig. 1(b), checked fact by fact."""
+
+    def test_00_is_the_only_fixed_point(self, xor2_nps):
+        assert xor2_nps.fixed_points.tolist() == [0]
+
+    def test_pseudo_fixed_points(self, xor2_nps):
+        assert sorted(xor2_nps.pseudo_fixed_points.tolist()) == [1, 2]
+
+    def test_00_unreachable(self, xor2_nps):
+        assert xor2_nps.unreachable_configs().tolist() == [0]
+        for start in (1, 2, 3):
+            assert not xor2_nps.can_reach(start, 0)
+
+    def test_proper_cycles_exist(self, xor2_nps):
+        assert xor2_nps.has_proper_cycle()
+        comps = xor2_nps.proper_cycle_components()
+        assert len(comps) == 1
+        assert sorted(comps[0].tolist()) == [1, 2, 3]
+
+    def test_two_cycle_witness(self, xor2_nps):
+        witness = xor2_nps.find_two_cycle()
+        assert witness is not None
+        a, i, b, j = witness
+        assert int(xor2_nps.node_succ[i, a]) == b
+        assert int(xor2_nps.node_succ[j, b]) == a
+
+
+class TestThresholdSequential:
+    def test_no_proper_cycle(self, majority6_nps):
+        assert not majority6_nps.has_proper_cycle()
+        assert majority6_nps.proper_cycle_components() == []
+        assert majority6_nps.find_two_cycle() is None
+
+    def test_fixed_points_match_parallel(self, majority6_nps):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        np.testing.assert_array_equal(
+            majority6_nps.fixed_points, ps.fixed_points
+        )
+
+    def test_every_config_reaches_a_fixed_point(self, majority6_nps):
+        fps = set(majority6_nps.fixed_points.tolist())
+        for code in range(majority6_nps.size):
+            reach = set(majority6_nps.reachable_from(code).tolist())
+            assert reach & fps, f"config {code} cannot reach any fixed point"
+
+    def test_alternating_cannot_return(self, majority6_nps):
+        # From the alternating config, after any effective update the
+        # config is never seen again (cycle-freeness in action).
+        alt = 0b010101
+        for node in range(6):
+            nxt = int(majority6_nps.node_succ[node, alt])
+            if nxt != alt:
+                assert not majority6_nps.can_reach(nxt, alt)
+
+
+class TestReachability:
+    def test_reachable_includes_self(self, majority6_nps):
+        assert 7 in majority6_nps.reachable_from(7).tolist()
+
+    def test_can_reach_reflexive(self, majority6_nps):
+        assert majority6_nps.can_reach(5, 5)
+
+    def test_coreachable_inverse_of_reachable(self, majority6_nps):
+        nps = majority6_nps
+        target = 0
+        co = set(nps.coreachable_to(target).tolist())
+        for code in range(nps.size):
+            assert (target in set(nps.reachable_from(code).tolist())) == (
+                code in co
+            )
+
+    def test_fixed_points_reach_only_themselves(self, majority6_nps):
+        for fp in majority6_nps.fixed_points.tolist():
+            assert majority6_nps.reachable_from(fp).tolist() == [fp]
+
+
+class TestExports:
+    def test_networkx_multigraph(self, xor2_nps):
+        g = xor2_nps.to_networkx()
+        assert g.number_of_nodes() == 4
+        # Change edges only: 01->11, 10->11, 11->10, 11->01.
+        assert g.number_of_edges() == 4
+        with_loops = xor2_nps.to_networkx(include_self_loops=True)
+        assert with_loops.number_of_edges() == 8
+
+    def test_summary(self, majority6_nps):
+        s = majority6_nps.summary()
+        assert s["has_proper_cycle"] is False
+        assert s["configurations"] == 64
+
+
+class TestMemorylessVariant:
+    def test_memoryless_majority_sequential_also_cycle_free(self):
+        # The energy argument extends to memoryless threshold SCA with
+        # integer weights: still cycle-free (see repro.core.energy notes).
+        ca = CellularAutomaton(Ring(7), MajorityRule(), memory=False)
+        nps = NondetPhaseSpace.from_automaton(ca)
+        assert not nps.has_proper_cycle()

@@ -1,0 +1,130 @@
+"""Tests for schedule-word utilities (repro.util.orders)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.orders import (
+    all_permutations,
+    all_words,
+    cyclic_word,
+    fairness_bound,
+    is_b_fair,
+    is_permutation_word,
+    random_fair_stream,
+    random_single_stream,
+    sweep_stream,
+)
+
+
+class TestIsPermutationWord:
+    def test_identity(self):
+        assert is_permutation_word([0, 1, 2], 3)
+
+    def test_shuffled(self):
+        assert is_permutation_word([2, 0, 1], 3)
+
+    def test_wrong_length(self):
+        assert not is_permutation_word([0, 1], 3)
+
+    def test_repeats(self):
+        assert not is_permutation_word([0, 0, 1], 3)
+
+
+class TestBFairness:
+    def test_sweep_is_fair(self):
+        word = [0, 1, 2, 0, 1, 2, 0, 1, 2]
+        assert is_b_fair(word, 3, 3)
+
+    def test_staggered_needs_larger_bound(self):
+        # Two consecutive sweeps with reversed order: gap can reach 2n-1.
+        word = [0, 1, 2, 2, 1, 0, 0, 1, 2]
+        assert not is_b_fair(word, 3, 3)
+        assert is_b_fair(word, 3, 5)
+
+    def test_bound_below_n_never_fair(self):
+        assert not is_b_fair([0, 1, 0, 1], 2, 1)
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            is_b_fair([0], 1, 0)
+
+    def test_unfair_word(self):
+        assert not is_b_fair([0, 0, 0, 0], 2, 4)
+
+
+class TestFairnessBound:
+    def test_sweep(self):
+        assert fairness_bound([0, 1, 2], 3) == 3
+
+    def test_missing_node(self):
+        assert fairness_bound([0, 0, 0], 2) is None
+
+    def test_empty(self):
+        assert fairness_bound([], 2) is None
+
+    def test_wraparound_gap(self):
+        # node 0 occurs at position 0 only; wrap gap is 4.
+        assert fairness_bound([0, 1, 1, 1], 2) == 4
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            fairness_bound([0, 5], 2)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(0, 1000))
+    def test_repeated_permutation_bound_at_most_2n_minus_1(self, n, seed):
+        perm = np.random.default_rng(seed).permutation(n).tolist()
+        word = perm * 3
+        bound = fairness_bound(word, n)
+        assert bound is not None and bound <= 2 * n - 1
+
+
+class TestCyclicWord:
+    def test_repeat(self):
+        assert cyclic_word([1, 2], 3) == [1, 2, 1, 2, 1, 2]
+
+    def test_zero(self):
+        assert cyclic_word([1], 0) == []
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            cyclic_word([1], -1)
+
+
+class TestEnumerators:
+    def test_all_words_count(self):
+        assert len(list(all_words(3, 2))) == 9
+
+    def test_all_permutations_count(self):
+        assert len(list(all_permutations(4))) == 24
+
+    def test_words_cover_alphabet(self):
+        words = set(all_words(2, 3))
+        assert (0, 0, 0) in words and (1, 1, 1) in words
+
+
+class TestStreams:
+    def test_sweep_stream_cycles(self):
+        s = sweep_stream(3, [2, 0, 1])
+        assert list(itertools.islice(s, 6)) == [2, 0, 1, 2, 0, 1]
+
+    def test_sweep_stream_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            sweep_stream(3, [0, 0, 1])
+
+    def test_random_fair_stream_blocks_are_permutations(self):
+        rng = np.random.default_rng(1)
+        s = random_fair_stream(4, rng)
+        for _ in range(5):
+            block = list(itertools.islice(s, 4))
+            assert sorted(block) == [0, 1, 2, 3]
+
+    def test_random_single_stream_in_range(self):
+        rng = np.random.default_rng(2)
+        s = random_single_stream(5, rng)
+        draws = list(itertools.islice(s, 100))
+        assert all(0 <= d < 5 for d in draws)
+        assert len(set(draws)) == 5  # all nodes hit within 100 draws (w.h.p.)

@@ -1,0 +1,91 @@
+"""Tests for the granularity comparison (repro.interleave.programs)."""
+
+import pytest
+
+from repro.interleave.programs import (
+    AtomicAdd,
+    compile_statement,
+    granularity_report,
+    high_level_sequential_outcomes,
+    parallel_outcomes,
+    tosic_agha_example,
+)
+
+
+def x_values(outcomes):
+    return sorted(dict(o)["x"] for o in outcomes)
+
+
+class TestAtomicAdd:
+    def test_apply(self):
+        store = {"x": 3}
+        AtomicAdd("x", 4).apply(store)
+        assert store["x"] == 7
+
+    def test_apply_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            AtomicAdd("y", 1).apply({"x": 0})
+
+
+class TestCompile:
+    def test_three_instructions(self):
+        thread = compile_statement(AtomicAdd("x", 2), "T0")
+        assert len(thread) == 3
+        assert thread.name == "T0"
+
+
+class TestHighLevelSemantics:
+    def test_commutative_adds_single_outcome(self):
+        outs = high_level_sequential_outcomes(
+            [AtomicAdd("x", 1), AtomicAdd("x", 2)], {"x": 0}
+        )
+        assert x_values(outs) == [3]
+
+    def test_three_statements(self):
+        outs = high_level_sequential_outcomes(
+            [AtomicAdd("x", 1)] * 3, {"x": 0}
+        )
+        assert x_values(outs) == [3]
+
+
+class TestParallelSemantics:
+    def test_write_collision_outcomes(self):
+        outs = parallel_outcomes([AtomicAdd("x", 1), AtomicAdd("x", 2)], {"x": 0})
+        assert x_values(outs) == [1, 2]
+
+    def test_disjoint_variables_deterministic(self):
+        outs = parallel_outcomes(
+            [AtomicAdd("x", 1), AtomicAdd("y", 2)], {"x": 0, "y": 0}
+        )
+        assert len(outs) == 1
+        assert dict(next(iter(outs))) == {"x": 1, "y": 2}
+
+    def test_rejects_unknown_variable(self):
+        with pytest.raises(KeyError):
+            parallel_outcomes([AtomicAdd("z", 1)], {"x": 0})
+
+
+class TestGranularityReport:
+    def test_paper_example(self):
+        rep = tosic_agha_example()
+        assert x_values(rep.high_level_outcomes) == [3]
+        assert x_values(rep.parallel_outcomes_) == [1, 2]
+        assert x_values(rep.machine_outcomes) == [1, 2, 3]
+        assert rep.machine_interleavings == 20
+        assert rep.parallel_escapes_high_level
+        assert rep.machine_captures_parallel
+        assert rep.machine_captures_high_level
+
+    def test_single_statement_no_escape(self):
+        rep = granularity_report([AtomicAdd("x", 1)], {"x": 0})
+        assert not rep.parallel_escapes_high_level
+        assert rep.machine_captures_parallel
+
+    def test_three_way_report(self):
+        rep = granularity_report(
+            [AtomicAdd("x", 1), AtomicAdd("x", 1)], {"x": 0}
+        )
+        # Identical increments: parallel gives 1, sequential 2, machine both.
+        assert x_values(rep.high_level_outcomes) == [2]
+        assert x_values(rep.parallel_outcomes_) == [1]
+        assert x_values(rep.machine_outcomes) == [1, 2]

@@ -1,0 +1,176 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the paper's structural invariants as properties quantified
+over random rules, spaces and configurations — the randomized complement to
+the exhaustive checks in repro.core.theorems.
+"""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.boolean import threshold_count_function
+from repro.core.evolution import parallel_orbit, sequential_converge
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, TableRule, WolframRule
+from repro.core.schedules import RandomPermutationSweeps
+from repro.core.energy import ThresholdNetwork
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+# -- strategies ----------------------------------------------------------------
+
+ring_sizes = st.integers(min_value=3, max_value=9)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+thresholds3 = st.integers(min_value=0, max_value=4)
+
+
+@st.composite
+def small_connected_graph(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    p = draw(st.floats(min_value=0.3, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    # Connect stragglers so every node has context.
+    nodes = list(g.nodes)
+    for a, b in zip(nodes, nodes[1:]):
+        g.add_edge(a, b)
+    return g
+
+
+# -- parallel threshold dynamics ----------------------------------------------------
+
+
+class TestParallelThresholdProperties:
+    @given(ring_sizes, thresholds3, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_orbit_period_at_most_two(self, n, t, seed):
+        """Proposition 1 over random rings, thresholds, and starts."""
+        rule = TableRule(threshold_count_function(3, t))
+        ca = CellularAutomaton(Ring(n), rule)
+        x0 = np.random.default_rng(seed).integers(0, 2, n).astype(np.uint8)
+        orbit = parallel_orbit(ca, x0)
+        assert orbit.period in (1, 2)
+
+    @given(small_connected_graph(), st.integers(min_value=1, max_value=4), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_orbit_period_at_most_two_on_graphs(self, g, t, seed):
+        from repro.core.rules import SimpleThresholdRule
+
+        ca = CellularAutomaton(GraphSpace(g), SimpleThresholdRule(t))
+        x0 = np.random.default_rng(seed).integers(0, 2, ca.n).astype(np.uint8)
+        orbit = parallel_orbit(ca, x0)
+        assert orbit.period in (1, 2)
+
+    @given(ring_sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_majority_never_increases_disagreement_energy(self, n, seed):
+        """The pair energy is non-increasing along any majority orbit."""
+        ca = CellularAutomaton(Ring(n), MajorityRule())
+        net = ThresholdNetwork.from_automaton(ca)
+        x = np.random.default_rng(seed).integers(0, 2, n).astype(np.uint8)
+        y = ca.step(x)
+        prev_energy = net.parallel_pair_energy(x, y)
+        for _ in range(12):
+            z = ca.step(y)
+            energy = net.parallel_pair_energy(y, z)
+            assert energy <= prev_energy + 1e-9
+            x, y, prev_energy = y, z, energy
+
+
+# -- sequential threshold dynamics -----------------------------------------------------
+
+
+class TestSequentialThresholdProperties:
+    @given(st.integers(min_value=3, max_value=8), thresholds3)
+    @settings(max_examples=20, deadline=None)
+    def test_nondet_phase_space_cycle_free(self, n, t):
+        """Theorem 1 over random (ring size, threshold) pairs."""
+        rule = TableRule(threshold_count_function(3, t))
+        ca = CellularAutomaton(Ring(n), rule)
+        assert not NondetPhaseSpace.from_automaton(ca).has_proper_cycle()
+
+    @given(ring_sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_fair_runs_converge(self, n, seed):
+        ca = CellularAutomaton(Ring(n), MajorityRule())
+        rng = np.random.default_rng(seed)
+        x0 = rng.integers(0, 2, n).astype(np.uint8)
+        res = sequential_converge(ca, x0, RandomPermutationSweeps(seed))
+        assert res.converged
+
+    @given(ring_sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_sequential_run_never_revisits_left_config(self, n, seed):
+        """Cycle-freeness observed on trajectories: once a configuration
+        changes, it is never seen again."""
+        ca = CellularAutomaton(Ring(n), MajorityRule())
+        rng = np.random.default_rng(seed)
+        state = rng.integers(0, 2, n).astype(np.uint8)
+        seen = []
+        current = ca.pack(state)
+        for _ in range(20 * n):
+            node = int(rng.integers(n))
+            if ca.update_node_inplace(state, node):
+                code = ca.pack(state)
+                assert code not in seen
+                seen.append(current)
+                current = code
+
+    @given(ring_sizes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_sequential_fp_set_equals_parallel_fp_set(self, n, seed):
+        ca = CellularAutomaton(Ring(n), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        nps = NondetPhaseSpace.from_automaton(ca)
+        np.testing.assert_array_equal(ps.fixed_points, nps.fixed_points)
+
+
+# -- generic engine invariants ---------------------------------------------------------
+
+
+class TestEngineProperties:
+    @given(st.integers(min_value=0, max_value=255), ring_sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_step_matches_naive_for_all_elementary_rules(self, rule_num, n, seed):
+        ca = CellularAutomaton(Ring(n), WolframRule(rule_num))
+        x = np.random.default_rng(seed).integers(0, 2, n).astype(np.uint8)
+        np.testing.assert_array_equal(ca.step(x), ca.step_naive(x))
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(3, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_step_all_consistent_with_step(self, rule_num, n):
+        ca = CellularAutomaton(Ring(n), WolframRule(rule_num))
+        succ = ca.step_all()
+        rng = np.random.default_rng(rule_num)
+        for code in rng.integers(0, 1 << n, size=8):
+            assert int(succ[code]) == ca.pack(ca.step(ca.unpack(int(code))))
+
+    @given(ring_sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_block_full_equals_synchronous(self, n, seed):
+        from repro.core.evolution import block_step
+
+        ca = CellularAutomaton(Ring(n), MajorityRule())
+        x = np.random.default_rng(seed).integers(0, 2, n).astype(np.uint8)
+        np.testing.assert_array_equal(block_step(ca, x, range(n)), ca.step(x))
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_classification_consistent_with_orbit(self, code):
+        from repro.core.phase_space import ConfigClass
+
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        code %= 256
+        orbit = parallel_orbit(ca, ca.unpack(code))
+        cls = ps.classify(code)
+        if cls is ConfigClass.FIXED_POINT:
+            assert orbit.transient == 0 and orbit.period == 1
+        elif cls is ConfigClass.CYCLE:
+            assert orbit.transient == 0 and orbit.period >= 2
+        else:
+            assert orbit.transient >= 1

@@ -1,0 +1,198 @@
+"""Tests for the update-rule hierarchy (repro.core.rules)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolean import majority_function, xor_function
+from repro.core.rules import (
+    MajorityRule,
+    SimpleThresholdRule,
+    TableRule,
+    TotalisticRule,
+    WolframRule,
+    XorRule,
+    majority_table_rule,
+    threshold_table_rule,
+    xor_table_rule,
+)
+
+
+class TestTableRule:
+    def test_evaluate_matches_function(self):
+        rule = TableRule(majority_function(3))
+        assert rule.evaluate([1, 1, 0]) == 1
+        assert rule.evaluate([1, 0, 0]) == 0
+
+    def test_arity_fixed(self):
+        assert TableRule(majority_function(5)).arity == 5
+
+    def test_apply_windows_vectorized(self):
+        rule = TableRule(xor_function(2))
+        inputs = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.uint8)
+        lengths = np.full(4, 2)
+        np.testing.assert_array_equal(
+            rule.apply_windows(inputs, lengths), [0, 1, 1, 0]
+        )
+
+    def test_apply_windows_rejects_wrong_width(self):
+        rule = TableRule(xor_function(2))
+        with pytest.raises(ValueError):
+            rule.apply_windows(np.zeros((2, 3), dtype=np.uint8), np.full(2, 3))
+
+    def test_structure_helpers(self):
+        assert TableRule(majority_function(3)).is_monotone()
+        assert not TableRule(xor_function(3)).is_monotone()
+        assert TableRule(xor_function(3)).is_symmetric()
+
+    def test_from_raw_table(self):
+        rule = TableRule([0, 1, 1, 0])
+        assert rule.evaluate([1, 0]) == 1
+
+
+class TestMajorityRule:
+    def test_odd_window_strict(self):
+        rule = MajorityRule()
+        assert rule.evaluate([1, 1, 0]) == 1
+        assert rule.evaluate([1, 0, 0]) == 0
+
+    def test_even_window_ties_zero(self):
+        assert MajorityRule(ties="zero").evaluate([1, 0]) == 0
+
+    def test_even_window_ties_one(self):
+        assert MajorityRule(ties="one").evaluate([1, 0]) == 1
+
+    def test_rejects_bad_ties(self):
+        with pytest.raises(ValueError):
+            MajorityRule(ties="maybe")
+
+    def test_flexible_arity(self):
+        rule = MajorityRule()
+        assert rule.evaluate([1] * 7) == 1
+        assert rule.evaluate([1, 0, 0, 0, 0]) == 0
+
+    def test_fixed_arity_enforced(self):
+        rule = MajorityRule(arity=3)
+        with pytest.raises(ValueError):
+            rule.evaluate([1, 0])
+
+    def test_truth_table_matches_boolean(self):
+        assert MajorityRule().truth_table(3) == majority_function(3)
+        assert MajorityRule().truth_table(5) == majority_function(5)
+
+    def test_with_arity(self):
+        fixed = MajorityRule().with_arity(3)
+        assert fixed.arity == 3
+        assert fixed.evaluate([1, 1, 0]) == 1
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=9))
+    @settings(max_examples=50)
+    def test_matches_counting_definition(self, bits):
+        expected = int(2 * sum(bits) > len(bits))
+        assert MajorityRule().evaluate(bits) == expected
+
+
+class TestSimpleThresholdRule:
+    def test_threshold_semantics(self):
+        rule = SimpleThresholdRule(2)
+        assert rule.evaluate([1, 1, 0]) == 1
+        assert rule.evaluate([1, 0, 0]) == 0
+
+    def test_threshold_zero_is_constant_one(self):
+        assert SimpleThresholdRule(0).evaluate([0, 0, 0]) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimpleThresholdRule(-1)
+
+    def test_majority_as_threshold(self):
+        # For window width 3: majority == threshold 2.
+        maj = MajorityRule()
+        thr = SimpleThresholdRule(2)
+        for x in range(8):
+            bits = [(x >> j) & 1 for j in range(3)]
+            assert maj.evaluate(bits) == thr.evaluate(bits)
+
+
+class TestXorRule:
+    def test_parity(self):
+        rule = XorRule()
+        assert rule.evaluate([1, 1]) == 0
+        assert rule.evaluate([1, 0, 1, 1]) == 1
+
+    def test_truth_table(self):
+        assert XorRule().truth_table(3) == xor_function(3)
+
+
+class TestTotalisticRule:
+    def test_profile_semantics(self):
+        # Fires on exactly one or exactly three ones (3-input XOR).
+        rule = TotalisticRule([0, 1, 0, 1])
+        assert rule.arity == 3
+        assert rule.evaluate([1, 0, 0]) == 1
+        assert rule.evaluate([1, 1, 0]) == 0
+        assert rule.evaluate([1, 1, 1]) == 1
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError):
+            TotalisticRule([0])
+        with pytest.raises(ValueError):
+            TotalisticRule([0, 2])
+
+    def test_profile_readonly(self):
+        rule = TotalisticRule([0, 1])
+        with pytest.raises(ValueError):
+            rule.profile[0] = 1
+
+
+class TestWolframRule:
+    def test_rule_232_equals_majority(self):
+        maj = MajorityRule()
+        wolf = WolframRule(232)
+        for x in range(8):
+            bits = [(x >> j) & 1 for j in range(3)]
+            assert wolf.evaluate(bits) == maj.evaluate(bits)
+
+    def test_name_carries_number(self):
+        assert "110" in WolframRule(110).name
+
+
+class TestFactoryHelpers:
+    def test_majority_table_rule(self):
+        rule = majority_table_rule(5)
+        assert rule.arity == 5
+        assert rule.evaluate([1, 1, 1, 0, 0]) == 1
+
+    def test_threshold_table_rule(self):
+        rule = threshold_table_rule(3, 1)
+        assert rule.evaluate([0, 0, 1]) == 1
+        assert rule.evaluate([0, 0, 0]) == 0
+
+    def test_xor_table_rule(self):
+        rule = xor_table_rule(2)
+        assert rule.evaluate([1, 1]) == 0
+
+    def test_table_and_symmetric_rules_agree_vectorized(self):
+        sym = MajorityRule()
+        tab = majority_table_rule(3)
+        inputs = np.array(
+            [[(x >> j) & 1 for j in range(3)] for x in range(8)], dtype=np.uint8
+        )
+        lengths = np.full(8, 3)
+        np.testing.assert_array_equal(
+            sym.apply_windows(inputs, lengths), tab.apply_windows(inputs, lengths)
+        )
+
+
+class TestSymmetricVectorization:
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    @settings(max_examples=40)
+    def test_apply_windows_matches_evaluate(self, seed):
+        rng = np.random.default_rng(seed)
+        inputs = rng.integers(0, 2, size=(6, 4)).astype(np.uint8)
+        lengths = np.full(6, 4)
+        for rule in (MajorityRule(), SimpleThresholdRule(2), XorRule()):
+            vec = rule.apply_windows(inputs, lengths)
+            scalar = [rule.evaluate(list(row)) for row in inputs]
+            assert vec.tolist() == scalar

@@ -1,0 +1,178 @@
+"""Tests for update schedules (repro.core.schedules)."""
+
+import itertools
+
+import pytest
+
+from repro.core.schedules import (
+    BlockSequential,
+    FixedPermutation,
+    FixedWord,
+    RandomPermutationSweeps,
+    RandomSingleNode,
+    Synchronous,
+)
+
+
+def take(schedule, n, k):
+    return list(itertools.islice(schedule.blocks(n), k))
+
+
+class TestSynchronous:
+    def test_yields_full_blocks(self):
+        blocks = take(Synchronous(), 4, 3)
+        assert blocks == [(0, 1, 2, 3)] * 3
+
+    def test_not_sequential(self):
+        assert not Synchronous().is_sequential
+
+    def test_fairness_bound(self):
+        assert Synchronous().fairness_bound(5) == 1
+
+
+class TestFixedPermutation:
+    def test_identity_default(self):
+        blocks = take(FixedPermutation(), 3, 6)
+        assert blocks == [(0,), (1,), (2,), (0,), (1,), (2,)]
+
+    def test_custom_order(self):
+        blocks = take(FixedPermutation([2, 0, 1]), 3, 3)
+        assert blocks == [(2,), (0,), (1,)]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            take(FixedPermutation([0, 0, 1]), 3, 1)
+
+    def test_is_sequential(self):
+        assert FixedPermutation().is_sequential
+
+    def test_fairness_bound(self):
+        assert FixedPermutation().fairness_bound(4) == 7
+
+
+class TestFixedWord:
+    def test_repeats_word(self):
+        blocks = take(FixedWord([0, 0, 2]), 3, 6)
+        assert blocks == [(0,), (0,), (2,), (0,), (0,), (2,)]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FixedWord([])
+
+    def test_rejects_out_of_range_letter(self):
+        with pytest.raises(ValueError):
+            take(FixedWord([0, 7]), 3, 1)
+
+    def test_unfair_word_has_no_bound(self):
+        assert FixedWord([0, 0]).fairness_bound(2) is None
+
+    def test_fair_word_bound(self):
+        assert FixedWord([0, 1]).fairness_bound(2) == 2
+
+
+class TestBlockSequential:
+    def test_blocks_cycle(self):
+        sched = BlockSequential([(0, 2), (1, 3)])
+        blocks = take(sched, 4, 4)
+        assert blocks == [(0, 2), (1, 3), (0, 2), (1, 3)]
+
+    def test_rejects_non_partition(self):
+        with pytest.raises(ValueError):
+            take(BlockSequential([(0, 1), (1, 2)]), 3, 1)
+        with pytest.raises(ValueError):
+            take(BlockSequential([(0,), (1,)]), 3, 1)
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            BlockSequential([(0,), ()])
+
+    def test_sequential_detection(self):
+        assert BlockSequential([(0,), (1,)]).is_sequential
+        assert not BlockSequential([(0, 1)]).is_sequential
+
+    def test_single_block_is_synchronous_like(self):
+        sched = BlockSequential([(0, 1, 2)])
+        assert take(sched, 3, 2) == [(0, 1, 2), (0, 1, 2)]
+
+
+class TestRandomSchedules:
+    def test_sweeps_are_permutations(self):
+        blocks = take(RandomPermutationSweeps(seed=4), 5, 15)
+        flat = [b[0] for b in blocks]
+        for start in range(0, 15, 5):
+            assert sorted(flat[start : start + 5]) == list(range(5))
+
+    def test_sweeps_deterministic_given_seed(self):
+        a = take(RandomPermutationSweeps(seed=1), 4, 12)
+        b = take(RandomPermutationSweeps(seed=1), 4, 12)
+        assert a == b
+
+    def test_sweeps_differ_across_seeds(self):
+        a = take(RandomPermutationSweeps(seed=1), 6, 18)
+        b = take(RandomPermutationSweeps(seed=2), 6, 18)
+        assert a != b
+
+    def test_single_node_in_range(self):
+        blocks = take(RandomSingleNode(seed=0), 4, 50)
+        assert all(len(b) == 1 and 0 <= b[0] < 4 for b in blocks)
+
+    def test_single_node_deterministic(self):
+        assert take(RandomSingleNode(seed=9), 3, 20) == take(
+            RandomSingleNode(seed=9), 3, 20
+        )
+
+    def test_describe_strings(self):
+        assert "seed" in RandomSingleNode(seed=3).describe()
+        assert "FixedWord" in FixedWord([0]).describe()
+
+
+class TestAlphaAsynchronous:
+    def test_blocks_nonempty_and_in_range(self):
+        from repro.core.schedules import AlphaAsynchronous
+
+        blocks = take(AlphaAsynchronous(0.4, seed=2), 6, 30)
+        for b in blocks:
+            assert b and all(0 <= i < 6 for i in b)
+            assert len(set(b)) == len(b)  # no duplicates within a block
+
+    def test_alpha_one_is_synchronous(self):
+        from repro.core.schedules import AlphaAsynchronous
+
+        blocks = take(AlphaAsynchronous(1.0, seed=0), 5, 4)
+        assert blocks == [(0, 1, 2, 3, 4)] * 4
+
+    def test_not_sequential(self):
+        from repro.core.schedules import AlphaAsynchronous
+
+        assert not AlphaAsynchronous(0.5).is_sequential
+
+    def test_rejects_bad_alpha(self):
+        from repro.core.schedules import AlphaAsynchronous
+
+        with pytest.raises(ValueError):
+            AlphaAsynchronous(0.0)
+        with pytest.raises(ValueError):
+            AlphaAsynchronous(1.5)
+
+    def test_deterministic_given_seed(self):
+        from repro.core.schedules import AlphaAsynchronous
+
+        a = take(AlphaAsynchronous(0.6, seed=9), 7, 20)
+        b = take(AlphaAsynchronous(0.6, seed=9), 7, 20)
+        assert a == b
+
+    def test_oscillation_destroyed_for_alpha_below_one(self):
+        import numpy as np
+
+        from repro.core.automaton import CellularAutomaton
+        from repro.core.evolution import sequential_converge
+        from repro.core.rules import MajorityRule
+        from repro.core.schedules import AlphaAsynchronous
+        from repro.spaces.line import Ring
+
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        alt = (np.arange(10) % 2).astype(np.uint8)
+        res = sequential_converge(
+            ca, alt, AlphaAsynchronous(0.5, seed=3), max_updates=5_000
+        )
+        assert res.converged

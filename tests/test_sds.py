@@ -1,0 +1,252 @@
+"""Tests for sequential dynamical systems (repro.sds)."""
+
+import itertools
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.rules import MajorityRule, SimpleThresholdRule, XorRule
+from repro.sds.equivalence import (
+    acyclic_orientation_count,
+    sds_equivalence_classes,
+    verify_orientation_bound,
+)
+from repro.sds.gardens import (
+    garden_of_eden_configs,
+    is_garden_of_eden,
+    is_invertible,
+)
+from repro.sds.sds import SDS, SyDS, constant_vertex_functions
+from repro.spaces.graph import GraphSpace
+from repro.spaces.line import Ring
+
+
+class TestSDSBasics:
+    def test_apply_is_one_sweep(self):
+        sds = SDS(nx.cycle_graph(5), MajorityRule())
+        ca = CellularAutomaton(GraphSpace(nx.cycle_graph(5)), MajorityRule())
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 2, 5).astype(np.uint8)
+            expected = x.copy()
+            for i in range(5):
+                ca.update_node_inplace(expected, i)
+            np.testing.assert_array_equal(sds.apply(x.copy()), expected)
+
+    def test_global_map_matches_apply(self):
+        sds = SDS(nx.cycle_graph(5), MajorityRule(), permutation=[4, 2, 0, 3, 1])
+        gm = sds.global_map
+        ca = CellularAutomaton(GraphSpace(nx.cycle_graph(5)), MajorityRule())
+        for code in range(32):
+            x = ca.unpack(code)
+            np.testing.assert_array_equal(
+                sds.apply(x), ca.unpack(int(gm[code]))
+            )
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            SDS(nx.path_graph(3), MajorityRule(), permutation=[0, 0, 1])
+
+    def test_with_permutation_shares_functions(self):
+        sds = SDS(nx.path_graph(4), MajorityRule())
+        other = sds.with_permutation([3, 2, 1, 0])
+        assert other.permutation == (3, 2, 1, 0)
+        assert other._ca is sds._ca
+
+    def test_accepts_finite_space(self):
+        sds = SDS(Ring(5), MajorityRule())
+        assert sds.n == 5
+
+    def test_phase_space_cycle_free_for_majority(self):
+        # An SDS map composes single updates, so majority SDS inherit the
+        # SCA convergence: no proper cycles beyond the identity sweep.
+        sds = SDS(nx.cycle_graph(6), MajorityRule())
+        ps = sds.phase_space()
+        assert not ps.has_proper_cycle()
+
+    def test_xor_sds_is_invertible_bijection(self):
+        # XOR vertex functions make each single-node update an involution
+        # on its bit given the neighbors; sweeps are bijections.
+        sds = SDS(nx.path_graph(4), XorRule())
+        assert is_invertible(sds)
+
+
+class TestHeterogeneousSDS:
+    def test_per_vertex_functions(self):
+        g = nx.path_graph(3)
+        space = GraphSpace(g)
+        rules = constant_vertex_functions(space, MajorityRule())
+        sds = SDS(space, rules)
+        homo = SDS(space, MajorityRule())
+        np.testing.assert_array_equal(sds.global_map, homo.global_map)
+
+    def test_mixed_rules(self):
+        g = nx.path_graph(3)
+        space = GraphSpace(g)
+        # Ends follow OR (threshold 1), middle follows AND (threshold 3).
+        rules = [
+            SimpleThresholdRule(1).with_arity(2),
+            SimpleThresholdRule(3).with_arity(3),
+            SimpleThresholdRule(1).with_arity(2),
+        ]
+        sds = SDS(space, rules)
+        # From 010: node 0 sees (0,1) -> OR fires -> 110; node 1 sees
+        # (1,1,0) -> AND doesn't -> 100; node 2 sees (0,0) -> 100.
+        out = sds.apply(np.array([0, 1, 0], dtype=np.uint8))
+        np.testing.assert_array_equal(out, [1, 0, 0])
+
+    def test_wrong_count_rejected(self):
+        space = GraphSpace(nx.path_graph(3))
+        with pytest.raises(ValueError):
+            SDS(space, [MajorityRule().with_arity(2)])
+
+    def test_arity_mismatch_rejected(self):
+        space = GraphSpace(nx.path_graph(3))
+        rules = [MajorityRule().with_arity(5)] * 3
+        with pytest.raises(ValueError):
+            SDS(space, rules)
+
+
+class TestSyDS:
+    def test_matches_parallel_ca(self):
+        syds = SyDS(nx.cycle_graph(6), MajorityRule())
+        ca = CellularAutomaton(GraphSpace(nx.cycle_graph(6)), MajorityRule())
+        np.testing.assert_array_equal(syds.global_map, ca.step_all())
+
+    def test_two_cycle_present(self):
+        syds = SyDS(nx.cycle_graph(6), MajorityRule())
+        assert syds.phase_space().has_proper_cycle()
+
+    def test_apply(self):
+        syds = SyDS(nx.cycle_graph(6), MajorityRule())
+        alt = (np.arange(6) % 2).astype(np.uint8)
+        np.testing.assert_array_equal(syds.apply(alt), 1 - alt)
+
+
+class TestEquivalence:
+    def test_identity_vs_reverse_may_differ(self):
+        sds = SDS(nx.path_graph(3), MajorityRule())
+        classes = sds_equivalence_classes(
+            sds, permutations=[(0, 1, 2), (2, 1, 0)]
+        )
+        # On a path with majority, order matters in general.
+        assert len(classes) in (1, 2)
+
+    def test_disconnected_graph_all_orders_equal(self):
+        g = nx.empty_graph(3)
+        sds = SDS(g, SimpleThresholdRule(1))
+        classes = sds_equivalence_classes(sds)
+        assert len(classes) == 1  # no edges -> updates commute
+
+    def test_acyclic_orientations_known_values(self):
+        assert acyclic_orientation_count(nx.path_graph(2)) == 2
+        assert acyclic_orientation_count(nx.path_graph(3)) == 4
+        assert acyclic_orientation_count(nx.cycle_graph(3)) == 6
+        assert acyclic_orientation_count(nx.cycle_graph(4)) == 14  # 3^4-...? no: 2^4-2=14
+        assert acyclic_orientation_count(nx.complete_graph(3)) == 6
+        assert acyclic_orientation_count(nx.complete_graph(4)) == 24  # n!
+
+    def test_acyclic_orientations_empty_and_single(self):
+        assert acyclic_orientation_count(nx.empty_graph(3)) == 1
+        assert acyclic_orientation_count(nx.Graph()) == 1
+
+    def test_orientation_bound_on_small_graphs(self):
+        for g in (nx.path_graph(4), nx.cycle_graph(4), nx.star_graph(3)):
+            rep = verify_orientation_bound(SDS(g, MajorityRule()))
+            assert rep.bound_holds
+            assert rep.permutations == 24
+
+    def test_orientation_bound_with_xor(self):
+        rep = verify_orientation_bound(SDS(nx.cycle_graph(4), XorRule()))
+        assert rep.bound_holds
+
+
+class TestGardens:
+    def test_majority_syds_has_gardens(self):
+        syds = SyDS(nx.cycle_graph(5), MajorityRule())
+        goe = garden_of_eden_configs(syds)
+        assert goe.size > 0
+        for code in goe.tolist():
+            assert is_garden_of_eden(syds, code)
+
+    def test_non_garden_detected(self):
+        syds = SyDS(nx.cycle_graph(5), MajorityRule())
+        assert not is_garden_of_eden(syds, 0)  # all-zero has preimages
+
+    def test_is_garden_rejects_out_of_range(self):
+        syds = SyDS(nx.cycle_graph(5), MajorityRule())
+        with pytest.raises(ValueError):
+            is_garden_of_eden(syds, 1 << 10)
+
+    def test_invertible_iff_no_gardens(self):
+        for graph, rule in [
+            (nx.path_graph(4), XorRule()),
+            (nx.cycle_graph(5), MajorityRule()),
+        ]:
+            sds = SDS(graph, rule)
+            assert is_invertible(sds) == (garden_of_eden_configs(sds).size == 0)
+
+
+class TestSDSvsSCAConsistency:
+    def test_sds_sweep_reachable_in_sca(self):
+        """One SDS sweep is one particular interleaving of the SCA."""
+        g = nx.cycle_graph(5)
+        sds = SDS(g, MajorityRule())
+        ca = CellularAutomaton(GraphSpace(g), MajorityRule())
+        nps = NondetPhaseSpace.from_automaton(ca)
+        gm = sds.global_map
+        for code in range(32):
+            assert nps.can_reach(code, int(gm[code]))
+
+    def test_all_permutation_maps_cycle_free(self):
+        """Every update order yields a cycle-free SDS phase space for
+        majority — Theorem 1 restated for SDS."""
+        g = nx.cycle_graph(4)
+        sds = SDS(g, MajorityRule())
+        for perm in itertools.permutations(range(4)):
+            ps = sds.with_permutation(perm).phase_space()
+            assert not ps.has_proper_cycle()
+
+
+class TestWordSDS:
+    def test_permutation_word_equals_global_map(self):
+        sds = SDS(nx.cycle_graph(5), MajorityRule(), permutation=[3, 1, 4, 0, 2])
+        np.testing.assert_array_equal(
+            sds.word_map([3, 1, 4, 0, 2]), sds.global_map
+        )
+
+    def test_word_maps_compose(self):
+        sds = SDS(nx.cycle_graph(5), MajorityRule())
+        w1 = [0, 2, 2, 4]
+        w2 = [1, 3, 0]
+        combined = sds.word_map(w1 + w2)
+        composed = sds.word_map(w2)[sds.word_map(w1)]
+        np.testing.assert_array_equal(combined, composed)
+
+    def test_empty_word_is_identity(self):
+        sds = SDS(nx.path_graph(4), MajorityRule())
+        np.testing.assert_array_equal(sds.word_map([]), np.arange(16))
+
+    def test_repeated_letter_is_idempotent(self):
+        # A single-node update is idempotent: updating twice in a row is
+        # the same as once (the second sees its own result).
+        sds = SDS(nx.cycle_graph(5), MajorityRule())
+        once = sds.word_map([2])
+        twice = sds.word_map([2, 2])
+        np.testing.assert_array_equal(once, twice)
+
+    def test_rejects_bad_letter(self):
+        sds = SDS(nx.path_graph(3), MajorityRule())
+        with pytest.raises(ValueError):
+            sds.word_map([0, 7])
+
+    def test_unfair_word_map_may_not_converge_configs(self):
+        # A word missing vertices fixes only what it touches.
+        sds = SDS(nx.cycle_graph(5), MajorityRule())
+        partial = sds.word_map([0])
+        codes = np.arange(32)
+        diffs = partial ^ codes
+        assert np.all((diffs == 0) | (diffs == 1))  # only bit 0 can change

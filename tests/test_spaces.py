@@ -1,0 +1,254 @@
+"""Tests for finite cellular spaces (repro.spaces)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.spaces.cayley import CayleySpace, cayley_product, hypercube_as_cayley
+from repro.spaces.graph import (
+    GraphSpace,
+    complete_space,
+    path_space,
+    star_space,
+)
+from repro.spaces.grid import Grid2D
+from repro.spaces.hypercube import Hypercube
+from repro.spaces.line import Line, Ring
+
+
+class TestRing:
+    def test_neighbors_radius1(self):
+        r = Ring(5)
+        assert r.neighbors(0) == (4, 1)
+        assert r.neighbors(4) == (3, 0)
+
+    def test_neighbors_radius2(self):
+        r = Ring(7, radius=2)
+        assert r.neighbors(0) == (5, 6, 1, 2)
+
+    def test_window_with_memory_ordered(self):
+        r = Ring(5)
+        assert r.input_window(2, memory=True) == (1, 2, 3)
+
+    def test_window_memoryless(self):
+        r = Ring(5)
+        assert r.input_window(2, memory=False) == (1, 3)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ValueError):
+            Ring(4, radius=2)
+        with pytest.raises(ValueError):
+            Ring(2, radius=1)
+
+    def test_uniform_window(self):
+        assert Ring(9, radius=2).uniform_window == 5
+
+    def test_bipartite_even_only(self):
+        assert Ring(6).is_bipartite()
+        assert not Ring(5).is_bipartite()
+
+    def test_adjacency_symmetric_with_right_degree(self):
+        mat = Ring(8, radius=2).adjacency_matrix()
+        assert (mat != mat.T).nnz == 0
+        assert mat.sum() == 8 * 4
+
+    def test_len(self):
+        assert len(Ring(6)) == 6
+
+
+class TestLine:
+    def test_interior_window(self):
+        assert Line(5).input_window(2, True) == (1, 2, 3)
+
+    def test_boundary_window_has_quiescent(self):
+        line = Line(5)
+        assert line.input_window(0, True) == (-1, 0, 1)
+        assert line.input_window(4, True) == (3, 4, -1)
+
+    def test_degree_at_boundary(self):
+        line = Line(5)
+        assert line.degree(0) == 1
+        assert line.degree(2) == 2
+
+    def test_windows_matrix_uses_padding_slot(self):
+        line = Line(3)
+        mat, lengths = line.windows(True)
+        assert mat.shape == (3, 3)
+        assert mat[0, 0] == 3  # quiescent slot = n
+        assert lengths.tolist() == [3, 3, 3]
+
+    def test_line_is_bipartite(self):
+        assert Line(7).is_bipartite()
+
+    def test_single_node_line(self):
+        line = Line(1)
+        assert line.input_window(0, True) == (-1, 0, -1)
+
+
+class TestGrid2D:
+    def test_von_neumann_torus_degree(self):
+        g = Grid2D(3, 4)
+        assert all(g.degree(i) == 4 for i in range(g.n))
+
+    def test_moore_torus_degree(self):
+        g = Grid2D(3, 3, neighborhood="moore")
+        assert all(g.degree(i) == 8 for i in range(g.n))
+
+    def test_bounded_corner(self):
+        g = Grid2D(3, 3, torus=False)
+        corner = g.index(0, 0)
+        assert g.degree(corner) == 2
+
+    def test_index_cell_roundtrip(self):
+        g = Grid2D(3, 5)
+        for i in range(g.n):
+            r, c = g.cell(i)
+            assert g.index(r, c) == i
+
+    def test_von_neumann_torus_bipartite_iff_even_dims(self):
+        assert Grid2D(4, 4).is_bipartite()
+        assert not Grid2D(3, 4).is_bipartite()  # odd wrap creates odd cycles
+
+    def test_moore_torus_not_bipartite(self):
+        assert not Grid2D(4, 4, neighborhood="moore").is_bipartite()
+
+    def test_rejects_small_torus(self):
+        with pytest.raises(ValueError):
+            Grid2D(2, 4, torus=True)
+
+    def test_rejects_bad_neighborhood(self):
+        with pytest.raises(ValueError):
+            Grid2D(3, 3, neighborhood="hex")
+
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ValueError):
+            Grid2D(3, 3).index(3, 0)
+
+
+class TestHypercube:
+    def test_sizes(self):
+        assert Hypercube(3).n == 8
+        assert Hypercube(3).degree(0) == 3
+
+    def test_neighbors_are_bit_flips(self):
+        h = Hypercube(4)
+        assert set(h.neighbors(0b0101)) == {0b0100, 0b0111, 0b0001, 0b1101}
+
+    def test_bipartite_with_parity_classes(self):
+        h = Hypercube(3)
+        assert h.is_bipartite()
+        even, odd = h.parity_classes()
+        assert len(even) == len(odd) == 4
+        for i in even:
+            assert all(j in odd for j in h.neighbors(i))
+
+    def test_rejects_huge(self):
+        with pytest.raises(ValueError):
+            Hypercube(17)
+
+
+class TestGraphSpace:
+    def test_relabelling_sorted(self):
+        g = nx.Graph([("c", "a"), ("a", "b")])
+        space = GraphSpace(g)
+        assert space.labels == ["a", "b", "c"]
+        assert space.neighbors(0) == (1, 2)  # 'a' touches 'b' and 'c'
+
+    def test_self_loops_dropped(self):
+        g = nx.Graph([(0, 0), (0, 1)])
+        space = GraphSpace(g)
+        assert space.neighbors(0) == (1,)
+
+    def test_rejects_directed(self):
+        with pytest.raises(ValueError):
+            GraphSpace(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GraphSpace(nx.Graph())
+
+    def test_from_edges(self):
+        space = GraphSpace.from_edges([(0, 1), (1, 2)])
+        assert space.n == 3
+
+    def test_complete_space(self):
+        k4 = complete_space(4)
+        assert all(k4.degree(i) == 3 for i in range(4))
+
+    def test_star_space(self):
+        star = star_space(4)
+        degs = sorted(star.degree(i) for i in range(star.n))
+        assert degs == [1, 1, 1, 1, 4]
+
+    def test_path_space_matches_line_graph(self):
+        p = path_space(4)
+        assert p.degree(0) == 1 and p.degree(1) == 2
+
+    def test_variable_degree_has_no_uniform_window(self):
+        assert star_space(3).uniform_window is None
+
+
+class TestCayley:
+    def test_ring_as_cayley(self):
+        c = CayleySpace(7, [1])
+        r = Ring(7)
+        for i in range(7):
+            assert set(c.neighbors(i)) == set(r.neighbors(i))
+
+    def test_radius2_ring_as_cayley(self):
+        c = CayleySpace(9, [1, 2])
+        r = Ring(9, radius=2)
+        for i in range(9):
+            assert set(c.neighbors(i)) == set(r.neighbors(i))
+
+    def test_generator_closure_under_negation(self):
+        c = CayleySpace(10, [3])
+        assert 7 in c.generators  # -3 mod 10
+
+    def test_rejects_identity_generator(self):
+        with pytest.raises(ValueError):
+            CayleySpace(5, [0])
+        with pytest.raises(ValueError):
+            CayleySpace(5, [5])
+
+    def test_product_torus_matches_grid(self):
+        torus = cayley_product((3, 4), [(1, 0), (0, 1)])
+        grid = Grid2D(3, 4)
+        assert torus.n == grid.n
+        for i in range(torus.n):
+            assert set(torus.neighbors(i)) == set(grid.neighbors(i))
+
+    def test_product_coords_roundtrip(self):
+        t = cayley_product((3, 5), [(1, 0)])
+        for i in range(t.n):
+            assert t.index(t.coords(i)) == i
+
+    def test_hypercube_as_cayley(self):
+        c = hypercube_as_cayley(3)
+        h = Hypercube(3)
+        assert c.n == h.n
+        for i in range(8):
+            assert set(c.neighbors(i)) == set(h.neighbors(i))
+
+    def test_product_rejects_identity(self):
+        with pytest.raises(ValueError):
+            cayley_product((3, 3), [(0, 0)])
+
+    def test_product_rejects_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            cayley_product((3, 3), [(1,)])
+
+
+class TestWindowsMatrix:
+    def test_gather_equivalence(self):
+        """The window matrix reproduces input_window semantics exactly."""
+        rng = np.random.default_rng(0)
+        for space in (Ring(7), Line(6, radius=2), Grid2D(3, 3), Hypercube(3)):
+            state = rng.integers(0, 2, space.n).astype(np.uint8)
+            ext = np.concatenate([state, [0]]).astype(np.uint8)
+            mat, lengths = space.windows(True)
+            for i in range(space.n):
+                window = space.input_window(i, True)
+                direct = [0 if j < 0 else int(state[j]) for j in window]
+                gathered = ext[mat[i, : lengths[i]]].tolist()
+                assert gathered == direct

@@ -1,0 +1,65 @@
+"""Tests for phase-space statistics (repro.analysis.statistics)."""
+
+from repro.analysis.statistics import nondet_stats, phase_space_stats
+from repro.core.automaton import CellularAutomaton
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, XorRule
+from repro.spaces.line import Ring
+
+
+class TestPhaseSpaceStats:
+    def test_majority8(self):
+        ps = PhaseSpace.from_automaton(
+            CellularAutomaton(Ring(8), MajorityRule())
+        )
+        stats = phase_space_stats(ps)
+        assert stats.configurations == 256
+        assert stats.proper_cycles == 1
+        assert stats.max_cycle_length == 2
+        assert stats.cycle_configs == 2
+        assert stats.fixed_points + stats.cycle_configs + stats.transient_configs == 256
+        assert stats.largest_basin >= stats.mean_basin_size
+
+    def test_as_dict_roundtrip(self):
+        ps = PhaseSpace.from_automaton(
+            CellularAutomaton(Ring(6), MajorityRule())
+        )
+        d = phase_space_stats(ps).as_dict()
+        assert d["configurations"] == 64
+        assert isinstance(d["mean_basin_size"], float)
+
+    def test_xor_stats(self):
+        ps = PhaseSpace.from_automaton(CellularAutomaton(Ring(4), XorRule()))
+        stats = phase_space_stats(ps)
+        # Non-monotone rule: many proper cycles (vs. exactly one for
+        # majority on an even ring), and no transients at all (linearity).
+        assert stats.proper_cycles >= 2
+        assert stats.transient_configs == 0
+
+
+class TestNondetStats:
+    def test_majority_stats(self):
+        nps = NondetPhaseSpace.from_automaton(
+            CellularAutomaton(Ring(6), MajorityRule())
+        )
+        stats = nondet_stats(nps)
+        assert stats.configurations == 64
+        assert not stats.has_proper_cycle
+        assert stats.proper_cycle_components == 0
+        assert stats.largest_cycle_component == 0
+        assert stats.change_edges > 0
+
+    def test_xor_stats_have_cycles(self):
+        import networkx as nx
+
+        from repro.spaces.graph import GraphSpace
+
+        nps = NondetPhaseSpace.from_automaton(
+            CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        )
+        stats = nondet_stats(nps)
+        assert stats.has_proper_cycle
+        assert stats.largest_cycle_component == 3
+        assert stats.pseudo_fixed_points == 2
+        assert stats.as_dict()["unreachable_configs"] == 1

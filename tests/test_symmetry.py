@@ -1,0 +1,152 @@
+"""Tests for ring-symmetry analysis (repro.analysis.symmetry) and the
+constructive interleaving witnesses (NondetPhaseSpace.shortest_schedule)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.symmetry import (
+    canonical_code,
+    check_reflection_equivariance,
+    check_translation_equivariance,
+    reflect_config,
+    rotate_config,
+    symmetry_classes,
+)
+from repro.core.automaton import CellularAutomaton
+from repro.core.nondet import NondetPhaseSpace
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule, TableRule, WolframRule, XorRule
+from repro.spaces.line import Ring
+
+
+class TestGroupAction:
+    def test_rotate_and_reflect(self):
+        assert rotate_config(0b0001, 4, 1) == 0b0010
+        assert reflect_config(0b0011, 4) == 0b1100
+
+    def test_canonical_is_orbit_minimum(self):
+        n = 6
+        code = 0b010110
+        canon = canonical_code(code, n)
+        orbit = set()
+        for s in range(n):
+            r = rotate_config(code, n, s)
+            orbit.add(r)
+            orbit.add(reflect_config(r, n))
+        assert canon == min(orbit)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=50)
+    def test_canonical_invariant_under_action(self, code, shift):
+        n = 8
+        assert canonical_code(rotate_config(code, n, shift), n) == canonical_code(
+            code, n
+        )
+        assert canonical_code(reflect_config(code, n), n) == canonical_code(code, n)
+
+    def test_symmetry_classes_partition(self):
+        classes = symmetry_classes(range(64), 6)
+        total = sum(len(v) for v in classes.values())
+        assert total == 64
+        # Necklace + reflection count for n=6: 13 binary bracelets.
+        assert len(classes) == 13
+
+
+class TestEquivariance:
+    def test_majority_translation_equivariant_exhaustive(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        assert check_translation_equivariance(ca)
+
+    def test_majority_translation_equivariant_sampled(self):
+        ca = CellularAutomaton(Ring(64), MajorityRule())
+        assert check_translation_equivariance(ca, exhaustive_limit=10)
+
+    def test_all_wolfram_rules_translation_equivariant(self):
+        # Spot-check a spread of elementary rules exhaustively on a 7-ring.
+        for number in (30, 90, 110, 150, 184, 232):
+            ca = CellularAutomaton(Ring(7), WolframRule(number))
+            assert check_translation_equivariance(ca)
+
+    def test_majority_reflection_equivariant(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        assert check_reflection_equivariance(ca)
+
+    def test_shift_rule_not_reflection_equivariant(self):
+        shift = TableRule([0, 1] * 4, name="left-shift")
+        ca = CellularAutomaton(Ring(10), shift)
+        assert check_translation_equivariance(ca)
+        assert not check_reflection_equivariance(ca)
+
+    def test_phase_space_features_closed_under_rotation(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        fps = set(ps.fixed_points.tolist())
+        for code in list(fps):
+            for s in range(8):
+                assert rotate_config(code, 8, s) in fps
+
+    def test_two_cycle_is_one_symmetry_class(self):
+        ca = CellularAutomaton(Ring(8), MajorityRule())
+        ps = PhaseSpace.from_automaton(ca)
+        classes = symmetry_classes(ps.cycle_configs.tolist(), 8)
+        assert len(classes) == 1  # 01010101 and 10101010 are one bracelet
+
+
+class TestShortestSchedule:
+    @pytest.fixture(scope="class")
+    def majority6(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule())
+        return ca, NondetPhaseSpace.from_automaton(ca)
+
+    def test_empty_for_self(self, majority6):
+        _, nps = majority6
+        assert nps.shortest_schedule(5, 5) == []
+
+    def test_none_for_unreachable(self, majority6):
+        _, nps = majority6
+        # 0 is a fixed point: nothing else reachable from it.
+        assert nps.shortest_schedule(0, 1) is None
+
+    def test_witness_replays(self, majority6):
+        ca, nps = majority6
+        rng = np.random.default_rng(4)
+        checked = 0
+        for _ in range(40):
+            src = int(rng.integers(64))
+            reach = nps.reachable_from(src)
+            dst = int(reach[rng.integers(len(reach))])
+            word = nps.shortest_schedule(src, dst)
+            assert word is not None
+            state = ca.unpack(src)
+            for node in word:
+                ca.update_node_inplace(state, node)
+            assert ca.pack(state) == dst
+            checked += 1
+        assert checked == 40
+
+    def test_every_step_is_effective(self, majority6):
+        ca, nps = majority6
+        word = nps.shortest_schedule(0b010101, 0b111111)
+        if word is not None:
+            state = ca.unpack(0b010101)
+            for node in word:
+                assert ca.update_node_inplace(state, node)  # all effective
+
+    def test_xor_witness_to_cycle(self):
+        import networkx as nx
+
+        from repro.spaces.graph import GraphSpace
+
+        ca = CellularAutomaton(GraphSpace(nx.path_graph(2)), XorRule())
+        nps = NondetPhaseSpace.from_automaton(ca)
+        # Reach 01 from 11 by updating node 0 (paper's node 1).
+        word = nps.shortest_schedule(0b11, 0b10)
+        assert word == [0]
+
+    def test_rejects_out_of_range(self, majority6):
+        _, nps = majority6
+        with pytest.raises(ValueError):
+            nps.shortest_schedule(0, 1 << 10)

@@ -1,0 +1,168 @@
+"""Tests for the executable theorems (repro.core.theorems)."""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import MajorityRule
+from repro.core.theorems import (
+    TheoremReport,
+    alternating_config,
+    block_config,
+    check_bipartite_two_cycles,
+    check_corollary1,
+    check_lemma1_parallel,
+    check_lemma1_sequential,
+    check_lemma2_parallel,
+    check_lemma2_sequential,
+    check_proposition1,
+    check_theorem1,
+)
+from repro.spaces.graph import star_space
+from repro.spaces.grid import Grid2D
+from repro.spaces.hypercube import Hypercube
+from repro.spaces.line import Ring
+
+
+class TestWitnessConstructions:
+    def test_alternating(self):
+        np.testing.assert_array_equal(alternating_config(6), [0, 1, 0, 1, 0, 1])
+
+    def test_block(self):
+        np.testing.assert_array_equal(
+            block_config(8, 2), [0, 0, 1, 1, 0, 0, 1, 1]
+        )
+
+    def test_block_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            block_config(9, 2)
+
+    def test_alternating_is_two_cycle_on_even_ring(self):
+        ca = CellularAutomaton(Ring(10), MajorityRule())
+        alt = alternating_config(10)
+        one = ca.step(alt)
+        np.testing.assert_array_equal(one, 1 - alt)
+        np.testing.assert_array_equal(ca.step(one), alt)
+
+    def test_alternating_fixed_for_even_radius(self):
+        # For r=2 the alternating configuration is a FIXED point (each
+        # window holds only 2 of 5 ones) — why Corollary 1 needs the block
+        # witness for even radii.
+        ca = CellularAutomaton(Ring(8, radius=2), MajorityRule())
+        alt = alternating_config(8)
+        assert ca.is_fixed_point(alt)
+
+
+class TestLemma1:
+    def test_parallel_holds(self):
+        report = check_lemma1_parallel(ring_sizes=(4, 6, 8), exhaustive_limit=8)
+        assert report.holds
+        assert report.counterexamples == ()
+        assert any(w[0] == "infinite" for w in report.witnesses)
+
+    def test_parallel_rejects_odd_sizes(self):
+        with pytest.raises(ValueError):
+            check_lemma1_parallel(ring_sizes=(5,))
+
+    def test_sequential_holds(self):
+        report = check_lemma1_sequential(ring_sizes=(3, 4, 5, 6, 7, 8))
+        assert report.holds
+        assert all(
+            not v for k, v in report.details.items() if k.endswith("has_cycle")
+        )
+
+    def test_report_is_truthy(self):
+        assert bool(check_lemma1_sequential(ring_sizes=(4,)))
+
+    def test_report_dataclass_fields(self):
+        report = check_lemma1_parallel(ring_sizes=(6,), exhaustive_limit=6)
+        assert isinstance(report, TheoremReport)
+        assert "MAJORITY" in report.statement
+        assert report.parameters["radius"] == 1
+
+
+class TestTheorem1:
+    def test_holds_default_class(self):
+        report = check_theorem1(ring_sizes=(3, 4, 5, 6, 7))
+        assert report.holds
+        assert report.details["rules_checked"] == 5  # arity-3 thresholds
+
+    def test_radius2_class(self):
+        report = check_theorem1(ring_sizes=(5, 6, 7), radius=2)
+        assert report.holds
+        assert report.details["rules_checked"] == 7  # arity-5 thresholds
+
+
+class TestLemma2:
+    def test_parallel(self):
+        report = check_lemma2_parallel(ring_sizes=(8, 12), exhaustive_limit=12)
+        assert report.holds
+
+    def test_parallel_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            check_lemma2_parallel(ring_sizes=(10,))
+
+    def test_sequential(self):
+        report = check_lemma2_sequential(ring_sizes=(5, 6, 7, 8, 9))
+        assert report.holds
+
+
+class TestCorollary1:
+    def test_holds_radii_1_to_4(self):
+        report = check_corollary1(radii=(1, 2, 3, 4))
+        assert report.holds
+        kinds = {(w[0], w[2]) for w in report.witnesses}
+        assert (1, "block") in kinds
+        assert (3, "alternating") in kinds  # odd radius second cycle
+
+    def test_even_radius_has_block_only(self):
+        report = check_corollary1(radii=(2,))
+        assert report.holds
+        assert all(w[2] == "block" for w in report.witnesses)
+
+
+class TestProposition1:
+    def test_default_spaces(self):
+        report = check_proposition1(
+            spaces=[Ring(8), Ring(9), Grid2D(3, 3), Hypercube(3)]
+        )
+        assert report.holds
+        for value in report.details.values():
+            assert value["max_cycle_length"] <= 2
+
+    def test_explicit_thresholds(self):
+        report = check_proposition1(spaces=[Ring(7)], thresholds=(1, 2, 3))
+        assert report.holds
+
+    def test_irregular_graph(self):
+        report = check_proposition1(spaces=[star_space(4)])
+        assert report.holds
+
+
+class TestBipartite:
+    def test_default_spaces_hold(self):
+        report = check_bipartite_two_cycles()
+        assert report.holds
+        assert len(report.witnesses) >= 5
+
+    def test_non_bipartite_rejected(self):
+        report = check_bipartite_two_cycles(spaces=[Ring(5)])
+        assert not report.holds
+        assert "not bipartite" in report.counterexamples[0][1]
+
+    def test_min_degree_guard(self):
+        # The star is bipartite but its leaves have degree 1: the
+        # construction legitimately does not apply.
+        report = check_bipartite_two_cycles(spaces=[star_space(3)])
+        assert not report.holds
+        assert "degree" in report.counterexamples[0][1]
+
+    def test_hypercube_witness(self):
+        report = check_bipartite_two_cycles(spaces=[Hypercube(3)])
+        assert report.holds
+        ca = CellularAutomaton(Hypercube(3), MajorityRule())
+        even, _ = Hypercube(3).parity_classes()
+        state = np.zeros(8, dtype=np.uint8)
+        for i in even:
+            state[i] = 1
+        np.testing.assert_array_equal(ca.step(state), 1 - state)

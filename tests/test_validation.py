@@ -1,0 +1,94 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_node_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_state_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive(np.int64(2), "x") == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive(1.5, "x")
+
+    def test_message_includes_name(self):
+        with pytest.raises(ValueError, match="radius"):
+            check_positive(-1, "radius")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1, "x")
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckStateVector:
+    def test_coerces_list(self):
+        out = check_state_vector([0, 1, 1], 3)
+        assert out.dtype == np.uint8
+        np.testing.assert_array_equal(out, [0, 1, 1])
+
+    def test_returns_fresh_copy(self):
+        src = np.array([0, 1], dtype=np.uint8)
+        out = check_state_vector(src, 2)
+        out[0] = 1
+        assert src[0] == 0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            check_state_vector([0, 1], 3)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            check_state_vector([0, 2], 2)
+
+
+class TestCheckNodeIndex:
+    def test_accepts_valid(self):
+        assert check_node_index(0, 4) == 0
+        assert check_node_index(3, 4) == 3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_node_index(4, 4)
+        with pytest.raises(ValueError):
+            check_node_index(-1, 4)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_node_index(False, 4)
