@@ -5,15 +5,102 @@ per-experiment index and EXPERIMENTS.md for the paper-vs-measured record):
 the benchmarked callable *returns* the measurement, and the test asserts
 the paper's qualitative claim on it, so a timing run is also a correctness
 run.
+
+At session end the harness additionally persists one structured
+``BENCH_<module>.json`` per benchmark module into the repository root —
+per-benchmark wall-time statistics, parameters, environment and the obs
+metrics snapshot — seeding the repo's performance trajectory so later
+perf PRs have numbers to beat.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+from repro.obs import REGISTRY
+
+BACKEND = "numpy"
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG so benchmark workloads are reproducible."""
     return np.random.default_rng(1999)
+
+
+def _stats_dict(bench) -> dict[str, object]:
+    """Flatten one pytest-benchmark Metadata object into JSON-safe stats."""
+    out: dict[str, object] = {}
+    stats = getattr(bench, "stats", None)
+    for key in ("min", "max", "mean", "stddev", "median", "total"):
+        value = getattr(stats, key, None)
+        if value is not None:
+            out[f"{key}_s"] = float(value)
+    rounds = getattr(stats, "rounds", None)
+    if rounds is not None:
+        out["rounds"] = int(rounds)
+    iterations = getattr(bench, "iterations", None)
+    if iterations is not None:
+        out["iterations"] = int(iterations)
+    return out
+
+
+def _benchmark_entry(bench) -> dict[str, object]:
+    params = getattr(bench, "params", None) or {}
+    return {
+        "name": getattr(bench, "name", "?"),
+        "fullname": getattr(bench, "fullname", "?"),
+        "group": getattr(bench, "group", None),
+        "params": {k: v for k, v in params.items()},
+        "n": params.get("n"),
+        "backend": BACKEND,
+        "stats": _stats_dict(bench),
+    }
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Write ``BENCH_<module>.json`` files for every benchmarked module."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    by_module: dict[str, list[dict[str, object]]] = {}
+    for bench in bench_session.benchmarks:
+        fullname = getattr(bench, "fullname", "")
+        module_path = fullname.split("::", 1)[0]
+        stem = Path(module_path).stem
+        name = stem.removeprefix("bench_") or stem
+        try:
+            by_module.setdefault(name, []).append(_benchmark_entry(bench))
+        except Exception:  # one malformed entry must not lose the rest
+            continue
+    if not by_module:
+        return
+    root = Path(str(session.config.rootpath))
+    generated = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    environment = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "backend": BACKEND,
+    }
+    metrics = REGISTRY.snapshot()
+    for name, entries in sorted(by_module.items()):
+        payload = {
+            "schema": "repro-bench/1",
+            "module": f"bench_{name}",
+            "generated": generated,
+            "exit_status": int(exitstatus),
+            "environment": environment,
+            "benchmarks": sorted(entries, key=lambda e: str(e["fullname"])),
+            "metrics": metrics,
+        }
+        target = root / f"BENCH_{name}.json"
+        target.write_text(
+            json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8"
+        )

@@ -18,7 +18,9 @@ vs. Sequential Interleavings in 1-D Threshold Cellular Automata"* (IPPS
 * sequential dynamical systems over arbitrary graphs (:mod:`repro.sds`);
 * executable versions of every lemma, theorem, corollary and proposition,
   and an experiment registry regenerating each of the paper's artifacts
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* instrumentation — tracing spans, a metrics registry, and structured
+  run artifacts — that is zero-cost until enabled (:mod:`repro.obs`).
 
 Quickstart::
 
@@ -77,6 +79,7 @@ from repro.core import (
     sequential_reachable_set,
     sequential_trajectory,
 )
+from repro import obs
 from repro.spaces import (
     CayleySpace,
     GraphSpace,
@@ -95,6 +98,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # automata & rules
     "CellularAutomaton",
     "HeterogeneousCA",

@@ -11,6 +11,14 @@ Subcommands
 ``phase-space``
     Summarise (and optionally export as Graphviz DOT) the parallel or
     sequential phase space of a small automaton.
+``stats``
+    Pretty-print the obs metrics snapshot (in-process, or from a run
+    directory written via ``--artifacts-dir``).
+
+Every subcommand accepts ``--trace`` (record tracing spans into the
+metrics registry) and ``--artifacts-dir DIR`` (persist the run as
+``manifest.json`` + ``events.jsonl`` under DIR; implies ``--trace``).
+``REPRO_TRACE=1`` in the environment enables tracing globally.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.drawing import (
     nondet_phase_space_dot,
     phase_space_dot,
@@ -128,6 +137,18 @@ def _add_space_rule_args(p: argparse.ArgumentParser) -> None:
                    help="exclude the node's own state from its window")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    group = p.add_argument_group("observability")
+    group.add_argument("--trace", action="store_true",
+                       help="record tracing spans into the metrics registry")
+    group.add_argument("--trace-memory", action="store_true",
+                       help="with --trace: annotate spans with tracemalloc "
+                            "deltas (slower)")
+    group.add_argument("--artifacts-dir", default=None, metavar="DIR",
+                       help="persist this run as manifest.json + events.jsonl "
+                            "under DIR (implies --trace)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -139,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the experiment registry")
+    p_list = sub.add_parser("list", help="list the experiment registry")
 
     p_run = sub.add_parser("run", help="run experiments by id")
     p_run.add_argument("ids", nargs="+",
@@ -181,6 +202,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("--output", default=None, metavar="FILE",
                           help="write to FILE instead of stdout")
+
+    p_stats = sub.add_parser(
+        "stats", help="pretty-print the obs metrics snapshot"
+    )
+    p_stats.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the raw snapshot as JSON")
+
+    for p in (p_list, p_run, p_sim, p_ps, p_census, p_survey, p_report,
+              p_stats):
+        _add_obs_args(p)
 
     return parser
 
@@ -293,10 +324,59 @@ def _cmd_survey(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
-    out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    """Pretty-print a metrics snapshot (live registry or a run directory)."""
+    source = "in-process registry"
+    if args.artifacts_dir:
+        try:
+            manifest = obs.load_manifest(args.artifacts_dir)
+        except (OSError, json.JSONDecodeError) as err:
+            raise SystemExit(
+                f"cannot read run directory {args.artifacts_dir!r}: {err}"
+            ) from err
+        snapshot = manifest.get("metrics") or {}
+        source = (
+            f"run {manifest.get('run_id')} "
+            f"(command: {manifest.get('command')}, "
+            f"started: {manifest.get('started')})"
+        )
+    else:
+        snapshot = obs.REGISTRY.snapshot()
+    if args.as_json:
+        json.dump(snapshot, out, indent=2, default=str)
+        print(file=out)
+        return 0
+    print(f"metrics snapshot — {source}", file=out)
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    timers = snapshot.get("timers") or {}
+    if not (counters or gauges or timers):
+        print("  (empty — run something with --trace first)", file=out)
+        return 0
+    if counters:
+        print("counters:", file=out)
+        for name, value in counters.items():
+            print(f"  {name:<40} {value}", file=out)
+    if gauges:
+        print("gauges:", file=out)
+        for name, value in gauges.items():
+            print(f"  {name:<40} {value:g}", file=out)
+    if timers:
+        print("timers:", file=out)
+        print(f"  {'name':<40} {'count':>6} {'total':>12} "
+              f"{'mean':>12} {'last':>12}", file=out)
+        for name, stats in timers.items():
+            print(
+                f"  {name:<40} {stats['count']:>6} "
+                f"{stats['total_s'] * 1e3:>10.3f}ms "
+                f"{stats['mean_s'] * 1e3:>10.3f}ms "
+                f"{stats['last_s'] * 1e3:>10.3f}ms",
+                file=out,
+            )
+    return 0
+
+
+def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
@@ -309,6 +389,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_census(args, out)
     if args.command == "survey":
         return _cmd_survey(args, out)
+    if args.command == "stats":
+        return _cmd_stats(args, out)
     if args.command == "report":
         from repro.experiments.report import generate_report
 
@@ -321,6 +403,46 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             print(text, file=out)
         return 0 if "**FAILS**" not in text else 1
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    obs.enable_from_env()
+
+    # ``stats`` *reads* observability state; it never starts a run of its
+    # own, so it bypasses the artifact/tracing setup below.
+    if args.command == "stats":
+        return _cmd_stats(args, out)
+
+    want_trace = bool(getattr(args, "trace", False))
+    artifacts_dir = getattr(args, "artifacts_dir", None)
+    artifacts = None
+    if artifacts_dir:
+        raw_argv = list(argv) if argv is not None else sys.argv[1:]
+        try:
+            artifacts = obs.RunArtifacts(
+                artifacts_dir, command=args.command, argv=raw_argv
+            )
+        except OSError as err:
+            raise SystemExit(
+                f"cannot create artifacts directory {artifacts_dir!r}: {err}"
+            ) from err
+        artifacts.activate()
+        want_trace = True
+    enabled_here = want_trace and not obs.is_enabled()
+    if enabled_here:
+        obs.enable(trace_memory=bool(getattr(args, "trace_memory", False)))
+    code = 1
+    try:
+        code = _dispatch(args, out)
+        return code
+    finally:
+        if enabled_here:
+            obs.disable()
+        if artifacts is not None:
+            artifacts.finalize(exit_code=code)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.automaton import CellularAutomaton
 from repro.core.schedules import UpdateSchedule
+from repro.obs import span
 from repro.util.validation import check_non_negative, check_state_vector
 
 __all__ = [
@@ -132,25 +133,27 @@ def parallel_orbit(
     in exploratory sweeps.
     """
     state = check_state_vector(state, ca.n)
-    seen: dict[int, int] = {}
-    codes: list[int] = []
-    current = state
-    t = 0
-    while True:
-        code = ca.pack(current)
-        if code in seen:
-            start = seen[code]
-            return OrbitInfo(
-                transient=start,
-                period=t - start,
-                cycle=tuple(codes[start:]),
-            )
-        seen[code] = t
-        codes.append(code)
-        if max_steps is not None and t >= max_steps:
-            raise RuntimeError(f"no repeat within {max_steps} steps")
-        current = ca.step(current)
-        t += 1
+    with span("orbit.parallel", n=ca.n) as sp:
+        seen: dict[int, int] = {}
+        codes: list[int] = []
+        current = state
+        t = 0
+        while True:
+            code = ca.pack(current)
+            if code in seen:
+                start = seen[code]
+                sp.set(transient=start, period=t - start)
+                return OrbitInfo(
+                    transient=start,
+                    period=t - start,
+                    cycle=tuple(codes[start:]),
+                )
+            seen[code] = t
+            codes.append(code)
+            if max_steps is not None and t >= max_steps:
+                raise RuntimeError(f"no repeat within {max_steps} steps")
+            current = ca.step(current)
+            t += 1
 
 
 def brent_orbit(ca: CellularAutomaton, state: np.ndarray) -> OrbitInfo:
@@ -162,36 +165,38 @@ def brent_orbit(ca: CellularAutomaton, state: np.ndarray) -> OrbitInfo:
     """
     state = check_state_vector(state, ca.n)
 
-    # Phase 1: find the period lambda.
-    power = 1
-    lam = 1
-    tortoise = state
-    hare = ca.step(state)
-    while not np.array_equal(tortoise, hare):
-        if power == lam:
-            tortoise = hare
-            power *= 2
-            lam = 0
-        hare = ca.step(hare)
-        lam += 1
+    with span("orbit.brent", n=ca.n) as sp:
+        # Phase 1: find the period lambda.
+        power = 1
+        lam = 1
+        tortoise = state
+        hare = ca.step(state)
+        while not np.array_equal(tortoise, hare):
+            if power == lam:
+                tortoise = hare
+                power *= 2
+                lam = 0
+            hare = ca.step(hare)
+            lam += 1
 
-    # Phase 2: find the transient mu with two aligned pointers.
-    tortoise = state
-    hare = state
-    for _ in range(lam):
-        hare = ca.step(hare)
-    mu = 0
-    while not np.array_equal(tortoise, hare):
-        tortoise = ca.step(tortoise)
-        hare = ca.step(hare)
-        mu += 1
+        # Phase 2: find the transient mu with two aligned pointers.
+        tortoise = state
+        hare = state
+        for _ in range(lam):
+            hare = ca.step(hare)
+        mu = 0
+        while not np.array_equal(tortoise, hare):
+            tortoise = ca.step(tortoise)
+            hare = ca.step(hare)
+            mu += 1
 
-    cycle = []
-    current = tortoise
-    for _ in range(lam):
-        cycle.append(ca.pack(current))
-        current = ca.step(current)
-    return OrbitInfo(transient=mu, period=lam, cycle=tuple(cycle))
+        cycle = []
+        current = tortoise
+        for _ in range(lam):
+            cycle.append(ca.pack(current))
+            current = ca.step(current)
+        sp.set(transient=mu, period=lam)
+        return OrbitInfo(transient=mu, period=lam, cycle=tuple(cycle))
 
 
 def sequential_trajectory(
@@ -223,29 +228,37 @@ def sequential_converge(
     ``n`` consecutive blocks produced no change.
     """
     state = check_state_vector(state, ca.n)
-    stream = schedule.blocks(ca.n)
-    flips = 0
-    flip_times: list[int] = []
-    quiet = 0
-    if ca.is_fixed_point(state):
-        return ConvergenceResult(True, state, 0, 0, ())
-    for t in range(1, max_updates + 1):
-        block = next(stream)
-        changed = False
-        if len(block) == 1:
-            changed = ca.update_node_inplace(state, block[0])
-        else:
-            new = block_step(ca, state, block)
-            changed = not np.array_equal(new, state)
-            state = new
-        if changed:
-            flips += 1
-            quiet = 0
-            if record_flips:
-                flip_times.append(t)
-        else:
-            quiet += 1
-            if quiet >= ca.n and ca.is_fixed_point(state):
-                return ConvergenceResult(True, state, t, flips, tuple(flip_times))
-    converged = ca.is_fixed_point(state)
-    return ConvergenceResult(converged, state, max_updates, flips, tuple(flip_times))
+    with span("converge.sequential", n=ca.n) as sp:
+        stream = schedule.blocks(ca.n)
+        flips = 0
+        flip_times: list[int] = []
+        quiet = 0
+        if ca.is_fixed_point(state):
+            sp.set(updates=0, flips=0, converged=True)
+            return ConvergenceResult(True, state, 0, 0, ())
+        for t in range(1, max_updates + 1):
+            block = next(stream)
+            changed = False
+            if len(block) == 1:
+                changed = ca.update_node_inplace(state, block[0])
+            else:
+                new = block_step(ca, state, block)
+                changed = not np.array_equal(new, state)
+                state = new
+            if changed:
+                flips += 1
+                quiet = 0
+                if record_flips:
+                    flip_times.append(t)
+            else:
+                quiet += 1
+                if quiet >= ca.n and ca.is_fixed_point(state):
+                    sp.set(updates=t, flips=flips, converged=True)
+                    return ConvergenceResult(
+                        True, state, t, flips, tuple(flip_times)
+                    )
+        converged = ca.is_fixed_point(state)
+        sp.set(updates=max_updates, flips=flips, converged=converged)
+        return ConvergenceResult(
+            converged, state, max_updates, flips, tuple(flip_times)
+        )

@@ -29,6 +29,7 @@ from scipy.sparse import csgraph
 
 from repro.analysis.cycles import scc_labels
 from repro.core.automaton import CellularAutomaton
+from repro.obs import span
 from repro.util.bitops import config_str
 
 __all__ = ["NondetPhaseSpace"]
@@ -50,7 +51,10 @@ class NondetPhaseSpace:
     @classmethod
     def from_automaton(cls, ca: CellularAutomaton) -> "NondetPhaseSpace":
         """Build the sequential phase space of an automaton."""
-        return cls(ca.all_node_successors(), ca.n)
+        with span("nondet.build", n=ca.n, configs=1 << ca.n):
+            with span("nondet.node_successors", n=ca.n):
+                node_succ = ca.all_node_successors()
+            return cls(node_succ, ca.n)
 
     @property
     def size(self) -> int:

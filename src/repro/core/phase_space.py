@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.analysis.cycles import FunctionalGraph
 from repro.core.automaton import CellularAutomaton
+from repro.obs import span
 from repro.util.bitops import config_str
 
 __all__ = ["ConfigClass", "PhaseSpace"]
@@ -54,7 +55,10 @@ class PhaseSpace:
     @classmethod
     def from_automaton(cls, ca: CellularAutomaton) -> "PhaseSpace":
         """Build the synchronous (parallel) phase space of an automaton."""
-        return cls(ca.step_all(), ca.n)
+        with span("phase_space.build", n=ca.n, configs=1 << ca.n):
+            with span("phase_space.global_map", n=ca.n):
+                succ = ca.step_all()
+            return cls(succ, ca.n)
 
     @property
     def size(self) -> int:

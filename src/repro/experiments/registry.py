@@ -8,7 +8,6 @@ dict is measurement detail recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -46,6 +45,7 @@ from repro.core.theorems import (
     check_theorem1,
 )
 from repro.interleave.programs import tosic_agha_example
+from repro.obs import timed
 from repro.sds.equivalence import verify_orientation_bound
 from repro.sds.sds import SDS
 from repro.spaces.graph import GraphSpace
@@ -378,13 +378,13 @@ def run_engine_scaling() -> dict[str, object]:
     slow = ca.step_naive(x)
     agree = bool(np.array_equal(fast, slow))
 
-    t0 = time.perf_counter()
-    for _ in range(20):
-        ca.step(x)
-    fast_t = (time.perf_counter() - t0) / 20
-    t0 = time.perf_counter()
-    ca.step_naive(x)
-    slow_t = time.perf_counter() - t0
+    with timed("engine.step_vectorized_x20") as fast_sw:
+        for _ in range(20):
+            ca.step(x)
+    fast_t = fast_sw.elapsed / 20
+    with timed("engine.step_naive") as slow_sw:
+        ca.step_naive(x)
+    slow_t = slow_sw.elapsed
     return {
         "holds": agree and fast_t < slow_t,
         "n": ca.n,
@@ -610,10 +610,17 @@ def get_experiment(exp_id: str) -> Experiment:
 
 
 def run_experiment(exp_id: str) -> dict[str, object]:
-    """Run one experiment and return its result dict."""
-    return get_experiment(exp_id).run()
+    """Run one experiment and return its result dict.
+
+    Every run is timed into the metrics registry as
+    ``experiment.<ID>`` so reports and run artifacts can show where the
+    reproduction spends its time.
+    """
+    exp = get_experiment(exp_id)
+    with timed(f"experiment.{exp.id}"):
+        return exp.run()
 
 
 def run_all() -> dict[str, dict[str, object]]:
     """Run the whole registry (the full paper reproduction)."""
-    return {eid: exp.run() for eid, exp in EXPERIMENTS.items()}
+    return {eid: run_experiment(eid) for eid in EXPERIMENTS}

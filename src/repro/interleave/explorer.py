@@ -11,6 +11,7 @@ import math
 from collections.abc import Mapping, Sequence
 
 from repro.interleave.machine import MachineState, Thread, _execute
+from repro.obs import span
 
 __all__ = ["explore_outcomes", "outcome_schedules", "count_interleavings"]
 
@@ -50,7 +51,9 @@ def explore_outcomes(
             _execute(nxt, t)
             dfs(nxt)
 
-    dfs(MachineState.initial(threads, shared))
+    with span("interleave.explore", threads=len(threads)) as sp:
+        dfs(MachineState.initial(threads, shared))
+        sp.set(states=len(seen), outcomes=len(outcomes))
     return outcomes
 
 
@@ -81,5 +84,7 @@ def outcome_schedules(
             _execute(nxt, t)
             dfs(nxt, trace + (t.name,))
 
-    dfs(MachineState.initial(threads, shared), ())
+    with span("interleave.witnesses", threads=len(threads)) as sp:
+        dfs(MachineState.initial(threads, shared), ())
+        sp.set(states=len(seen), outcomes=len(witnesses))
     return witnesses

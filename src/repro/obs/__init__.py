@@ -1,0 +1,84 @@
+"""repro.obs — instrumentation: tracing spans, metrics, run artifacts.
+
+Three small layers, designed so every later performance PR can prove its
+win with numbers instead of anecdotes:
+
+* :mod:`repro.obs.trace` — nestable ``span("name", **attrs)`` context
+  managers.  Off by default and zero-cost when off (a single branch
+  returning a shared no-op object); when on, each span records its wall
+  time into the metrics registry and streams a JSON event to any
+  registered sink.
+* :mod:`repro.obs.metrics` — a process-local registry of counters,
+  gauges and timers with ``snapshot()`` / ``reset()`` / JSON export,
+  plus :func:`timed` for code whose timing is part of its *result*
+  (always measured, tracing or not).
+* :mod:`repro.obs.artifacts` — :class:`RunArtifacts` persists one run
+  as ``manifest.json`` + ``events.jsonl`` under a directory of your
+  choosing; the CLI's ``--artifacts-dir`` flag wires it up.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("phase_space.build", n=12):
+        ...
+    print(obs.REGISTRY.to_json())
+"""
+
+from repro.obs.artifacts import RunArtifacts, load_manifest, read_events
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Stopwatch,
+    Timer,
+    inc,
+    observe,
+    set_gauge,
+    timed,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    add_sink,
+    clear_sinks,
+    disable,
+    emit_event,
+    enable,
+    enable_from_env,
+    is_enabled,
+    remove_sink,
+    span,
+)
+
+__all__ = [
+    # tracing
+    "span",
+    "Span",
+    "NOOP_SPAN",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enable_from_env",
+    "add_sink",
+    "remove_sink",
+    "clear_sinks",
+    "emit_event",
+    # metrics
+    "MetricsRegistry",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Stopwatch",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timed",
+    # artifacts
+    "RunArtifacts",
+    "load_manifest",
+    "read_events",
+]

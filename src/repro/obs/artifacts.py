@@ -1,0 +1,158 @@
+"""Structured run artifacts: one directory per invocation.
+
+Every traced CLI/experiment/benchmark run can persist itself as::
+
+    <run-dir>/
+        manifest.json    # who/when/how: command, argv, env, metrics
+        events.jsonl     # one JSON object per span (append-only stream)
+
+``manifest.json`` is written eagerly at construction (so a crashed run
+still leaves a record) and rewritten by :meth:`RunArtifacts.finalize`
+with the end timestamp, exit code and the full metrics snapshot.
+``events.jsonl`` receives every span event while the writer is
+:meth:`~RunArtifacts.activate`-d as a trace sink; it is created eagerly
+too, so an untraced run leaves a valid empty stream rather than nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from collections.abc import Sequence
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.obs import trace
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["RunArtifacts", "load_manifest", "read_events"]
+
+MANIFEST_NAME = "manifest.json"
+EVENTS_NAME = "events.jsonl"
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="milliseconds")
+
+
+def _version() -> str | None:
+    try:
+        from repro import __version__
+    except Exception:  # pragma: no cover - circular-import guard
+        return None
+    return __version__
+
+
+class RunArtifacts:
+    """Writer for one run directory (manifest + span-event stream).
+
+    Use as a context manager for the common case::
+
+        with RunArtifacts("/tmp/run1", command="phase-space") as run:
+            obs.enable()
+            ...  # spans stream into events.jsonl
+
+    or drive ``activate()`` / ``finalize(exit_code)`` explicitly, as the
+    CLI does.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        command: str | None = None,
+        argv: Sequence[str] | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.registry = registry if registry is not None else REGISTRY
+        self._t0 = time.perf_counter()
+        self._active = False
+        self._finalized = False
+        self._events_fh = open(
+            self.directory / EVENTS_NAME, "a", encoding="utf-8"
+        )
+        self.manifest: dict[str, object] = {
+            "run_id": f"{command or 'run'}-{os.getpid()}-{time.time_ns():x}",
+            "command": command,
+            "argv": list(argv) if argv is not None else None,
+            "started": _utc_now(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "repro_version": _version(),
+        }
+        self._write_manifest()
+
+    # -- event stream ----------------------------------------------------------
+
+    def write_event(self, payload: dict) -> None:
+        """Append one JSON object to ``events.jsonl`` (flushed per line)."""
+        self._events_fh.write(json.dumps(payload, default=str) + "\n")
+        self._events_fh.flush()
+
+    def activate(self) -> None:
+        """Start receiving span events from the tracing layer."""
+        if not self._active:
+            trace.add_sink(self.write_event)
+            self._active = True
+
+    # -- manifest --------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        path = self.directory / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(self.manifest, indent=2, default=str) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(path)
+
+    def finalize(self, exit_code: int | None = None) -> dict[str, object]:
+        """Seal the run: detach the sink, stamp timings + metrics, close.
+
+        Idempotent; returns the final manifest dict.
+        """
+        if self._finalized:
+            return self.manifest
+        self._finalized = True
+        if self._active:
+            trace.remove_sink(self.write_event)
+            self._active = False
+        self.manifest["finished"] = _utc_now()
+        self.manifest["duration_s"] = time.perf_counter() - self._t0
+        self.manifest["exit_code"] = exit_code
+        self.manifest["metrics"] = self.registry.snapshot()
+        self._write_manifest()
+        self._events_fh.close()
+        return self.manifest
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "RunArtifacts":
+        self.activate()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finalize(exit_code=0 if exc_type is None else 1)
+        return False
+
+
+def load_manifest(directory: str | os.PathLike[str]) -> dict[str, object]:
+    """Parse ``manifest.json`` from a run directory."""
+    path = Path(directory) / MANIFEST_NAME
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def read_events(directory: str | os.PathLike[str]) -> list[dict]:
+    """Parse every event in a run directory's ``events.jsonl``, in order."""
+    path = Path(directory) / EVENTS_NAME
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

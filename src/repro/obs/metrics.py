@@ -1,0 +1,205 @@
+"""Process-local metrics registry: counters, gauges and timers.
+
+The registry is the single accumulation point for every measurement the
+library takes — tracing spans (:mod:`repro.obs.trace`) feed their
+durations into it, explicit :func:`timed` blocks record into it whether
+or not tracing is enabled, and run artifacts persist its
+:meth:`~MetricsRegistry.snapshot` into ``manifest.json``.  Everything is
+plain in-process state: no background threads, no sockets, no global
+side effects beyond the module-level :data:`REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Stopwatch",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timed",
+]
+
+
+class Counter:
+    """A monotonically adjustable integer (increments may be negative)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> int:
+        """Add ``delta`` and return the new value."""
+        self.value += delta
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins scalar (queue depths, sizes, ratios)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> float:
+        """Record the current level and return it."""
+        self.value = float(value)
+        return self.value
+
+
+class Timer:
+    """Accumulated duration statistics for one named operation."""
+
+    __slots__ = ("count", "total", "min", "max", "last")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self.last = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one measured duration (in seconds) into the statistics."""
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+        self.last = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean duration over all observations (0.0 before the first)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-friendly statistics, all durations in seconds."""
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "last_s": self.last,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and timers.
+
+    Metric objects are created on first access and live until
+    :meth:`reset`; holding a reference (``c = registry.counter("x")``)
+    and bumping it in a loop avoids the dict lookup on hot paths.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created if absent)."""
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created if absent)."""
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def timer(self, name: str) -> Timer:
+        """The timer registered under ``name`` (created if absent)."""
+        with self._lock:
+            return self._timers.setdefault(name, Timer())
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Plain-dict view of every metric, sorted by name, JSON-safe."""
+        with self._lock:
+            return {
+                "counters": {
+                    k: self._counters[k].value for k in sorted(self._counters)
+                },
+                "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+                "timers": {
+                    k: self._timers[k].as_dict() for k in sorted(self._timers)
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (names and values)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def is_empty(self) -> bool:
+        """True iff nothing has been recorded since construction/reset."""
+        with self._lock:
+            return not (self._counters or self._gauges or self._timers)
+
+
+#: The process-wide default registry every convenience function targets.
+REGISTRY = MetricsRegistry()
+
+
+def inc(name: str, delta: int = 1) -> int:
+    """Increment a counter in the default registry."""
+    return REGISTRY.counter(name).inc(delta)
+
+
+def set_gauge(name: str, value: float) -> float:
+    """Set a gauge in the default registry."""
+    return REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a duration against a timer in the default registry."""
+    REGISTRY.timer(name).observe(seconds)
+
+
+class Stopwatch:
+    """The value yielded by :func:`timed`; ``elapsed`` is set on exit."""
+
+    __slots__ = ("elapsed",)
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+
+
+@contextmanager
+def timed(name: str, registry: MetricsRegistry | None = None):
+    """Measure a block's wall time and record it as timer ``name``.
+
+    Unlike :func:`repro.obs.trace.span`, this *always* measures — it is
+    the explicit-measurement API for code whose timing is part of its
+    result (benchmark registry entries, report runtimes).  The yielded
+    :class:`Stopwatch` exposes the duration as ``.elapsed`` after the
+    block exits, including on exceptions.
+    """
+    sw = Stopwatch()
+    t0 = perf_counter()
+    try:
+        yield sw
+    finally:
+        sw.elapsed = perf_counter() - t0
+        (registry if registry is not None else REGISTRY).timer(name).observe(
+            sw.elapsed
+        )

@@ -1,0 +1,207 @@
+"""Nestable tracing spans with a zero-cost disabled path.
+
+``with span("phase_space.build", n=12): ...`` times a region, records the
+duration into the metrics registry under the span's name, and emits one
+JSON-safe *span event* to every registered sink (the run-artifact writer
+installs itself as one).  Tracing is off by default: :func:`span` then
+returns a shared stateless no-op object, so instrumented hot paths pay a
+single module-flag branch and nothing else — no allocation, no clock
+reads, no registry traffic.
+
+Optional memory tracing (``enable(trace_memory=True)`` or
+``REPRO_TRACE_MEMORY=1``) starts :mod:`tracemalloc` and annotates each
+span event with the traced-memory delta across the span and the global
+traced peak.  The peak is process-wide (tracemalloc has one peak
+counter), so for nested spans it bounds, rather than isolates, the
+span's own allocation.
+
+State is process-global and not thread-aware: spans on concurrent
+threads will interleave depths.  That matches the rest of the library,
+which is single-threaded numpy.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from collections.abc import Callable, Mapping
+
+from repro.obs.metrics import REGISTRY
+
+__all__ = [
+    "Span",
+    "NOOP_SPAN",
+    "span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enable_from_env",
+    "add_sink",
+    "remove_sink",
+    "clear_sinks",
+    "emit_event",
+]
+
+_enabled = False
+_trace_memory = False
+_stack: list[str] = []
+_sinks: list[Callable[[dict], None]] = []
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def is_enabled() -> bool:
+    """True iff spans are currently being recorded."""
+    return _enabled
+
+
+def enable(trace_memory: bool = False) -> None:
+    """Turn tracing on (idempotent); optionally start tracemalloc too."""
+    global _enabled, _trace_memory
+    _enabled = True
+    _trace_memory = bool(trace_memory)
+    if _trace_memory and not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def disable() -> None:
+    """Turn tracing off and clear the nesting stack.
+
+    Metrics already accumulated stay in the registry; only future spans
+    become no-ops.  Stops tracemalloc if :func:`enable` started it.
+    """
+    global _enabled, _trace_memory
+    _enabled = False
+    if _trace_memory and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _trace_memory = False
+    _stack.clear()
+
+
+def enable_from_env(environ: Mapping[str, str] | None = None) -> bool:
+    """Enable tracing when ``REPRO_TRACE`` is set truthy; return whether.
+
+    ``REPRO_TRACE_MEMORY`` additionally turns on memory tracing.  Lets
+    benchmark and cron runs opt in without plumbing flags.
+    """
+    env = os.environ if environ is None else environ
+    if env.get("REPRO_TRACE", "").strip().lower() in _FALSY:
+        return False
+    enable(
+        trace_memory=env.get("REPRO_TRACE_MEMORY", "").strip().lower()
+        not in _FALSY
+    )
+    return True
+
+
+def add_sink(sink: Callable[[dict], None]) -> None:
+    """Register a callable receiving every span/event payload dict."""
+    if sink not in _sinks:
+        _sinks.append(sink)
+
+
+def remove_sink(sink: Callable[[dict], None]) -> None:
+    """Unregister a sink previously added (no-op if absent)."""
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+def clear_sinks() -> None:
+    """Drop all registered sinks (test teardown helper)."""
+    _sinks.clear()
+
+
+def emit_event(payload: dict) -> None:
+    """Push one JSON-safe event dict to every registered sink."""
+    for sink in list(_sinks):
+        sink(payload)
+
+
+class _NoopSpan:
+    """Shared stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        """Discard attributes (mirrors :meth:`Span.set`)."""
+        return self
+
+
+#: The singleton every disabled :func:`span` call returns.
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live traced region; use via :func:`span`, not directly."""
+
+    __slots__ = ("name", "attrs", "depth", "t_start", "elapsed", "_clock0", "_mem0")
+
+    def __init__(self, name: str, attrs: dict[str, object]):
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self.t_start = 0.0
+        self.elapsed = 0.0
+        self._clock0 = 0.0
+        self._mem0 = 0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach result attributes (sizes, counts) before the span ends."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.depth = len(_stack)
+        _stack.append(self.name)
+        self.t_start = time.time()
+        if _trace_memory:
+            self._mem0 = tracemalloc.get_traced_memory()[0]
+        self._clock0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = time.perf_counter() - self._clock0
+        # Truncate, don't pop: survives nesting torn up by exceptions.
+        if len(_stack) > self.depth:
+            del _stack[self.depth :]
+        REGISTRY.timer(self.name).observe(self.elapsed)
+        payload: dict[str, object] = {
+            "event": "span",
+            "name": self.name,
+            "depth": self.depth,
+            "t_start": self.t_start,
+            "duration_s": self.elapsed,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if exc_type is not None:
+            payload["error"] = exc_type.__name__
+        if _trace_memory:
+            current, peak = tracemalloc.get_traced_memory()
+            payload["mem_delta_kb"] = round((current - self._mem0) / 1024, 3)
+            payload["mem_peak_kb"] = round(peak / 1024, 3)
+        emit_event(payload)
+        return False
+
+
+def span(name: str, **attrs: object):
+    """A context manager tracing one named region.
+
+    When tracing is disabled this returns :data:`NOOP_SPAN` — the same
+    object every time, so the disabled path allocates nothing.  When
+    enabled, entering starts the clock and exiting records the duration
+    into ``REGISTRY.timer(name)`` and emits a span event carrying
+    ``attrs`` (plus anything added via :meth:`Span.set`).
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return Span(name, attrs)

@@ -135,6 +135,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_obs_flags_on_every_subcommand(self):
+        parser = build_parser()
+        for argv in (
+            ["list", "--trace"],
+            ["run", "E1", "--trace"],
+            ["phase-space", "--n", "10", "--trace", "--artifacts-dir", "/tmp/r"],
+            ["stats", "--artifacts-dir", "/tmp/r"],
+        ):
+            args = parser.parse_args(argv)
+            assert hasattr(args, "trace") and hasattr(args, "artifacts_dir")
+        args = parser.parse_args(["phase-space", "--trace-memory", "--trace"])
+        assert args.trace_memory is True
+
 
 class TestCensusCommand:
     def test_table_and_recurrence(self):

@@ -1,0 +1,315 @@
+"""Tests for the observability layer (repro.obs) and its CLI surface."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.automaton import CellularAutomaton
+from repro.core.evolution import parallel_orbit, sequential_converge
+from repro.core.phase_space import PhaseSpace
+from repro.core.rules import MajorityRule
+from repro.core.schedules import FixedPermutation
+from repro.experiments.report import render_markdown
+from repro.obs import trace
+from repro.spaces.line import Ring
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Each test starts and ends with tracing off and an empty registry."""
+    obs.disable()
+    obs.clear_sinks()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.clear_sinks()
+    obs.REGISTRY.reset()
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSpans:
+    def test_nesting_depths_and_timers(self):
+        obs.enable()
+        events = []
+        obs.add_sink(events.append)
+        with obs.span("outer", n=8):
+            with obs.span("inner"):
+                pass
+        # Inner closes first; depths reflect the nesting at entry.
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        assert events[0]["depth"] == 1 and events[1]["depth"] == 0
+        timers = obs.REGISTRY.snapshot()["timers"]
+        assert timers["outer"]["count"] == 1
+        assert timers["inner"]["count"] == 1
+        assert timers["outer"]["total_s"] >= timers["inner"]["total_s"]
+
+    def test_attrs_and_set(self):
+        obs.enable()
+        events = []
+        obs.add_sink(events.append)
+        with obs.span("work", n=4) as sp:
+            sp.set(result=7)
+        assert events[0]["attrs"] == {"n": 4, "result": 7}
+
+    def test_exception_safety(self):
+        obs.enable()
+        events = []
+        obs.add_sink(events.append)
+        with pytest.raises(ValueError):
+            with obs.span("outer"):
+                with obs.span("boom"):
+                    raise ValueError("no")
+        # Both spans closed, both recorded, error annotated.
+        assert [e["name"] for e in events] == ["boom", "outer"]
+        assert events[0]["error"] == "ValueError"
+        assert obs.REGISTRY.snapshot()["timers"]["outer"]["count"] == 1
+        # The nesting stack recovered: a fresh span sits at depth 0.
+        with obs.span("after"):
+            pass
+        assert events[-1]["name"] == "after" and events[-1]["depth"] == 0
+
+    def test_disabled_span_is_shared_noop(self):
+        assert not obs.is_enabled()
+        assert obs.span("a") is obs.span("b", n=3) is obs.NOOP_SPAN
+        with obs.span("a") as sp:
+            sp.set(anything=1)
+        assert obs.REGISTRY.is_empty()
+
+    def test_noop_overhead_is_branch_only(self):
+        """The disabled path must stay cheap enough to leave in hot code.
+
+        Structural guarantee (no allocation) is checked above; here we
+        bound the wall cost of a large batch of disabled spans very
+        generously — a regression to real clock reads or registry
+        traffic would blow well past it.
+        """
+        count = 100_000
+        t0 = time.perf_counter()
+        for _ in range(count):
+            with obs.span("hot"):
+                pass
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 1.0, f"{count} no-op spans took {elapsed:.3f}s"
+        assert obs.REGISTRY.is_empty()
+
+    def test_memory_tracing_annotates_events(self):
+        obs.enable(trace_memory=True)
+        events = []
+        obs.add_sink(events.append)
+        with obs.span("alloc"):
+            _ = [0] * 50_000
+        assert "mem_peak_kb" in events[0] and events[0]["mem_peak_kb"] > 0
+
+    def test_enable_from_env(self):
+        assert trace.enable_from_env({"REPRO_TRACE": "1"}) is True
+        assert obs.is_enabled()
+        obs.disable()
+        assert trace.enable_from_env({"REPRO_TRACE": "0"}) is False
+        assert trace.enable_from_env({}) is False
+        assert not obs.is_enabled()
+
+
+class TestMetrics:
+    def test_counter_gauge_timer_accumulate(self):
+        obs.inc("jobs")
+        obs.inc("jobs", 3)
+        obs.set_gauge("depth", 2.5)
+        obs.observe("op", 0.5)
+        obs.observe("op", 1.5)
+        snap = obs.REGISTRY.snapshot()
+        assert snap["counters"]["jobs"] == 4
+        assert snap["gauges"]["depth"] == 2.5
+        op = snap["timers"]["op"]
+        assert op["count"] == 2
+        assert op["total_s"] == pytest.approx(2.0)
+        assert op["mean_s"] == pytest.approx(1.0)
+        assert op["min_s"] == 0.5 and op["max_s"] == 1.5 and op["last_s"] == 1.5
+
+    def test_reset_clears_everything(self):
+        obs.inc("x")
+        obs.observe("y", 1.0)
+        obs.REGISTRY.reset()
+        assert obs.REGISTRY.is_empty()
+
+    def test_to_json_round_trips(self):
+        obs.inc("n", 2)
+        data = json.loads(obs.REGISTRY.to_json())
+        assert data["counters"]["n"] == 2
+
+    def test_timed_measures_even_when_tracing_disabled(self):
+        assert not obs.is_enabled()
+        with obs.timed("block") as sw:
+            time.sleep(0.002)
+        assert sw.elapsed >= 0.002
+        assert obs.REGISTRY.snapshot()["timers"]["block"]["count"] == 1
+
+    def test_timed_records_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.timed("failing"):
+                raise RuntimeError
+        assert obs.REGISTRY.snapshot()["timers"]["failing"]["count"] == 1
+
+
+class TestArtifacts:
+    def test_jsonl_round_trip(self, tmp_path):
+        run_dir = tmp_path / "run"
+        obs.enable()
+        with obs.RunArtifacts(run_dir, command="test", argv=["--x"]):
+            with obs.span("phase_space.build", n=4):
+                pass
+        manifest = obs.load_manifest(run_dir)
+        assert manifest["command"] == "test"
+        assert manifest["argv"] == ["--x"]
+        assert manifest["exit_code"] == 0
+        assert manifest["finished"] >= manifest["started"]
+        assert manifest["metrics"]["timers"]["phase_space.build"]["count"] == 1
+        events = obs.read_events(run_dir)
+        assert len(events) == 1
+        assert events[0]["name"] == "phase_space.build"
+        assert events[0]["attrs"] == {"n": 4}
+
+    def test_untraced_run_still_leaves_valid_artifacts(self, tmp_path):
+        with obs.RunArtifacts(tmp_path / "r", command="noop"):
+            pass
+        assert obs.read_events(tmp_path / "r") == []
+        assert obs.load_manifest(tmp_path / "r")["metrics"] == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+        }
+
+    def test_finalize_detaches_sink_and_is_idempotent(self, tmp_path):
+        obs.enable()
+        run = obs.RunArtifacts(tmp_path / "r")
+        run.activate()
+        with obs.span("before"):
+            pass
+        run.finalize(exit_code=0)
+        run.finalize(exit_code=0)
+        with obs.span("after"):
+            pass
+        names = [e["name"] for e in obs.read_events(tmp_path / "r")]
+        assert names == ["before"]
+
+    def test_failed_run_records_exit_code(self, tmp_path):
+        with pytest.raises(ValueError):
+            with obs.RunArtifacts(tmp_path / "r"):
+                raise ValueError
+        assert obs.load_manifest(tmp_path / "r")["exit_code"] == 1
+
+
+class TestInstrumentedPaths:
+    def test_phase_space_emits_build_and_global_map_spans(self):
+        obs.enable()
+        events = []
+        obs.add_sink(events.append)
+        ca = CellularAutomaton(Ring(8), MajorityRule(), memory=True)
+        PhaseSpace.from_automaton(ca)
+        names = [e["name"] for e in events]
+        assert names == ["phase_space.global_map", "phase_space.build"]
+        build = events[1]
+        assert build["attrs"]["n"] == 8 and build["attrs"]["configs"] == 256
+        assert build["duration_s"] >= events[0]["duration_s"]
+
+    def test_orbit_and_convergence_span_attrs(self):
+        obs.enable()
+        events = []
+        obs.add_sink(events.append)
+        ca = CellularAutomaton(Ring(6), MajorityRule(), memory=True)
+        state = ca.unpack(0b010101)
+        info = parallel_orbit(ca, state)
+        res = sequential_converge(ca, state, FixedPermutation())
+        orbit_ev = next(e for e in events if e["name"] == "orbit.parallel")
+        assert orbit_ev["attrs"]["period"] == info.period
+        assert orbit_ev["attrs"]["transient"] == info.transient
+        conv_ev = next(e for e in events if e["name"] == "converge.sequential")
+        assert conv_ev["attrs"]["converged"] is res.converged
+        assert conv_ev["attrs"]["flips"] == res.effective_flips
+
+    def test_hot_paths_silent_when_disabled(self):
+        ca = CellularAutomaton(Ring(6), MajorityRule(), memory=True)
+        PhaseSpace.from_automaton(ca)
+        parallel_orbit(ca, ca.unpack(0b010101))
+        assert obs.REGISTRY.is_empty()
+
+
+class TestReportRuntimes:
+    def test_render_markdown_includes_runtime_lines(self):
+        results = {"E1": {"holds": True, "detail": 1}}
+        text = render_markdown(results, runtimes={"E1": 0.0123})
+        assert "Runtime: 12.3 ms" in text
+        assert "Total measured runtime: 12.3 ms" in text
+
+    def test_run_experiment_times_into_registry(self):
+        from repro.experiments.registry import run_experiment
+
+        run_experiment("E1")
+        timers = obs.REGISTRY.snapshot()["timers"]
+        assert timers["experiment.E1"]["count"] == 1
+        assert timers["experiment.E1"]["last_s"] > 0
+
+
+class TestCliStats:
+    def test_trace_then_stats_in_process(self):
+        code, _ = run_cli("phase-space", "--n", "6", "--trace")
+        assert code == 0
+        # Tracing was scoped to the command, but the metrics persist.
+        assert not obs.is_enabled()
+        code, text = run_cli("stats")
+        assert code == 0
+        assert "phase_space.build" in text
+        row = next(
+            line for line in text.splitlines() if "phase_space.build" in line
+        )
+        assert "0.000ms" not in row.split()[2]
+
+    def test_stats_json(self):
+        run_cli("phase-space", "--n", "6", "--trace")
+        code, text = run_cli("stats", "--json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["timers"]["phase_space.build"]["count"] == 1
+
+    def test_stats_empty_registry(self):
+        code, text = run_cli("stats")
+        assert code == 0
+        assert "empty" in text
+
+    def test_artifacts_dir_implies_trace_and_round_trips(self, tmp_path):
+        run_dir = tmp_path / "run1"
+        code, _ = run_cli(
+            "phase-space", "--n", "6", "--artifacts-dir", str(run_dir)
+        )
+        assert code == 0
+        assert (run_dir / "manifest.json").exists()
+        names = {e["name"] for e in obs.read_events(run_dir)}
+        assert {"phase_space.build", "phase_space.global_map"} <= names
+        code, text = run_cli("stats", "--artifacts-dir", str(run_dir))
+        assert code == 0
+        assert "phase_space.build" in text and "command: phase-space" in text
+
+    def test_untraced_command_stays_silent(self):
+        code, _ = run_cli("phase-space", "--n", "6")
+        assert code == 0
+        assert "phase_space.build" not in obs.REGISTRY.snapshot()["timers"]
+
+    def test_stats_missing_run_dir_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read run directory"):
+            run_cli("stats", "--artifacts-dir", str(tmp_path / "nope"))
+
+    def test_artifacts_dir_collision_is_clean_error(self, tmp_path):
+        blocker = tmp_path / "afile"
+        blocker.write_text("x")
+        with pytest.raises(SystemExit, match="cannot create artifacts"):
+            run_cli("list", "--artifacts-dir", str(blocker))
