@@ -4,8 +4,11 @@ Subcommands
 -----------
 ``list``
     Show the experiment registry (one entry per paper artifact).
-``run E4 [E5 ...] [--json]``
-    Run experiments and print their verdicts (``all`` runs everything).
+``run E4 [E5 ...] [--json] [--timeout S] [--retries N] [--isolate] [--resume DIR]``
+    Run experiments through the fault-tolerant harness and print their
+    verdicts (``all`` runs everything).  Exit codes: 0 all hold, 1 some
+    fail, 2 error/timeout/unknown id.  ``--resume DIR`` journals
+    progress and skips experiments already completed there.
 ``simulate``
     Run a CA/SCA trajectory and print an ASCII space-time diagram.
 ``phase-space``
@@ -54,7 +57,9 @@ from repro.core.schedules import (
     Synchronous,
     UpdateSchedule,
 )
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS
+from repro.experiments.registry import get_experiment
+from repro.harness import faults
 from repro.spaces.base import FiniteSpace
 from repro.spaces.grid import Grid2D
 from repro.spaces.hypercube import Hypercube
@@ -162,10 +167,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list the experiment registry")
 
-    p_run = sub.add_parser("run", help="run experiments by id")
+    p_run = sub.add_parser(
+        "run", help="run experiments by id",
+        description=(
+            "Run experiments through the fault-tolerant harness.  Exit "
+            "code: 0 all hold, 1 some fail, 2 error/timeout/usage."
+        ),
+    )
     p_run.add_argument("ids", nargs="+",
                        help="experiment ids (E1..E22) or 'all'")
     p_run.add_argument("--json", action="store_true", dest="as_json")
+    res = p_run.add_argument_group("resilience")
+    res.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="per-experiment wall-clock budget; exceeding it "
+                          "records status 'timeout' instead of hanging")
+    res.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="retry a failing experiment up to N times with "
+                          "exponential backoff + jitter")
+    res.add_argument("--isolate", action="store_true",
+                     help="run each experiment in a subprocess so a "
+                          "segfault/OOM cannot take down the batch")
+    res.add_argument("--resume", default=None, metavar="DIR",
+                     help="journal progress under DIR (journal.jsonl + "
+                          "checkpoint.json) and skip experiments already "
+                          "completed there")
 
     p_sim = sub.add_parser("simulate", help="print a space-time diagram")
     _add_space_rule_args(p_sim)
@@ -216,6 +241,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_args(args: argparse.Namespace) -> None:
+    """Reject out-of-domain numeric flags at the boundary.
+
+    Catching these here turns deep numpy/space-construction tracebacks
+    into one-line usage errors.
+    """
+    for attr, minimum, flag in (
+        ("n", 1, "--n"),
+        ("radius", 1, "--radius"),
+        ("rows", 1, "--rows"),
+        ("cols", 1, "--cols"),
+        ("dimension", 1, "--dimension"),
+        ("steps", 0, "--steps"),
+        ("retries", 0, "--retries"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None and value < minimum:
+            raise SystemExit(f"{flag} must be >= {minimum}, got {value}")
+    wolfram = getattr(args, "wolfram", None)
+    if wolfram is not None and not 0 <= wolfram <= 255:
+        raise SystemExit(
+            f"--wolfram must be an elementary rule number in 0..255, "
+            f"got {wolfram}"
+        )
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        raise SystemExit(f"--timeout must be positive, got {timeout:g}")
+
+
 def _cmd_list(out) -> int:
     width = max(len(e.title) for e in EXPERIMENTS.values())
     for exp in EXPERIMENTS.values():
@@ -223,23 +277,56 @@ def _cmd_list(out) -> int:
     return 0
 
 
-def _cmd_run(ids: list[str], as_json: bool, out) -> int:
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    from repro.harness import (
+        Checkpoint,
+        ExperimentRunner,
+        RunnerConfig,
+        batch_exit_code,
+    )
+
+    ids = args.ids
     if any(i.lower() == "all" for i in ids):
         ids = list(EXPERIMENTS)
-    results = {}
-    failed = False
-    for exp_id in ids:
-        res = run_experiment(exp_id)
-        results[exp_id.upper()] = res
-        failed |= not res["holds"]
-    if as_json:
+    try:
+        ids = [get_experiment(i).id for i in ids]
+    except KeyError as err:
+        print(err.args[0], file=sys.stderr)
+        return 2
+    checkpoint = Checkpoint(args.resume) if args.resume else None
+    runner = ExperimentRunner(
+        RunnerConfig(
+            timeout_s=args.timeout,
+            retries=args.retries,
+            isolate=args.isolate,
+        ),
+        checkpoint=checkpoint,
+    )
+    try:
+        results = runner.run_many(ids)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+    if args.as_json:
         json.dump(results, out, indent=2, default=str)
         print(file=out)
     else:
         for exp_id, res in results.items():
-            verdict = "HOLDS" if res["holds"] else "FAILS"
-            print(f"{exp_id:>4}  {verdict}  {EXPERIMENTS[exp_id].title}", file=out)
-    return 1 if failed else 0
+            status = res.get("status", "ok")
+            if status == "timeout":
+                verdict, note = "TIMEOUT", f"  (no result in {res['timeout_s']:g}s)"
+            elif status == "error":
+                err = res.get("error") or {}
+                verdict = "ERROR"
+                note = f"  ({err.get('type')}: {err.get('message')})"
+            else:
+                verdict = "HOLDS" if res.get("holds") else "FAILS"
+                note = "  (resumed)" if res.get("resumed") else ""
+            print(
+                f"{exp_id:>4}  {verdict}  {EXPERIMENTS[exp_id].title}{note}",
+                file=out,
+            )
+    return batch_exit_code(results)
 
 
 def _cmd_simulate(args: argparse.Namespace, out) -> int:
@@ -340,6 +427,8 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
             f"(command: {manifest.get('command')}, "
             f"started: {manifest.get('started')})"
         )
+        if not manifest.get("finalized", True):
+            source += " [NOT FINALIZED — run crashed or is still going]"
     else:
         snapshot = obs.REGISTRY.snapshot()
     if args.as_json:
@@ -380,7 +469,7 @@ def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "run":
-        return _cmd_run(args.ids, args.as_json, out)
+        return _cmd_run(args, out)
     if args.command == "simulate":
         return _cmd_simulate(args, out)
     if args.command == "phase-space":
@@ -401,6 +490,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
             print(f"wrote {args.output}", file=out)
         else:
             print(text, file=out)
+        if "**ERROR**" in text or "**TIMEOUT**" in text:
+            return 2
         return 0 if "**FAILS**" not in text else 1
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
@@ -409,7 +500,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    _validate_args(args)
     obs.enable_from_env()
+    faults.install_from_env()
 
     # ``stats`` *reads* observability state; it never starts a run of its
     # own, so it bypasses the artifact/tracing setup below.

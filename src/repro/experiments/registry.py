@@ -614,13 +614,28 @@ def run_experiment(exp_id: str) -> dict[str, object]:
 
     Every run is timed into the metrics registry as
     ``experiment.<ID>`` so reports and run artifacts can show where the
-    reproduction spends its time.
+    reproduction spends its time.  ``inject("experiment.<ID>")`` is the
+    fault-injection checkpoint the resilience tests arm (a no-op unless
+    ``REPRO_FAULTS`` / :func:`repro.harness.install` said otherwise).
     """
+    from repro.harness import faults
+
     exp = get_experiment(exp_id)
     with timed(f"experiment.{exp.id}"):
+        faults.inject(f"experiment.{exp.id}")
         return exp.run()
 
 
-def run_all() -> dict[str, dict[str, object]]:
-    """Run the whole registry (the full paper reproduction)."""
+def run_all(runner=None) -> dict[str, dict[str, object]]:
+    """Run the whole registry (the full paper reproduction).
+
+    With no ``runner`` this is the bare historical loop: the first
+    exception aborts the batch.  Pass a
+    :class:`repro.harness.ExperimentRunner` to get structured error
+    capture, timeouts, retries, isolation and checkpoint/resume — one
+    broken experiment then costs one ``status: "error"`` row, not the
+    reproduction.
+    """
+    if runner is not None:
+        return runner.run_many(EXPERIMENTS)
     return {eid: run_experiment(eid) for eid in EXPERIMENTS}

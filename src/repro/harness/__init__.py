@@ -1,0 +1,71 @@
+"""repro.harness — fault-tolerant experiment execution.
+
+The registry's experiments (E1-E22) are the paper's "tables"; this
+package makes running them survivable.  Three layers:
+
+* :mod:`repro.harness.faults` — a deterministic, seeded fault-injection
+  layer.  ``inject("site")`` checkpoints are compiled into the runner,
+  the artifacts writer and the experiment wrappers; ``REPRO_FAULTS``
+  (grammar: ``site:kind:prob:seed[:max_fires]``) arms them with
+  ``raise``, ``hang`` or ``partial-write`` faults so tests can prove the
+  stack survives what it claims to.
+* :mod:`repro.harness.checkpoint` — a crash-safe append-only JSONL
+  journal plus an atomic (tmp + rename) snapshot, so ``repro run all
+  --resume DIR`` skips already-completed experiments after a crash or
+  SIGKILL.  Journal recovery tolerates a truncated final line.
+* :mod:`repro.harness.runner` — :class:`ExperimentRunner` executes each
+  experiment with structured error capture (an exception becomes an
+  ``{"holds": False, "status": "error", ...}`` result instead of
+  aborting the batch), per-experiment wall-clock timeouts, bounded
+  retries with exponential backoff + jitter, and optional subprocess
+  isolation so a segfault/OOM in one experiment cannot take down the
+  run.
+
+No experiment's public API changes: the runner wraps
+``repro.experiments.run_experiment`` and merges its obs metrics back
+into the parent registry.
+"""
+
+from repro.harness.checkpoint import Checkpoint, read_journal
+from repro.harness.faults import (
+    Fault,
+    FaultError,
+    FaultPlan,
+    check,
+    clear_faults,
+    inject,
+    install,
+    install_from_env,
+    parse_faults,
+)
+from repro.harness.runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ExperimentRunner,
+    RunnerConfig,
+    batch_exit_code,
+)
+
+__all__ = [
+    # faults
+    "Fault",
+    "FaultError",
+    "FaultPlan",
+    "parse_faults",
+    "install",
+    "install_from_env",
+    "clear_faults",
+    "inject",
+    "check",
+    # checkpoint
+    "Checkpoint",
+    "read_journal",
+    # runner
+    "ExperimentRunner",
+    "RunnerConfig",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+    "batch_exit_code",
+]

@@ -1,0 +1,185 @@
+"""Crash-safe progress journal + atomic snapshot for experiment batches.
+
+Layout of a checkpoint directory::
+
+    <dir>/
+        journal.jsonl      # append-only event stream, flushed per line
+        checkpoint.json    # atomic snapshot: completed results so far
+
+The **journal** records one JSON object per line: ``start`` when an
+attempt begins, ``finish`` when an experiment reaches a terminal status.
+Lines are flushed (and the file is never rewritten), so after a crash or
+SIGKILL the journal is intact up to possibly one truncated final line —
+which :func:`read_journal` tolerates and flags rather than raising.
+
+The **snapshot** holds the full result dicts of every *completed*
+experiment.  It is rewritten after each completion via write-to-temp +
+``os.replace``, so readers always see either the previous or the next
+complete snapshot, never a torn one.
+
+Resume semantics: an experiment counts as completed only when the
+snapshot holds a result whose status is ``ok`` — errored, timed-out,
+or mid-flight (``start`` without ``finish``) experiments are re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness import faults
+
+__all__ = ["Checkpoint", "read_journal", "JOURNAL_NAME", "SNAPSHOT_NAME"]
+
+JOURNAL_NAME = "journal.jsonl"
+SNAPSHOT_NAME = "checkpoint.json"
+
+
+def read_journal(directory: str | os.PathLike[str]) -> tuple[list[dict], int]:
+    """Parse ``journal.jsonl``; returns ``(events, skipped_lines)``.
+
+    A truncated or garbled line (the normal state of a crashed run's
+    final line) is skipped and counted, never raised.  A missing journal
+    reads as empty.
+    """
+    path = Path(directory) / JOURNAL_NAME
+    events: list[dict] = []
+    skipped = 0
+    try:
+        fh = open(path, encoding="utf-8")
+    except FileNotFoundError:
+        return events, skipped
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+    return events, skipped
+
+
+class Checkpoint:
+    """Writer/reader for one checkpoint directory.
+
+    The runner drives it::
+
+        cp = Checkpoint(run_dir)
+        done = cp.completed()          # {"E1": {...}, ...} — skip these
+        cp.record_start("E5", attempt=1)
+        cp.record_finish("E5", result) # journal line + atomic snapshot
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._journal_fh = None
+        self._results: dict[str, dict] = {}
+        self._load()
+
+    # -- recovery --------------------------------------------------------------
+
+    def _load(self) -> None:
+        """Recover prior state: snapshot first, journal as arbiter."""
+        snap_path = self.directory / SNAPSHOT_NAME
+        snapshot: dict[str, dict] = {}
+        try:
+            data = json.loads(snap_path.read_text(encoding="utf-8"))
+            snapshot = data.get("results", {})
+        except (FileNotFoundError, json.JSONDecodeError):
+            # Atomic replace means a *partial* snapshot is impossible,
+            # but an interrupted very first write can leave nothing.
+            snapshot = {}
+        self.journal_events, self.journal_skipped = read_journal(self.directory)
+        finished = {
+            ev["id"]: ev.get("status")
+            for ev in self.journal_events
+            if ev.get("ev") == "finish" and "id" in ev
+        }
+        # Trust a snapshot entry only if the journal confirms the finish
+        # (a snapshot can never be *ahead* of the journal, but be strict).
+        self._results = {
+            eid: res
+            for eid, res in snapshot.items()
+            if eid in finished
+        }
+
+    def completed(self) -> dict[str, dict]:
+        """Results of experiments that finished with status ``ok``."""
+        return {
+            eid: res
+            for eid, res in self._results.items()
+            if res.get("status") == "ok"
+        }
+
+    def results(self) -> dict[str, dict]:
+        """All recorded terminal results (any status), id -> result."""
+        return dict(self._results)
+
+    # -- writing ---------------------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        if self._journal_fh is None:
+            self._journal_fh = open(
+                self.directory / JOURNAL_NAME, "a", encoding="utf-8"
+            )
+        line = json.dumps(event, default=str)
+        fault = faults.inject("checkpoint.journal")
+        if fault is not None:  # partial-write: crash mid-line
+            self._journal_fh.write(line[: max(1, len(line) // 2)])
+            self._journal_fh.flush()
+            raise faults.FaultError("checkpoint.journal", fault.kind)
+        self._journal_fh.write(line + "\n")
+        self._journal_fh.flush()
+
+    def record_start(self, exp_id: str, attempt: int = 1) -> None:
+        """Journal that an attempt at ``exp_id`` is beginning."""
+        self._append(
+            {"ev": "start", "id": exp_id, "attempt": attempt, "ts": time.time()}
+        )
+
+    def record_finish(self, exp_id: str, result: dict) -> None:
+        """Journal a terminal result and atomically refresh the snapshot."""
+        self._append(
+            {
+                "ev": "finish",
+                "id": exp_id,
+                "status": result.get("status"),
+                "holds": result.get("holds"),
+                "ts": time.time(),
+            }
+        )
+        self._results[exp_id] = result
+        self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        path = self.directory / SNAPSHOT_NAME
+        tmp = path.with_suffix(".json.tmp")
+        payload = json.dumps(
+            {"updated": time.time(), "results": self._results},
+            indent=2,
+            default=str,
+        )
+        fault = faults.inject("checkpoint.snapshot")
+        if fault is not None:  # partial-write: die before the rename
+            tmp.write_text(payload[: max(1, len(payload) // 2)], encoding="utf-8")
+            raise faults.FaultError("checkpoint.snapshot", fault.kind)
+        tmp.write_text(payload + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+
+    def close(self) -> None:
+        """Close the journal handle (idempotent)."""
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,53 @@
+"""Subprocess entry point for isolated experiment attempts.
+
+``python -m repro.harness.child E5`` runs one experiment in a fresh
+interpreter and reports back on stdout as a single sentinel-prefixed
+JSON line::
+
+    REPRO_CHILD_RESULT:{"ok": true, "result": {...}, "metrics": {...}}
+
+The parent (:meth:`ExperimentRunner._attempt_subprocess`) parses that
+line, merges the child's metrics snapshot into its own registry and
+folds the result into the batch.  Experiment exceptions are captured
+*here* (structured, exit code 0) so the parent can distinguish "the
+experiment failed" from "the interpreter died" (segfault/OOM: no
+sentinel line, nonzero exit code).
+
+``REPRO_FAULTS`` is honoured via the inherited environment, so injected
+faults cross the isolation boundary exactly like real ones.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.harness.child EXPERIMENT_ID",
+              file=sys.stderr)
+        return 2
+    from repro import obs
+    from repro.harness import faults
+    from repro.harness.runner import CHILD_SENTINEL, _error_payload
+    from repro.experiments.registry import run_experiment
+
+    faults.install_from_env()
+    payload: dict[str, object]
+    try:
+        result = run_experiment(argv[0])
+        payload = {"ok": True, "result": result}
+    except KeyboardInterrupt:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - everything goes to the parent
+        payload = {"ok": False, "error": _error_payload(exc)}
+    payload["metrics"] = obs.REGISTRY.snapshot()
+    sys.stdout.flush()
+    print(CHILD_SENTINEL + json.dumps(payload, default=str), flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

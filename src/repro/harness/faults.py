@@ -1,0 +1,257 @@
+"""Deterministic, seeded fault injection.
+
+The resilience claims of the harness (timeouts, retries, checkpointing,
+journal recovery) are only worth anything if they are *exercised*: this
+module plants named ``inject(site)`` checkpoints in the runner, the
+artifacts writer and the experiment wrappers, and lets tests (or brave
+operators) arm them with faults.
+
+Grammar
+-------
+``REPRO_FAULTS`` is a comma-separated list of fault specs::
+
+    site:kind:prob:seed[:max_fires]
+
+* ``site`` — checkpoint name, e.g. ``experiment.E12``.  A trailing ``*``
+  prefix-matches (``experiment.*`` hits every experiment wrapper).
+* ``kind`` — ``raise`` (throw :class:`FaultError`), ``hang`` (sleep for
+  ``REPRO_FAULT_HANG_S`` seconds, default 3600 — pair with a runner
+  timeout), or ``partial-write`` (the call site truncates its write
+  mid-record, simulating a crash between ``write`` and ``\\n``).
+* ``prob`` — per-hit firing probability in ``[0, 1]``.
+* ``seed`` — seeds the fault's private RNG, so a given spec fires on a
+  reproducible subsequence of hits.
+* ``max_fires`` — optional; the fault disarms after firing this many
+  times.  ``...:1.0:0:1`` is the canonical *transient* fault: it kills
+  the first attempt and lets the retry through.
+
+Example::
+
+    REPRO_FAULTS="experiment.E5:raise:1.0:0,experiment.E12:hang:1.0:0" \\
+        repro-ca run all --timeout 30
+
+Faults are process-global (installed via :func:`install` or
+:func:`install_from_env`) and thread-safe: the runner may probe sites
+from worker threads.  ``inject`` with no plan installed is a single
+attribute check — cheap enough to leave in production paths.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "Fault",
+    "FaultError",
+    "FaultPlan",
+    "parse_faults",
+    "install",
+    "install_from_env",
+    "clear_faults",
+    "inject",
+    "check",
+    "KINDS",
+]
+
+KINDS = ("raise", "hang", "partial-write")
+
+ENV_VAR = "REPRO_FAULTS"
+HANG_ENV_VAR = "REPRO_FAULT_HANG_S"
+DEFAULT_HANG_S = 3600.0
+
+
+class FaultError(RuntimeError):
+    """Raised by an armed ``raise`` fault (and by ``partial-write`` call
+    sites after they have truncated their output)."""
+
+    def __init__(self, site: str, kind: str = "raise"):
+        super().__init__(f"injected fault at {site!r} (kind={kind})")
+        self.site = site
+        self.kind = kind
+
+
+class Fault:
+    """One armed fault: a site pattern, a kind, and a seeded trigger."""
+
+    __slots__ = ("site", "kind", "prob", "seed", "max_fires", "fires", "_rng")
+
+    def __init__(
+        self,
+        site: str,
+        kind: str,
+        prob: float = 1.0,
+        seed: int = 0,
+        max_fires: int | None = None,
+    ):
+        if kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {', '.join(KINDS)}"
+            )
+        prob = float(prob)
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {prob}")
+        if max_fires is not None and max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1, got {max_fires}")
+        self.site = site
+        self.kind = kind
+        self.prob = prob
+        self.seed = int(seed)
+        self.max_fires = max_fires
+        self.fires = 0
+        self._rng = random.Random(self.seed)
+
+    def matches(self, site: str) -> bool:
+        """True iff this fault is planted at ``site``."""
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+    def should_fire(self) -> bool:
+        """Draw from the fault's RNG; honours ``prob`` and ``max_fires``.
+
+        Every matching hit consumes one draw (fired or not), so the
+        firing subsequence is a pure function of the seed.
+        """
+        if self.max_fires is not None and self.fires >= self.max_fires:
+            return False
+        fired = self._rng.random() < self.prob
+        if fired:
+            self.fires += 1
+        return fired
+
+    def spec(self) -> str:
+        """The fault re-serialised in ``REPRO_FAULTS`` grammar."""
+        base = f"{self.site}:{self.kind}:{self.prob:g}:{self.seed}"
+        return base if self.max_fires is None else f"{base}:{self.max_fires}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fault({self.spec()!r}, fires={self.fires})"
+
+
+class FaultPlan:
+    """A set of armed faults, probed by ``inject``/``check``."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self.faults = list(faults)
+        self._lock = threading.Lock()
+
+    def probe(self, site: str) -> Fault | None:
+        """The first armed fault firing at ``site`` this hit, if any."""
+        with self._lock:
+            for fault in self.faults:
+                if fault.matches(site) and fault.should_fire():
+                    return fault
+        return None
+
+    def spec(self) -> str:
+        """The whole plan in ``REPRO_FAULTS`` grammar."""
+        return ",".join(f.spec() for f in self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` string into a :class:`FaultPlan`."""
+    faults = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        if not 2 <= len(fields) <= 5:
+            raise ValueError(
+                f"bad fault spec {part!r}: want site:kind[:prob[:seed[:max_fires]]]"
+            )
+        site, kind = fields[0], fields[1]
+        prob = float(fields[2]) if len(fields) > 2 else 1.0
+        seed = int(fields[3]) if len(fields) > 3 else 0
+        max_fires = int(fields[4]) if len(fields) > 4 else None
+        faults.append(Fault(site, kind, prob, seed, max_fires))
+    return FaultPlan(faults)
+
+
+#: The process-global plan; ``None`` keeps every site a cheap no-op.
+_PLAN: FaultPlan | None = None
+
+
+def install(plan: FaultPlan | str | None) -> FaultPlan | None:
+    """Install ``plan`` (a :class:`FaultPlan` or spec string) globally.
+
+    Returns the previously installed plan so callers can restore it;
+    ``install(None)`` disarms everything.
+    """
+    global _PLAN
+    previous = _PLAN
+    _PLAN = parse_faults(plan) if isinstance(plan, str) else plan
+    return previous
+
+
+def clear_faults() -> None:
+    """Disarm all faults (equivalent to ``install(None)``)."""
+    install(None)
+
+
+def install_from_env(environ: Mapping[str, str] | None = None) -> bool:
+    """Arm faults from ``REPRO_FAULTS`` if set; return whether any were.
+
+    The CLI calls this on startup, and the subprocess-isolation child
+    inherits the variable — so injected faults cross the ``--isolate``
+    boundary exactly like real ones would.
+    """
+    env = os.environ if environ is None else environ
+    spec = env.get(ENV_VAR, "").strip()
+    if not spec:
+        return False
+    install(parse_faults(spec))
+    return True
+
+
+def _hang_seconds() -> float:
+    raw = os.environ.get(HANG_ENV_VAR, "").strip()
+    try:
+        return float(raw) if raw else DEFAULT_HANG_S
+    except ValueError:
+        return DEFAULT_HANG_S
+
+
+def check(site: str) -> Fault | None:
+    """Probe ``site`` without acting: the firing fault, or ``None``.
+
+    For call sites that implement the fault themselves (the
+    ``partial-write`` sites).  Consumes the fault's RNG draw like
+    :func:`inject`.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    return plan.probe(site)
+
+
+def inject(site: str) -> Fault | None:
+    """Fault checkpoint: act out whatever fault is armed at ``site``.
+
+    * no plan / no firing fault — returns ``None`` (the fast path is a
+      single global read);
+    * ``raise`` — raises :class:`FaultError`;
+    * ``hang`` — sleeps ``REPRO_FAULT_HANG_S`` seconds (default 3600),
+      then raises :class:`FaultError` in case nothing killed it;
+    * ``partial-write`` — returns the :class:`Fault` for the call site
+      to interpret (truncate its own write, then raise).
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    fault = plan.probe(site)
+    if fault is None:
+        return None
+    if fault.kind == "raise":
+        raise FaultError(site, "raise")
+    if fault.kind == "hang":
+        time.sleep(_hang_seconds())
+        raise FaultError(site, "hang")
+    return fault

@@ -1,0 +1,304 @@
+"""The resilient experiment runner.
+
+:class:`ExperimentRunner` wraps :func:`repro.experiments.run_experiment`
+without changing any experiment's public API.  Per experiment it adds:
+
+* **structured error capture** — an exception becomes
+  ``{"holds": False, "status": "error", "error": {type, message,
+  traceback}}`` instead of aborting the batch;
+* **wall-clock timeouts** — the experiment runs on a watchdog thread (or
+  in a subprocess under ``isolate``) and is abandoned/killed after
+  ``timeout_s``, yielding ``status: "timeout"``;
+* **bounded retries** — transient failures are retried up to ``retries``
+  times with exponential backoff + deterministic jitter;
+* **subprocess isolation** — with ``isolate=True`` each attempt runs in
+  a child interpreter (``python -m repro.harness.child``), so a
+  segfault/OOM in one experiment cannot take down the run; the child's
+  result and metrics snapshot come back over a pipe as JSON and the
+  metrics are merged into the parent registry;
+* **checkpointing** — when given a :class:`~repro.harness.checkpoint.
+  Checkpoint`, completed experiments are journaled and skipped on
+  resume.
+
+Observability: every attempt is traced as a ``harness.attempt`` span
+annotated with the attempt number, and the counters ``harness.retries``,
+``harness.timeouts`` and ``harness.errors`` accumulate in the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro import obs
+from repro.harness import faults
+from repro.harness.checkpoint import Checkpoint
+
+__all__ = [
+    "RunnerConfig",
+    "ExperimentRunner",
+    "batch_exit_code",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+    "CHILD_SENTINEL",
+]
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+#: Prefix marking the child's JSON result line on stdout (everything the
+#: experiment itself may print stays un-prefixed and is ignored).
+CHILD_SENTINEL = "REPRO_CHILD_RESULT:"
+
+
+@dataclass
+class RunnerConfig:
+    """Knobs for :class:`ExperimentRunner` (all optional)."""
+
+    timeout_s: float | None = None
+    retries: int = 0
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 5.0
+    jitter: float = 0.25
+    isolate: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+
+def batch_exit_code(results: dict[str, dict]) -> int:
+    """Process exit code for a batch: 0 holds, 1 fails, 2 error/timeout."""
+    statuses = {r.get("status", STATUS_OK) for r in results.values()}
+    if statuses & {STATUS_ERROR, STATUS_TIMEOUT}:
+        return 2
+    if any(not r.get("holds") for r in results.values()):
+        return 1
+    return 0
+
+
+def _error_payload(exc: BaseException) -> dict[str, str]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
+    }
+
+
+def _run_on_thread(fn, timeout_s: float):
+    """Run ``fn`` on a daemon thread; abandon it after ``timeout_s``.
+
+    Returns ``(timed_out, value, exc)``.  An abandoned thread keeps
+    running (Python threads cannot be killed) but the daemon flag keeps
+    it from blocking interpreter exit; ``isolate`` is the stronger
+    answer when runaway work must actually stop.
+    """
+    box: dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            box["exc"] = exc
+
+    worker = threading.Thread(
+        target=target, name="repro-harness-attempt", daemon=True
+    )
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        return True, None, None
+    return False, box.get("value"), box.get("exc")
+
+
+class ExperimentRunner:
+    """Fault-tolerant façade over the experiment registry."""
+
+    def __init__(
+        self,
+        config: RunnerConfig | None = None,
+        checkpoint: Checkpoint | None = None,
+    ):
+        self.config = config if config is not None else RunnerConfig()
+        self.checkpoint = checkpoint
+        self._rng = random.Random(self.config.seed)
+
+    # -- single experiment -----------------------------------------------------
+
+    def run_one(self, exp_id: str) -> dict[str, object]:
+        """Run one experiment to a terminal result dict (never raises on
+        experiment failure; raises only for unknown ids or interrupts)."""
+        from repro.experiments.registry import get_experiment
+
+        exp = get_experiment(exp_id)  # KeyError for unknown ids, up front
+        cfg = self.config
+        attempts = cfg.retries + 1
+        last: dict[str, object] = {}
+        t0 = time.perf_counter()
+        for attempt in range(1, attempts + 1):
+            if self.checkpoint is not None:
+                self.checkpoint.record_start(exp.id, attempt=attempt)
+            with obs.span(
+                "harness.attempt",
+                experiment=exp.id,
+                attempt=attempt,
+                isolate=cfg.isolate,
+            ):
+                last = self._attempt(exp.id)
+            if last["status"] == STATUS_OK:
+                break
+            if last["status"] == STATUS_TIMEOUT:
+                obs.inc("harness.timeouts")
+            else:
+                obs.inc("harness.errors")
+            if attempt < attempts:
+                obs.inc("harness.retries")
+                time.sleep(self._backoff(attempt))
+        last["attempts"] = attempt
+        last["duration_s"] = time.perf_counter() - t0
+        if self.checkpoint is not None:
+            self.checkpoint.record_finish(exp.id, last)
+        return last
+
+    def _backoff(self, attempt: int) -> float:
+        cfg = self.config
+        delay = min(cfg.backoff_cap_s, cfg.backoff_base_s * 2 ** (attempt - 1))
+        return delay * (1.0 + cfg.jitter * self._rng.random())
+
+    def _attempt(self, exp_id: str) -> dict[str, object]:
+        if self.config.isolate:
+            return self._attempt_subprocess(exp_id)
+        return self._attempt_in_process(exp_id)
+
+    # -- in-process path -------------------------------------------------------
+
+    def _attempt_in_process(self, exp_id: str) -> dict[str, object]:
+        from repro.experiments.registry import run_experiment
+
+        faults.inject("runner.attempt")
+        fn = lambda: run_experiment(exp_id)  # noqa: E731
+        try:
+            if self.config.timeout_s is not None:
+                timed_out, value, exc = _run_on_thread(fn, self.config.timeout_s)
+                if timed_out:
+                    return self._timeout_result(exp_id)
+                if exc is not None:
+                    raise exc
+                result = value
+            else:
+                result = fn()
+        except KeyboardInterrupt:  # the operator wins over error capture
+            raise
+        except Exception as exc:  # noqa: BLE001 - structured capture is the point
+            return self._error_result(exp_id, _error_payload(exc))
+        return {**result, "status": STATUS_OK}
+
+    # -- subprocess path -------------------------------------------------------
+
+    def _attempt_subprocess(self, exp_id: str) -> dict[str, object]:
+        import repro
+
+        faults.inject("runner.attempt")
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src_dir
+        )
+        cmd = [sys.executable, "-m", "repro.harness.child", exp_id]
+        try:
+            proc = subprocess.run(
+                cmd,
+                capture_output=True,
+                text=True,
+                timeout=self.config.timeout_s,
+                env=env,
+            )
+        except subprocess.TimeoutExpired:
+            return self._timeout_result(exp_id)
+        payload = self._parse_child_output(proc.stdout)
+        if payload is None:
+            tail = (proc.stderr or "").strip().splitlines()[-8:]
+            return self._error_result(
+                exp_id,
+                {
+                    "type": "ChildCrash",
+                    "message": (
+                        f"isolated child exited with code {proc.returncode} "
+                        "without a result"
+                    ),
+                    "traceback": "\n".join(tail),
+                },
+            )
+        metrics = payload.get("metrics")
+        if isinstance(metrics, dict):
+            obs.REGISTRY.merge_snapshot(metrics)
+        if payload.get("ok"):
+            return {**payload["result"], "status": STATUS_OK}
+        return self._error_result(exp_id, payload.get("error") or {})
+
+    @staticmethod
+    def _parse_child_output(stdout: str) -> dict | None:
+        for line in reversed((stdout or "").splitlines()):
+            if line.startswith(CHILD_SENTINEL):
+                try:
+                    return json.loads(line[len(CHILD_SENTINEL):])
+                except json.JSONDecodeError:
+                    return None
+        return None
+
+    # -- terminal result shapes ------------------------------------------------
+
+    def _timeout_result(self, exp_id: str) -> dict[str, object]:
+        return {
+            "holds": False,
+            "status": STATUS_TIMEOUT,
+            "experiment": exp_id,
+            "timeout_s": self.config.timeout_s,
+        }
+
+    @staticmethod
+    def _error_result(exp_id: str, error: dict[str, str]) -> dict[str, object]:
+        return {
+            "holds": False,
+            "status": STATUS_ERROR,
+            "experiment": exp_id,
+            "error": error,
+        }
+
+    # -- batches ---------------------------------------------------------------
+
+    def run_many(self, exp_ids: Iterable[str]) -> dict[str, dict[str, object]]:
+        """Run a batch, skipping checkpoint-completed experiments.
+
+        Returns ``{id: result}`` in input order; resumed results carry
+        ``"resumed": True``.  Never aborts mid-batch: every requested
+        experiment gets a terminal result.
+        """
+        done = self.checkpoint.completed() if self.checkpoint else {}
+        results: dict[str, dict[str, object]] = {}
+        for exp_id in exp_ids:
+            key = exp_id.upper()
+            if key in done:
+                results[key] = {**done[key], "resumed": True}
+                obs.inc("harness.resumed")
+                continue
+            results[key] = self.run_one(key)
+        return results

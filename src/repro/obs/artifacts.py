@@ -89,7 +89,17 @@ class RunArtifacts:
 
     def write_event(self, payload: dict) -> None:
         """Append one JSON object to ``events.jsonl`` (flushed per line)."""
-        self._events_fh.write(json.dumps(payload, default=str) + "\n")
+        # Lazy import: obs must stay importable without the harness
+        # package (and vice versa).
+        from repro.harness import faults
+
+        line = json.dumps(payload, default=str)
+        fault = faults.inject("artifacts.write_event")
+        if fault is not None:  # partial-write: crash mid-record
+            self._events_fh.write(line[: max(1, len(line) // 2)])
+            self._events_fh.flush()
+            raise faults.FaultError("artifacts.write_event", fault.kind)
+        self._events_fh.write(line + "\n")
         self._events_fh.flush()
 
     def activate(self) -> None:
@@ -140,19 +150,43 @@ class RunArtifacts:
 
 
 def load_manifest(directory: str | os.PathLike[str]) -> dict[str, object]:
-    """Parse ``manifest.json`` from a run directory."""
+    """Parse ``manifest.json`` from a run directory.
+
+    Tolerates the *unfinalized* manifest a crashed or still-running run
+    leaves behind (no ``finished``/``metrics``/``exit_code`` keys): the
+    returned dict gains a derived ``finalized`` bool so callers can
+    branch instead of tripping over missing keys.
+    """
     path = Path(directory) / MANIFEST_NAME
     with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
+        manifest = json.load(fh)
+    manifest.setdefault("finalized", "finished" in manifest)
+    return manifest
 
 
-def read_events(directory: str | os.PathLike[str]) -> list[dict]:
-    """Parse every event in a run directory's ``events.jsonl``, in order."""
+def read_events(
+    directory: str | os.PathLike[str], strict: bool = False
+) -> list[dict]:
+    """Parse every event in a run directory's ``events.jsonl``, in order.
+
+    A truncated final line is the *normal* state of a crashed run's
+    stream, so undecodable lines are skipped (and counted on the
+    ``artifacts.partial_events`` metric) rather than raised; pass
+    ``strict=True`` to get the old raising behaviour.
+    """
+    from repro.obs.metrics import inc
+
     path = Path(directory) / EVENTS_NAME
     events: list[dict] = []
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                inc("artifacts.partial_events")
     return events

@@ -85,6 +85,21 @@ class Timer:
         """Mean duration over all observations (0.0 before the first)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, stats: dict) -> None:
+        """Fold another timer's ``as_dict()`` statistics into this one.
+
+        Used to merge a subprocess child's snapshot into the parent
+        registry; the child's ``last`` wins (it is the more recent run).
+        """
+        count = int(stats.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(stats.get("total_s", 0.0))
+        self.min = min(self.min, float(stats.get("min_s", math.inf)))
+        self.max = max(self.max, float(stats.get("max_s", 0.0)))
+        self.last = float(stats.get("last_s", self.last))
+
     def as_dict(self) -> dict[str, float | int]:
         """JSON-friendly statistics, all durations in seconds."""
         return {
@@ -138,6 +153,21 @@ class MetricsRegistry:
                     k: self._timers[k].as_dict() for k in sorted(self._timers)
                 },
             }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a ``snapshot()``-shaped dict from another registry in.
+
+        Counters add, gauges last-write-win, timers fold their full
+        statistics.  This is how an ``--isolate`` child's measurements
+        reach the parent process's registry.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, stats in (snapshot.get("timers") or {}).items():
+            if isinstance(stats, dict):
+                self.timer(name).merge(stats)
 
     def reset(self) -> None:
         """Drop every metric (names and values)."""

@@ -39,9 +39,27 @@ class TestRun:
         data = json.loads(text)
         assert data["E1"]["holds"] is True
 
-    def test_unknown_experiment(self):
-        with pytest.raises(KeyError):
-            run_cli("run", "E42")
+    def test_unknown_experiment_is_clean_exit_2(self, capsys):
+        code, text = run_cli("run", "E42")
+        assert code == 2
+        assert text == ""  # nothing on the report stream
+        err = capsys.readouterr().err
+        assert "unknown experiment 'E42'" in err
+        assert "known: E1" in err
+
+    def test_unknown_experiment_mixed_with_known(self, capsys):
+        code, _ = run_cli("run", "E1", "nope")
+        assert code == 2
+        assert "unknown experiment 'nope'" in capsys.readouterr().err
+
+    def test_run_resilience_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "all", "--timeout", "30", "--retries", "2",
+             "--isolate", "--resume", "/tmp/r"]
+        )
+        assert args.timeout == 30.0 and args.retries == 2
+        assert args.isolate is True and args.resume == "/tmp/r"
 
 
 class TestSimulate:
@@ -123,6 +141,41 @@ class TestPhaseSpace:
     def test_too_large_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("phase-space", "--n", "24")
+
+
+class TestInputValidation:
+    """Out-of-domain numeric flags die with one-line usage errors, not
+    deep numpy/space-construction tracebacks."""
+
+    @pytest.mark.parametrize("argv, fragment", [
+        (["simulate", "--n", "0"], "--n must be >= 1"),
+        (["simulate", "--n", "-3"], "--n must be >= 1"),
+        (["simulate", "--radius", "0"], "--radius must be >= 1"),
+        (["simulate", "--steps", "-1"], "--steps must be >= 0"),
+        (["simulate", "--space", "hypercube", "--dimension", "0"],
+         "--dimension must be >= 1"),
+        (["simulate", "--space", "grid", "--rows", "0"], "--rows must be >= 1"),
+        (["simulate", "--rule", "wolfram", "--wolfram", "256"],
+         "--wolfram must be an elementary rule number in 0..255"),
+        (["simulate", "--rule", "wolfram", "--wolfram", "-1"],
+         "--wolfram must be an elementary rule number in 0..255"),
+        (["run", "E1", "--timeout", "0"], "--timeout must be positive"),
+        (["run", "E1", "--retries", "-1"], "--retries must be >= 0"),
+        (["phase-space", "--n", "0"], "--n must be >= 1"),
+    ])
+    def test_bad_values_rejected(self, argv, fragment):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(*argv)
+        assert fragment in str(excinfo.value)
+
+    def test_boundary_values_accepted(self):
+        code, _ = run_cli("simulate", "--n", "3", "--steps", "0")
+        assert code == 0
+        code, _ = run_cli(
+            "simulate", "--n", "8", "--rule", "wolfram", "--wolfram", "0",
+            "--steps", "1",
+        )
+        assert code == 0
 
 
 class TestParser:
