@@ -39,6 +39,9 @@ from repro.core import (
     AlphaAsynchronous,
     BlockSequential,
     BooleanFunction,
+    Budget,
+    BudgetExceeded,
+    CancelToken,
     CellularAutomaton,
     ConfigClass,
     FixedPermutation,
@@ -48,6 +51,7 @@ from repro.core import (
     MajorityRule,
     NondetPhaseSpace,
     OrbitInfo,
+    Partial,
     PhaseSpace,
     RandomPermutationSweeps,
     RandomSingleNode,
@@ -60,6 +64,8 @@ from repro.core import (
     UpdateRule,
     WolframRule,
     XorRule,
+    build_nondet_phase_space,
+    build_phase_space,
     captures_parallel_step,
     check_bipartite_two_cycles,
     check_corollary1,
@@ -78,6 +84,7 @@ from repro.core import (
     sequential_converge,
     sequential_reachable_set,
     sequential_trajectory,
+    use_budget,
 )
 from repro import obs
 from repro.spaces import (
@@ -134,12 +141,20 @@ __all__ = [
     # phase spaces & dynamics
     "PhaseSpace",
     "NondetPhaseSpace",
+    "build_phase_space",
+    "build_nondet_phase_space",
     "ConfigClass",
     "OrbitInfo",
     "parallel_orbit",
     "parallel_trajectory",
     "sequential_converge",
     "sequential_trajectory",
+    # resource governance
+    "Budget",
+    "BudgetExceeded",
+    "CancelToken",
+    "Partial",
+    "use_budget",
     # energy
     "ThresholdNetwork",
     # interleaving analysis

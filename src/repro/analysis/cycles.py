@@ -27,11 +27,23 @@ __all__ = [
     "scc_labels_python",
 ]
 
+#: loop iterations between budget checks in the Python decomposition loops
+#: (a check is a few attribute reads; 2**16 keeps the overhead invisible
+#: while bounding cancellation latency to well under a second).
+_CHECK_EVERY = 1 << 16
+
 
 class FunctionalGraph:
-    """Analysis of a map ``succ: {0..N-1} -> {0..N-1}`` given as an array."""
+    """Analysis of a map ``succ: {0..N-1} -> {0..N-1}`` given as an array.
 
-    def __init__(self, succ: np.ndarray):
+    An optional :class:`~repro.core.budget.Budget` makes the O(N) Python
+    decomposition loops cooperative: they poll the budget every
+    ``2**16`` iterations and raise
+    :class:`~repro.core.budget.BudgetExceeded` instead of running
+    unbounded when the deadline passes or the token is cancelled.
+    """
+
+    def __init__(self, succ: np.ndarray, budget=None):
         succ = np.asarray(succ, dtype=np.int64).ravel()
         if succ.size == 0:
             raise ValueError("functional graph must have at least one node")
@@ -39,6 +51,11 @@ class FunctionalGraph:
             raise ValueError("successor indices out of range")
         self.succ = succ
         self.size = succ.size
+        self._budget = budget
+
+    def _check_budget(self, tick: int) -> None:
+        if self._budget is not None and tick % _CHECK_EVERY == 0:
+            self._budget.check()
 
     # -- core decomposition ---------------------------------------------------
 
@@ -61,6 +78,7 @@ class FunctionalGraph:
         while head < tail:
             v = order[head]
             head += 1
+            self._check_budget(head)
             w = self.succ[v]
             indeg[w] -= 1
             if indeg[w] == 0:
@@ -85,12 +103,15 @@ class FunctionalGraph:
         on_cycle = self.on_cycle
         visited = np.zeros(self.size, dtype=bool)
         out: list[list[int]] = []
+        tick = 0
         for start in np.flatnonzero(on_cycle):
             if visited[start]:
                 continue
             cyc = []
             v = int(start)
             while not visited[v]:
+                tick += 1
+                self._check_budget(tick)
                 visited[v] = True
                 cyc.append(v)
                 v = int(self.succ[v])
@@ -111,7 +132,8 @@ class FunctionalGraph:
         on_cycle, peel_order = self._peel
         # Process transient nodes in reverse peel order: each node's
         # successor is deleted after it, hence already labelled in reverse.
-        for v in peel_order[::-1]:
+        for tick, v in enumerate(peel_order[::-1]):
+            self._check_budget(tick)
             label[v] = label[self.succ[v]]
         if np.any(label < 0):  # pragma: no cover - would indicate a bug
             raise AssertionError("attractor labelling incomplete")
@@ -122,7 +144,8 @@ class FunctionalGraph:
         """Number of steps from each node to the first on-cycle node."""
         dist = np.zeros(self.size, dtype=np.int64)
         _, peel_order = self._peel
-        for v in peel_order[::-1]:
+        for tick, v in enumerate(peel_order[::-1]):
+            self._check_budget(tick)
             dist[v] = dist[self.succ[v]] + 1 if not self.on_cycle[self.succ[v]] else 1
         dist[self.on_cycle] = 0
         return dist

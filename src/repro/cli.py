@@ -22,18 +22,34 @@ Every subcommand accepts ``--trace`` (record tracing spans into the
 metrics registry) and ``--artifacts-dir DIR`` (persist the run as
 ``manifest.json`` + ``events.jsonl`` under DIR; implies ``--trace``).
 ``REPRO_TRACE=1`` in the environment enables tracing globally.
+
+Resource governance: the enumerating subcommands accept ``--budget-mem``
+/ ``--budget-wall`` / ``--budget-states``; tripping a budget yields an
+honest partial result and exit code 3 instead of an OOM kill.
+``phase-space --resume DIR`` checkpoints the explored frontier on
+truncation and resumes from it.  Ctrl-C exits 130 with a one-line
+notice (no traceback); SIGTERM cancels cooperatively and exits 143.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.core.budget import (
+    Budget,
+    BudgetExceeded,
+    CancelToken,
+    parse_size,
+    use_budget,
+)
 from repro.analysis.drawing import (
     nondet_phase_space_dot,
     phase_space_dot,
@@ -41,8 +57,6 @@ from repro.analysis.drawing import (
 )
 from repro.core.automaton import CellularAutomaton
 from repro.core.evolution import sequential_trajectory
-from repro.core.nondet import NondetPhaseSpace
-from repro.core.phase_space import PhaseSpace
 from repro.core.rules import (
     MajorityRule,
     SimpleThresholdRule,
@@ -142,6 +156,25 @@ def _add_space_rule_args(p: argparse.ArgumentParser) -> None:
                    help="exclude the node's own state from its window")
 
 
+def _add_budget_args(p: argparse.ArgumentParser, resume: bool = False) -> None:
+    group = p.add_argument_group("resource governance")
+    group.add_argument("--budget-mem", default=None, metavar="SIZE",
+                       help="memory ceiling for the enumerators, e.g. '256M' "
+                            "or '2G' (deterministic charged-bytes accounting; "
+                            "tripping yields an honest partial result, exit 3)")
+    group.add_argument("--budget-wall", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cooperative wall-clock deadline for the "
+                            "enumerators")
+    group.add_argument("--budget-states", type=int, default=None, metavar="N",
+                       help="cap on enumerated states before truncating")
+    if resume:
+        group.add_argument("--resume", default=None, metavar="DIR",
+                           help="frontier checkpoint directory: a truncated "
+                                "build saves its explored prefix there and "
+                                "the next run resumes from it disk-backed")
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     group = p.add_argument_group("observability")
     group.add_argument("--trace", action="store_true",
@@ -207,12 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["parallel", "sequential"])
     p_ps.add_argument("--dot", default=None, metavar="FILE",
                       help="write a Graphviz DOT rendering to FILE")
+    _add_budget_args(p_ps, resume=True)
 
     p_census = sub.add_parser(
         "census", help="phase-space census of MAJORITY rings (E20)"
     )
     p_census.add_argument("--min-n", type=int, default=3)
     p_census.add_argument("--max-n", type=int, default=12)
+    _add_budget_args(p_census)
 
     p_survey = sub.add_parser(
         "survey", help="classify all 256 elementary rules (E21)"
@@ -221,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="largest ring size checked per rule")
     p_survey.add_argument("--full-table", action="store_true",
                           help="print one line per rule, not just the summary")
+    _add_budget_args(p_survey)
 
     p_report = sub.add_parser(
         "report", help="run every experiment and emit a markdown report"
@@ -268,6 +304,18 @@ def _validate_args(args: argparse.Namespace) -> None:
     timeout = getattr(args, "timeout", None)
     if timeout is not None and timeout <= 0:
         raise SystemExit(f"--timeout must be positive, got {timeout:g}")
+    wall = getattr(args, "budget_wall", None)
+    if wall is not None and wall <= 0:
+        raise SystemExit(f"--budget-wall must be positive, got {wall:g}")
+    states = getattr(args, "budget_states", None)
+    if states is not None and states < 1:
+        raise SystemExit(f"--budget-states must be >= 1, got {states}")
+    mem = getattr(args, "budget_mem", None)
+    if mem is not None:
+        try:
+            args.budget_mem = parse_size(mem)
+        except ValueError as err:
+            raise SystemExit(f"--budget-mem: {err}") from err
 
 
 def _cmd_list(out) -> int:
@@ -301,6 +349,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             isolate=args.isolate,
         ),
         checkpoint=checkpoint,
+        token=getattr(args, "_cancel_token", None),
     )
     try:
         results = runner.run_many(ids)
@@ -315,6 +364,9 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
             status = res.get("status", "ok")
             if status == "timeout":
                 verdict, note = "TIMEOUT", f"  (no result in {res['timeout_s']:g}s)"
+            elif status == "budget":
+                verdict = "BUDGET"
+                note = f"  ({res.get('truncation')})"
             elif status == "error":
                 err = res.get("error") or {}
                 verdict = "ERROR"
@@ -342,18 +394,74 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_phase_space(args: argparse.Namespace, out) -> int:
+    from repro.core.budget import ambient_budget
+    from repro.core.nondet import build_nondet_phase_space
+    from repro.core.phase_space import build_phase_space
+    from repro.harness.checkpoint import load_frontier, save_frontier
+    from repro.util.validation import check_memory_budget
+
     space = _make_space(args)
     ca = CellularAutomaton(space, _make_rule(args), memory=not args.memoryless)
-    if ca.n > 20:
-        raise SystemExit(f"phase space over 2**{ca.n} configurations is too large")
+    budget = ambient_budget()
+    resume_dir = getattr(args, "resume", None)
+    if ca.n > 24:
+        raise SystemExit(
+            f"phase space over 2**{ca.n} configurations is too large even "
+            f"for a governed build (max --n 24)"
+        )
+    if ca.n > 20 and budget.mem_bytes is None and not resume_dir:
+        raise SystemExit(
+            f"phase space over 2**{ca.n} configurations is too large; pass "
+            f"--budget-mem SIZE for a governed (possibly partial) build, or "
+            f"--resume DIR to checkpoint and resume the frontier"
+        )
+    try:
+        check_memory_budget(ca.n, budget.mem_bytes)
+    except ValueError as err:
+        raise SystemExit(str(err)) from err
+    frontier = None
+    if resume_dir:
+        frontier = load_frontier(resume_dir)
+        if frontier is not None:
+            print(
+                f"resuming from {resume_dir} "
+                f"(previously explored {frontier.get('explored', 0)} configs)",
+                file=out,
+            )
     print(ca.describe(), file=out)
+    build = (
+        build_phase_space if args.mode == "parallel" else build_nondet_phase_space
+    )
+    try:
+        partial = build(ca, frontier=frontier)
+    except ValueError as err:  # frontier/mode mismatch, oversized space
+        raise SystemExit(str(err)) from err
+    print(f"  {partial.describe()}", file=out)
+    if not partial.complete:
+        exact = partial.total is not None and partial.explored >= partial.total
+        suffix = "" if exact else " (so far)"
+        for key, value in (partial.stats or {}).items():
+            print(f"  {key}{suffix}: {value}", file=out)
+        if partial.frontier is not None and resume_dir:
+            save_frontier(resume_dir, partial)
+            print(
+                f"  frontier saved — rerun with --resume {resume_dir} "
+                f"to continue",
+                file=out,
+            )
+        elif partial.frontier is not None:
+            print(
+                "  (pass --resume DIR to checkpoint the frontier for later)",
+                file=out,
+            )
+        return 3
     if args.mode == "parallel":
-        ps = PhaseSpace.from_automaton(ca)
+        ps = partial.value
         for key, value in ps.summary().items():
             print(f"  {key}: {value}", file=out)
         dot = phase_space_dot(ps, title=ca.describe()) if args.dot else None
     else:
-        nps = NondetPhaseSpace.from_automaton(ca)
+        nps = partial.value
         for key, value in nps.summary().items():
             print(f"  {key}: {value}", file=out)
         dot = (
@@ -490,14 +598,54 @@ def _dispatch(args: argparse.Namespace, out) -> int:
             print(f"wrote {args.output}", file=out)
         else:
             print(text, file=out)
-        if "**ERROR**" in text or "**TIMEOUT**" in text:
+        if "**ERROR**" in text or "**TIMEOUT**" in text or "**BUDGET**" in text:
             return 2
         return 0 if "**FAILS**" not in text else 1
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
+def _budget_from_args(args: argparse.Namespace, token: CancelToken) -> Budget:
+    """The session budget: CLI flags (already validated/parsed) + the token.
+
+    With no flags this is an unlimited budget that still carries the
+    cancellation token, so SIGTERM reaches every governed loop.
+    """
+    return Budget(
+        wall_s=getattr(args, "budget_wall", None),
+        mem_bytes=getattr(args, "budget_mem", None),
+        max_states=getattr(args, "budget_states", None),
+        token=token,
+    )
+
+
+def _install_sigterm(token: CancelToken) -> None:
+    """First SIGTERM cancels cooperatively; a second one kills for real."""
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal delivery
+        if token.cancelled:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGTERM)
+        token.cancel("SIGTERM")
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use) — skip the handler
+
+
+def _partial_location(args: argparse.Namespace) -> str:
+    where = getattr(args, "artifacts_dir", None) or getattr(args, "resume", None)
+    if where:
+        return f" — partial artifacts in {where}"
+    return ""
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 some experiment fails, 2 error/timeout/usage,
+    3 budget-truncated partial result, 130 Ctrl-C, 143 SIGTERM.
+    """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
     _validate_args(args)
@@ -508,6 +656,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     # own, so it bypasses the artifact/tracing setup below.
     if args.command == "stats":
         return _cmd_stats(args, out)
+
+    token = CancelToken()
+    args._cancel_token = token
+    _install_sigterm(token)
 
     want_trace = bool(getattr(args, "trace", False))
     artifacts_dir = getattr(args, "artifacts_dir", None)
@@ -529,7 +681,29 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         obs.enable(trace_memory=bool(getattr(args, "trace_memory", False)))
     code = 1
     try:
-        code = _dispatch(args, out)
+        try:
+            with use_budget(_budget_from_args(args, token)):
+                code = _dispatch(args, out)
+        except KeyboardInterrupt:
+            # Satellite of the governance work: no traceback, one line,
+            # the conventional 128+SIGINT exit code.  Artifacts/metrics
+            # are still flushed by the ``finally`` below.
+            token.cancel("KeyboardInterrupt")
+            print(f"interrupted{_partial_location(args)}", file=sys.stderr)
+            code = 130
+        except BudgetExceeded as exc:
+            if token.reason == "SIGTERM":
+                print(f"terminated{_partial_location(args)}", file=sys.stderr)
+                code = 143
+            else:
+                print(f"budget exhausted — {exc.reason}", file=sys.stderr)
+                if exc.partial is not None:
+                    print(exc.partial.describe(), file=sys.stderr)
+                code = 3
+        else:
+            if token.reason == "SIGTERM":
+                print(f"terminated{_partial_location(args)}", file=sys.stderr)
+                code = 143
         return code
     finally:
         if enabled_here:

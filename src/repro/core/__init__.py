@@ -8,6 +8,16 @@ corollary and proposition in the paper.
 """
 
 from repro.core.automaton import CellularAutomaton
+from repro.core.budget import (
+    Budget,
+    BudgetExceeded,
+    CancelToken,
+    Partial,
+    ambient_budget,
+    parse_size,
+    set_ambient,
+    use_budget,
+)
 from repro.core.boolean import (
     BooleanFunction,
     all_boolean_functions,
@@ -38,8 +48,8 @@ from repro.core.interleaving import (
     orbit_reproducible_sequentially,
     sequential_reachable_set,
 )
-from repro.core.nondet import NondetPhaseSpace
-from repro.core.phase_space import ConfigClass, PhaseSpace
+from repro.core.nondet import NondetPhaseSpace, build_nondet_phase_space
+from repro.core.phase_space import ConfigClass, PhaseSpace, build_phase_space
 from repro.core.rules import (
     MajorityRule,
     SimpleThresholdRule,
@@ -75,6 +85,16 @@ from repro.core.theorems import (
 __all__ = [
     "CellularAutomaton",
     "HeterogeneousCA",
+    "Budget",
+    "BudgetExceeded",
+    "CancelToken",
+    "Partial",
+    "ambient_budget",
+    "parse_size",
+    "set_ambient",
+    "use_budget",
+    "build_phase_space",
+    "build_nondet_phase_space",
     "BooleanFunction",
     "all_boolean_functions",
     "majority_function",

@@ -158,30 +158,57 @@ class CellularAutomaton:
             np.uint8
         )
 
-    def step_all(self) -> np.ndarray:
+    def step_all_range(self, lo: int, hi: int) -> np.ndarray:
+        """Packed synchronous successors of configurations ``lo .. hi - 1``.
+
+        One bounded-memory chunk of :meth:`step_all`; the governed
+        phase-space builder calls this directly so it can consult its
+        budget between chunks.
+        """
+        n = self.n
+        place = np.int64(1) << np.arange(n, dtype=np.int64)
+        configs = self._config_chunk(lo, hi)
+        ext = np.concatenate(
+            [configs, np.zeros((hi - lo, 1), dtype=np.uint8)], axis=1
+        )
+        inputs = ext[:, self._windows]  # (chunk, n, k_max)
+        new = self.rule.apply_windows(inputs, self._lengths)
+        return new.astype(np.int64) @ place
+
+    def sweep_transient_bytes(self) -> int:
+        """Peak transient bytes of one chunk of a whole-space sweep.
+
+        The per-chunk scratch (bit-unpacked configs, the gathered window
+        tensor, the new-state matrix and the packed output) — what a
+        budget must have headroom for *besides* the persistent successor
+        array.
+        """
+        k_max = self._windows.shape[1]
+        # configs + ext + inputs (uint8 each), new (uint8), packed (int64)
+        return _CHUNK * ((self.n + 1) + self.n * k_max + self.n + 8)
+
+    def step_all(self, budget=None) -> np.ndarray:
         """Packed synchronous successor of every configuration.
 
         Returns ``succ`` with ``succ[c] = pack(step(unpack(c)))`` for all
         ``c`` in ``0 .. 2**n - 1`` — the full global map as one array.
+        An optional :class:`~repro.core.budget.Budget` is consulted between
+        chunks (wall-clock/cancellation only; memory-governed builds with
+        resumable frontiers live in :func:`repro.core.phase_space.build_phase_space`).
         """
         n = self.n
         if n > 24:
             raise ValueError(f"step_all over 2**{n} configurations is too large")
         total = 1 << n
         succ = np.empty(total, dtype=np.int64)
-        place = (np.int64(1) << np.arange(n, dtype=np.int64))
         for lo in range(0, total, _CHUNK):
+            if budget is not None:
+                budget.check()
             hi = min(lo + _CHUNK, total)
-            configs = self._config_chunk(lo, hi)
-            ext = np.concatenate(
-                [configs, np.zeros((hi - lo, 1), dtype=np.uint8)], axis=1
-            )
-            inputs = ext[:, self._windows]  # (chunk, n, k_max)
-            new = self.rule.apply_windows(inputs, self._lengths)
-            succ[lo:hi] = new.astype(np.int64) @ place
+            succ[lo:hi] = self.step_all_range(lo, hi)
         return succ
 
-    def node_successors(self, i: int) -> np.ndarray:
+    def node_successors(self, i: int, budget=None) -> np.ndarray:
         """Packed successor of every configuration under updating node ``i``.
 
         ``succ_i[c]`` differs from ``c`` in at most bit ``i``.  The family
@@ -200,6 +227,8 @@ class CellularAutomaton:
         window = self._windows[i][: self._lengths[i]]
         length = self._lengths[i : i + 1]
         for lo in range(0, total, _CHUNK):
+            if budget is not None:
+                budget.check()
             hi = min(lo + _CHUNK, total)
             codes = np.arange(lo, hi, dtype=np.int64)
             configs = self._config_chunk(lo, hi)
@@ -212,6 +241,8 @@ class CellularAutomaton:
             succ[lo:hi] = codes ^ ((old_bits ^ new_bits) << i)
         return succ
 
-    def all_node_successors(self) -> np.ndarray:
+    def all_node_successors(self, budget=None) -> np.ndarray:
         """Matrix of shape ``(n, 2**n)``: row ``i`` is :meth:`node_successors(i)`."""
-        return np.stack([self.node_successors(i) for i in range(self.n)])
+        return np.stack(
+            [self.node_successors(i, budget=budget) for i in range(self.n)]
+        )

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.automaton import CellularAutomaton
+from repro.core.budget import Budget, BudgetExceeded, Partial, resolve_budget
 from repro.core.schedules import UpdateSchedule
 from repro.obs import span
 from repro.util.validation import check_non_negative, check_state_vector
@@ -99,17 +100,28 @@ def run_schedule(
     state: np.ndarray,
     schedule: UpdateSchedule,
     macro_steps: int,
+    budget: Budget | None = None,
 ) -> Iterator[np.ndarray]:
     """Yield the state after each of ``macro_steps`` schedule blocks.
 
     The initial state is not yielded.  Full-space blocks take the
-    vectorized fast path.
+    vectorized fast path.  The budget (explicit or ambient) is polled
+    between blocks; a trip raises
+    :class:`~repro.core.budget.BudgetExceeded` whose partial records how
+    many blocks ran (the consumer already holds every yielded state).
     """
     check_non_negative(macro_steps, "macro_steps")
     state = check_state_vector(state, ca.n)
+    budget = resolve_budget(budget)
     full = tuple(range(ca.n))
     stream = schedule.blocks(ca.n)
-    for _ in range(macro_steps):
+    for t in range(macro_steps):
+        reason = budget.over()
+        if reason is not None:
+            raise BudgetExceeded(
+                reason,
+                partial=Partial.truncated(reason, explored=t, total=macro_steps),
+            )
         block = next(stream)
         state = ca.step(state) if block == full else block_step(ca, state, block)
         yield state
@@ -123,22 +135,36 @@ def parallel_trajectory(
 
 
 def parallel_orbit(
-    ca: CellularAutomaton, state: np.ndarray, max_steps: int | None = None
+    ca: CellularAutomaton,
+    state: np.ndarray,
+    max_steps: int | None = None,
+    budget: Budget | None = None,
 ) -> OrbitInfo:
     """Exact transient and period of the parallel orbit of ``state``.
 
     Iterates the global map, hashing visited configurations.  A finite
     deterministic system always closes a cycle within ``2**n`` steps, so
     ``max_steps=None`` is safe for moderate ``n``; pass a cap to fail fast
-    in exploratory sweeps.
+    in exploratory sweeps.  The budget (explicit or ambient) is polled
+    every step and each visited configuration charges one state unit, so
+    long orbit sweeps degrade cooperatively instead of running unbounded.
     """
     state = check_state_vector(state, ca.n)
+    budget = resolve_budget(budget)
     with span("orbit.parallel", n=ca.n) as sp:
         seen: dict[int, int] = {}
         codes: list[int] = []
         current = state
         t = 0
         while True:
+            reason = budget.over()
+            if reason is not None:
+                raise BudgetExceeded(
+                    reason,
+                    partial=Partial.truncated(
+                        reason, explored=t, stats={"codes_visited": len(codes)}
+                    ),
+                )
             code = ca.pack(current)
             if code in seen:
                 start = seen[code]
@@ -150,34 +176,52 @@ def parallel_orbit(
                 )
             seen[code] = t
             codes.append(code)
+            budget.charge(states=1)
             if max_steps is not None and t >= max_steps:
                 raise RuntimeError(f"no repeat within {max_steps} steps")
             current = ca.step(current)
             t += 1
 
 
-def brent_orbit(ca: CellularAutomaton, state: np.ndarray) -> OrbitInfo:
+def brent_orbit(
+    ca: CellularAutomaton, state: np.ndarray, budget: Budget | None = None
+) -> OrbitInfo:
     """Orbit structure via Brent's cycle-finding algorithm.
 
     O(1) memory — it never stores the trajectory — so it scales to state
     spaces far too large for the hashing approach.  Returns the same
     OrbitInfo (the cycle tuple is reconstructed once the period is known).
+    Both search phases poll the budget (explicit or ambient) every step.
     """
     state = check_state_vector(state, ca.n)
+    budget = resolve_budget(budget)
+
+    def _check(steps: int, phase: str) -> None:
+        reason = budget.over()
+        if reason is not None:
+            raise BudgetExceeded(
+                reason,
+                partial=Partial.truncated(
+                    reason, explored=steps, stats={"phase": phase}
+                ),
+            )
 
     with span("orbit.brent", n=ca.n) as sp:
         # Phase 1: find the period lambda.
         power = 1
         lam = 1
+        steps = 0
         tortoise = state
         hare = ca.step(state)
         while not np.array_equal(tortoise, hare):
+            _check(steps, "period-search")
             if power == lam:
                 tortoise = hare
                 power *= 2
                 lam = 0
             hare = ca.step(hare)
             lam += 1
+            steps += 1
 
         # Phase 2: find the transient mu with two aligned pointers.
         tortoise = state
@@ -186,6 +230,7 @@ def brent_orbit(ca: CellularAutomaton, state: np.ndarray) -> OrbitInfo:
             hare = ca.step(hare)
         mu = 0
         while not np.array_equal(tortoise, hare):
+            _check(steps + mu, "transient-search")
             tortoise = ca.step(tortoise)
             hare = ca.step(hare)
             mu += 1
@@ -219,6 +264,7 @@ def sequential_converge(
     schedule: UpdateSchedule,
     max_updates: int = 100_000,
     record_flips: bool = False,
+    budget: Budget | None = None,
 ) -> ConvergenceResult:
     """Drive a sequential/block run until a fixed point or the update cap.
 
@@ -226,8 +272,14 @@ def sequential_converge(
     to change" schedule-independent): the run stops as soon as the current
     state is a fixed point of the global map, checked whenever a window of
     ``n`` consecutive blocks produced no change.
+
+    The budget (explicit or ambient) is polled every update; on a trip the
+    raised :class:`~repro.core.budget.BudgetExceeded` carries a partial
+    whose ``value`` is the honest not-converged
+    :class:`ConvergenceResult` at the point of interruption.
     """
     state = check_state_vector(state, ca.n)
+    budget = resolve_budget(budget)
     with span("converge.sequential", n=ca.n) as sp:
         stream = schedule.blocks(ca.n)
         flips = 0
@@ -237,6 +289,21 @@ def sequential_converge(
             sp.set(updates=0, flips=0, converged=True)
             return ConvergenceResult(True, state, 0, 0, ())
         for t in range(1, max_updates + 1):
+            reason = budget.over()
+            if reason is not None:
+                snapshot = ConvergenceResult(
+                    False, state.copy(), t - 1, flips, tuple(flip_times)
+                )
+                raise BudgetExceeded(
+                    reason,
+                    partial=Partial.truncated(
+                        reason,
+                        explored=t - 1,
+                        total=max_updates,
+                        value=snapshot,
+                        stats={"flips": flips},
+                    ),
+                )
             block = next(stream)
             changed = False
             if len(block) == 1:

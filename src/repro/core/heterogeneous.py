@@ -122,22 +122,36 @@ class HeterogeneousCA(CellularAutomaton):
 
     # -- whole-space sweeps -----------------------------------------------------
 
-    def node_successors(self, i: int) -> np.ndarray:
+    def node_successors(self, i: int, budget=None) -> np.ndarray:
         saved = self.rule
         try:
             self.rule = self.rules[i]
-            return super().node_successors(i)
+            return super().node_successors(i, budget=budget)
         finally:
             self.rule = saved
 
-    def step_all(self) -> np.ndarray:
+    def step_all_range(self, lo: int, hi: int) -> np.ndarray:
+        """Range sweep with per-rule-group batching (overrides the
+        homogeneous sweep, which would apply ``self.rule`` to every node)."""
+        configs = self._config_chunk(lo, hi)
+        ext = np.concatenate(
+            [configs, np.zeros((hi - lo, 1), dtype=np.uint8)], axis=1
+        )
+        out = np.zeros(hi - lo, dtype=np.int64)
+        for rule, nodes in self._rule_groups():
+            inputs = ext[:, self._windows[nodes]]
+            bits = rule.apply_windows(inputs, self._lengths[nodes]).astype(np.int64)
+            out |= bits @ (np.int64(1) << nodes.astype(np.int64))
+        return out
+
+    def step_all(self, budget=None) -> np.ndarray:
         """The synchronous global map, assembled bit-by-bit per node."""
         n = self.n
         if n > 24:
             raise ValueError(f"step_all over 2**{n} configurations is too large")
         succ = np.zeros(1 << n, dtype=np.int64)
         for i in range(n):
-            bit = (self.node_successors(i) >> i) & 1
+            bit = (self.node_successors(i, budget=budget) >> i) & 1
             succ |= bit << i
         return succ
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.automaton import CellularAutomaton
+from repro.core.budget import Budget, resolve_budget
 from repro.core.evolution import parallel_orbit
 from repro.core.nondet import NondetPhaseSpace
 from repro.core.phase_space import PhaseSpace
@@ -66,16 +67,41 @@ class InterleavingReport:
     orbit_capture_failures: tuple[int, ...]
     parallel_two_cycle_configs: int
     sequential_has_cycle: bool
+    #: configurations actually audited — equals ``total_configs`` unless a
+    #: budget truncated the sweep (fields default for compatibility with
+    #: pre-governance constructions).
+    explored_configs: int | None = None
+    #: budget trip reason when the audit stopped early, else None.
+    truncation: str | None = None
+
+    @property
+    def audited_configs(self) -> int:
+        """Configurations the audit actually covered."""
+        return (
+            self.total_configs if self.explored_configs is None
+            else self.explored_configs
+        )
+
+    @property
+    def complete(self) -> bool:
+        """True iff the audit covered the whole configuration space."""
+        return self.truncation is None
 
     @property
     def step_capture_rate(self) -> float:
-        """Fraction of configurations whose parallel step is interleavable."""
-        return 1.0 - len(self.step_capture_failures) / self.total_configs
+        """Fraction of audited configurations whose parallel step is
+        interleavable."""
+        if self.audited_configs == 0:
+            return 0.0
+        return 1.0 - len(self.step_capture_failures) / self.audited_configs
 
     @property
     def orbit_capture_rate(self) -> float:
-        """Fraction of configurations whose parallel orbit is interleavable."""
-        return 1.0 - len(self.orbit_capture_failures) / self.total_configs
+        """Fraction of audited configurations whose parallel orbit is
+        interleavable."""
+        if self.audited_configs == 0:
+            return 0.0
+        return 1.0 - len(self.orbit_capture_failures) / self.audited_configs
 
     @property
     def interleavings_capture_concurrency(self) -> bool:
@@ -155,18 +181,27 @@ def orbit_reproducible_sequentially(
     )
 
 
-def interleaving_capture_report(ca: CellularAutomaton) -> InterleavingReport:
+def interleaving_capture_report(
+    ca: CellularAutomaton, budget: Budget | None = None
+) -> InterleavingReport:
     """Audit every configuration of ``ca`` for step and orbit capture.
 
     Exhaustive over ``2**n`` configurations.  For ``n <= 14`` the audit
     runs against a one-shot all-pairs reachability closure
     (:class:`repro.core.closure.ReachabilityClosure`); beyond that it
     falls back to per-configuration BFS, which is quadratically slower.
+
+    Governed: the two phase-space builds run under ``budget`` (explicit or
+    ambient) and the audit loop polls it every 256 configurations.  On a
+    mid-audit trip the report is returned *truncated* — failure lists and
+    rates cover only :attr:`InterleavingReport.audited_configs` codes and
+    :attr:`InterleavingReport.truncation` records why.
     """
     from repro.core.closure import ReachabilityClosure
 
-    nps = NondetPhaseSpace.from_automaton(ca)
-    ps = PhaseSpace.from_automaton(ca)
+    budget = resolve_budget(budget)
+    nps = NondetPhaseSpace.from_automaton(ca, budget=budget)
+    ps = PhaseSpace.from_automaton(ca, budget=budget)
     succ = ps.succ
 
     closure: ReachabilityClosure | None
@@ -199,7 +234,15 @@ def interleaving_capture_report(ca: CellularAutomaton) -> InterleavingReport:
             )
 
     two_cycle_configs = 0
+    explored = ps.size
+    truncation: str | None = None
     for code in range(ps.size):
+        if code % 256 == 0:
+            reason = budget.over()
+            if reason is not None:
+                explored = code
+                truncation = reason
+                break
         if not reach_all(code, [int(succ[code])]):
             step_failures.append(code)
         k = int(attractors[code])
@@ -221,4 +264,6 @@ def interleaving_capture_report(ca: CellularAutomaton) -> InterleavingReport:
         orbit_capture_failures=tuple(orbit_failures),
         parallel_two_cycle_configs=two_cycle_configs,
         sequential_has_cycle=nps.has_proper_cycle(),
+        explored_configs=explored,
+        truncation=truncation,
     )

@@ -29,10 +29,22 @@ from scipy.sparse import csgraph
 
 from repro.analysis.cycles import scc_labels
 from repro.core.automaton import CellularAutomaton
+from repro.core.budget import (
+    NONDET_BYTES_PER_STATE,
+    SUCC_BYTES_PER_STATE,
+    Budget,
+    BudgetExceeded,
+    Partial,
+    resolve_budget,
+)
 from repro.obs import span
 from repro.util.bitops import config_str
 
-__all__ = ["NondetPhaseSpace"]
+__all__ = ["NondetPhaseSpace", "build_nondet_phase_space"]
+
+#: extra per-(configuration, node) bytes the SCC analysis holds beyond the
+#: successor matrix (worst-case change-edge src + dst arrays, int64 each).
+_EDGE_EXTRA_PER_STATE = NONDET_BYTES_PER_STATE - SUCC_BYTES_PER_STATE
 
 
 class NondetPhaseSpace:
@@ -49,12 +61,20 @@ class NondetPhaseSpace:
         self.n_nodes = n_nodes
 
     @classmethod
-    def from_automaton(cls, ca: CellularAutomaton) -> "NondetPhaseSpace":
-        """Build the sequential phase space of an automaton."""
-        with span("nondet.build", n=ca.n, configs=1 << ca.n):
-            with span("nondet.node_successors", n=ca.n):
-                node_succ = ca.all_node_successors()
-            return cls(node_succ, ca.n)
+    def from_automaton(
+        cls, ca: CellularAutomaton, budget: Budget | None = None
+    ) -> "NondetPhaseSpace":
+        """Build the sequential phase space of an automaton.
+
+        Governed by ``budget`` (or the ambient budget); raises
+        :class:`~repro.core.budget.BudgetExceeded` carrying the partial on
+        a trip.  Use :func:`build_nondet_phase_space` to receive the
+        truncated result as a value instead.
+        """
+        partial = build_nondet_phase_space(ca, budget=budget)
+        if not partial.complete:
+            raise BudgetExceeded(partial.reason, partial=partial)
+        return partial.value
 
     @property
     def size(self) -> int:
@@ -271,3 +291,95 @@ class NondetPhaseSpace:
             "proper_cycle_components": len(self.proper_cycle_components()),
             "unreachable_configs": int(self.unreachable_configs().size),
         }
+
+
+def build_nondet_phase_space(
+    ca: CellularAutomaton,
+    budget: Budget | None = None,
+    frontier: dict[str, object] | None = None,
+) -> Partial[NondetPhaseSpace]:
+    """Governed sequential phase-space build, resumable at row granularity.
+
+    The ``(n, 2**n)`` node-successor matrix is filled one node row at a
+    time; the budget is consulted before each row (projecting the row's
+    :data:`~repro.core.budget.NONDET_BYTES_PER_STATE` footprint, which
+    also covers the change-edge arrays the SCC analysis later holds) and
+    cooperatively inside the row's chunked sweep.  On a trip the returned
+    :class:`~repro.core.budget.Partial` carries a ``frontier`` with the
+    completed rows; resumed frontiers are disk-backed memmaps charged only
+    for chunk transients, exactly like
+    :func:`repro.core.phase_space.build_phase_space`.
+
+    ``explored``/``total`` count (configuration, node) transition units,
+    i.e. ``rows_done * 2**n`` of ``n * 2**n``.
+    """
+    budget = resolve_budget(budget)
+    n = ca.n
+    if n > 24:
+        raise ValueError(
+            f"sequential phase space over 2**{n} configurations is too large"
+        )
+    size = 1 << n
+    total = n * size
+    from repro.harness import faults
+
+    if frontier is not None:
+        if frontier.get("kind") != "nondet" or int(frontier.get("n", -1)) != n:
+            raise ValueError(
+                f"frontier is not a nondet frontier for n={n}: "
+                f"{ {k: frontier[k] for k in ('kind', 'n') if k in frontier} }"
+            )
+        node_succ = frontier["succ"]
+        start_row = int(frontier["next_row"])
+    else:
+        node_succ = np.empty((n, size), dtype=np.int64)
+        start_row = 0
+    per_state = 0 if isinstance(node_succ, np.memmap) else NONDET_BYTES_PER_STATE
+    transient = ca.sweep_transient_bytes()
+
+    def _frontier(next_row: int) -> dict[str, object]:
+        return {
+            "kind": "nondet",
+            "n": n,
+            "automaton": ca.describe(),
+            "total": total,
+            "next_row": next_row,
+            "succ": node_succ,
+        }
+
+    def _truncated(reason: str, rows_done: int) -> Partial[NondetPhaseSpace]:
+        return Partial.truncated(
+            reason,
+            explored=rows_done * size,
+            total=total,
+            stats={"rows_done": rows_done, "rows_total": n},
+            frontier=_frontier(rows_done),
+        )
+
+    with span(
+        "nondet.build", n=n, configs=size, budget=budget.describe()
+    ) as build_span:
+        with span("nondet.node_successors", n=n, resumed_from=start_row):
+            for i in range(start_row, n):
+                reason = budget.over(pending_bytes=transient + per_state * size)
+                if reason is not None:
+                    build_span.set(truncated=reason, rows_done=i)
+                    return _truncated(reason, i)
+                faults.inject("nondet.row")
+                try:
+                    node_succ[i] = ca.node_successors(i, budget=budget)
+                except BudgetExceeded as err:
+                    # The row's chunked sweep tripped mid-row; resume
+                    # granularity is whole rows, so the partial row is
+                    # discarded and the frontier restarts at row ``i``.
+                    build_span.set(truncated=err.reason, rows_done=i)
+                    return _truncated(err.reason, i)
+                budget.charge(states=size, bytes_=per_state * size)
+        edge_pending = _EDGE_EXTRA_PER_STATE * total if per_state == 0 else 0
+        reason = budget.over(pending_bytes=edge_pending)
+        if reason is not None:
+            build_span.set(truncated=reason, rows_done=n)
+            return _truncated(reason, n)
+        budget.charge(bytes_=edge_pending)
+        nps = NondetPhaseSpace(node_succ, n)
+        return Partial.done(nps, explored=total, total=total)

@@ -20,10 +20,25 @@ import numpy as np
 
 from repro.analysis.cycles import FunctionalGraph
 from repro.core.automaton import CellularAutomaton
+from repro.core.budget import (
+    PHASE_ANALYSIS_BYTES_PER_STATE,
+    SUCC_BYTES_PER_STATE,
+    Budget,
+    BudgetExceeded,
+    Partial,
+    resolve_budget,
+)
 from repro.obs import span
 from repro.util.bitops import config_str
 
-__all__ = ["ConfigClass", "PhaseSpace"]
+__all__ = ["ConfigClass", "PhaseSpace", "build_phase_space"]
+
+#: configurations per governed chunk (matches the engine's sweep chunking)
+_CHUNK = 1 << 16
+
+#: extra per-configuration bytes the cycle analysis holds beyond ``succ``
+#: (in-degree + peel order int64, on-cycle + classes masks).
+_ANALYSIS_EXTRA_PER_STATE = PHASE_ANALYSIS_BYTES_PER_STATE - SUCC_BYTES_PER_STATE
 
 
 class ConfigClass(IntEnum):
@@ -42,7 +57,7 @@ class PhaseSpace:
     array.
     """
 
-    def __init__(self, succ: np.ndarray, n_nodes: int):
+    def __init__(self, succ: np.ndarray, n_nodes: int, budget: Budget | None = None):
         succ = np.asarray(succ, dtype=np.int64).ravel()
         if succ.size != 1 << n_nodes:
             raise ValueError(
@@ -50,15 +65,23 @@ class PhaseSpace:
             )
         self.succ = succ
         self.n_nodes = n_nodes
-        self.graph = FunctionalGraph(succ)
+        self.graph = FunctionalGraph(succ, budget=budget)
 
     @classmethod
-    def from_automaton(cls, ca: CellularAutomaton) -> "PhaseSpace":
-        """Build the synchronous (parallel) phase space of an automaton."""
-        with span("phase_space.build", n=ca.n, configs=1 << ca.n):
-            with span("phase_space.global_map", n=ca.n):
-                succ = ca.step_all()
-            return cls(succ, ca.n)
+    def from_automaton(
+        cls, ca: CellularAutomaton, budget: Budget | None = None
+    ) -> "PhaseSpace":
+        """Build the synchronous (parallel) phase space of an automaton.
+
+        Governed by ``budget`` (or the ambient budget when None).  A budget
+        trip raises :class:`~repro.core.budget.BudgetExceeded` whose
+        ``partial`` carries the explored frontier; callers that want the
+        truncated result as a value use :func:`build_phase_space` instead.
+        """
+        partial = build_phase_space(ca, budget=budget)
+        if not partial.complete:
+            raise BudgetExceeded(partial.reason, partial=partial)
+        return partial.value
 
     @property
     def size(self) -> int:
@@ -186,3 +209,117 @@ class PhaseSpace:
             "gardens_of_eden": int(self.gardens_of_eden.size),
             "max_transient": self.max_transient(),
         }
+
+
+def build_phase_space(
+    ca: CellularAutomaton,
+    budget: Budget | None = None,
+    frontier: dict[str, object] | None = None,
+) -> Partial[PhaseSpace]:
+    """Governed phase-space build: exact, or honestly truncated + resumable.
+
+    Enumerates the global map in bounded chunks, consulting ``budget``
+    (explicit, or the ambient one) before each chunk.  Memory accounting
+    is deterministic — the build *charges* the bytes the eventual analysis
+    will hold (:data:`~repro.core.budget.PHASE_ANALYSIS_BYTES_PER_STATE`
+    per configuration) rather than sampling the allocator, so the same
+    budget trips at the same configuration on every machine.
+
+    On a trip the returned :class:`~repro.core.budget.Partial` carries the
+    filled successor prefix as a resume ``frontier``; persist it with
+    :func:`repro.harness.checkpoint.save_frontier` and pass the loaded
+    frontier back here to continue.  A resumed frontier's successor array
+    is a disk-backed memmap, so the resumed enumeration charges only chunk
+    transients and can finish the sweep under the same ceiling — the
+    cycle-analysis gate then decides (again deterministically) whether a
+    full :class:`PhaseSpace` fits, or returns the streamed statistics
+    (fixed-point count) as a complete-enumeration partial.
+    """
+    budget = resolve_budget(budget)
+    n = ca.n
+    if n > 24:
+        raise ValueError(f"phase space over 2**{n} configurations is too large")
+    total = 1 << n
+    # Lazy import: repro.harness imports the checkpoint layer which imports
+    # this budget machinery; at call time the cycle is long resolved.
+    from repro.harness import faults
+
+    if frontier is not None:
+        if frontier.get("kind") != "phase_space" or int(frontier.get("n", -1)) != n:
+            raise ValueError(
+                f"frontier is not a phase-space frontier for n={n}: "
+                f"{ {k: frontier[k] for k in ('kind', 'n') if k in frontier} }"
+            )
+        succ = frontier["succ"]
+        start = int(frontier["next_lo"])
+        fp_count = int(frontier.get("fixed_points_so_far", 0))
+    else:
+        succ = np.empty(total, dtype=np.int64)
+        start = 0
+        fp_count = 0
+    # Disk-backed (resumed) successor arrays live outside the memory
+    # envelope: only the per-chunk scratch is charged, which is what lets
+    # a resume make progress under the very ceiling that truncated it.
+    per_state = 0 if isinstance(succ, np.memmap) else PHASE_ANALYSIS_BYTES_PER_STATE
+    transient = ca.sweep_transient_bytes()
+
+    def _frontier(next_lo: int) -> dict[str, object]:
+        return {
+            "kind": "phase_space",
+            "n": n,
+            "automaton": ca.describe(),
+            "total": total,
+            "next_lo": next_lo,
+            "fixed_points_so_far": fp_count,
+            "succ": succ,
+        }
+
+    with span(
+        "phase_space.build", n=n, configs=total, budget=budget.describe()
+    ) as build_span:
+        with span("phase_space.global_map", n=n, resumed_from=start):
+            lo = start
+            while lo < total:
+                hi = min(lo + _CHUNK, total)
+                reason = budget.over(
+                    pending_bytes=transient + per_state * (hi - lo)
+                )
+                if reason is not None:
+                    build_span.set(truncated=reason, explored=lo)
+                    return Partial.truncated(
+                        reason,
+                        explored=lo,
+                        total=total,
+                        stats={"fixed_points_so_far": fp_count},
+                        frontier=_frontier(lo),
+                    )
+                faults.inject("phase_space.chunk")
+                chunk = ca.step_all_range(lo, hi)
+                succ[lo:hi] = chunk
+                fp_count += int(
+                    np.count_nonzero(chunk == np.arange(lo, hi, dtype=np.int64))
+                )
+                budget.charge(states=hi - lo, bytes_=per_state * (hi - lo))
+                lo = hi
+        # Enumeration complete.  Gate the cycle analysis on the *projected*
+        # analysis footprint so the FunctionalGraph arrays never OOM: the
+        # in-memory path pre-charged the analysis share per state, the
+        # disk-backed path must fit the analysis arrays (succ stays on disk).
+        analysis_pending = (
+            _ANALYSIS_EXTRA_PER_STATE * total if per_state == 0 else 0
+        )
+        reason = budget.over(pending_bytes=analysis_pending)
+        if reason is not None:
+            build_span.set(truncated=reason, explored=total)
+            return Partial.truncated(
+                reason,
+                explored=total,
+                total=total,
+                stats={"fixed_points": fp_count},
+                frontier=_frontier(total),
+            )
+        budget.charge(bytes_=analysis_pending)
+        ps = PhaseSpace(succ, n, budget=budget)
+        return Partial.done(
+            ps, explored=total, total=total, stats={"fixed_points": fp_count}
+        )

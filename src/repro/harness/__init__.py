@@ -7,8 +7,8 @@ package makes running them survivable.  Three layers:
   layer.  ``inject("site")`` checkpoints are compiled into the runner,
   the artifacts writer and the experiment wrappers; ``REPRO_FAULTS``
   (grammar: ``site:kind:prob:seed[:max_fires]``) arms them with
-  ``raise``, ``hang`` or ``partial-write`` faults so tests can prove the
-  stack survives what it claims to.
+  ``raise``, ``hang``, ``stall`` or ``partial-write`` faults so tests
+  can prove the stack survives what it claims to.
 * :mod:`repro.harness.checkpoint` — a crash-safe append-only JSONL
   journal plus an atomic (tmp + rename) snapshot, so ``repro run all
   --resume DIR`` skips already-completed experiments after a crash or
@@ -26,7 +26,12 @@ No experiment's public API changes: the runner wraps
 into the parent registry.
 """
 
-from repro.harness.checkpoint import Checkpoint, read_journal
+from repro.harness.checkpoint import (
+    Checkpoint,
+    load_frontier,
+    read_journal,
+    save_frontier,
+)
 from repro.harness.faults import (
     Fault,
     FaultError,
@@ -39,12 +44,14 @@ from repro.harness.faults import (
     parse_faults,
 )
 from repro.harness.runner import (
+    STATUS_BUDGET,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_TIMEOUT,
     ExperimentRunner,
     RunnerConfig,
     batch_exit_code,
+    default_grace_s,
 )
 
 __all__ = [
@@ -61,11 +68,15 @@ __all__ = [
     # checkpoint
     "Checkpoint",
     "read_journal",
+    "save_frontier",
+    "load_frontier",
     # runner
     "ExperimentRunner",
     "RunnerConfig",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_TIMEOUT",
+    "STATUS_BUDGET",
     "batch_exit_code",
+    "default_grace_s",
 ]

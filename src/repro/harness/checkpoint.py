@@ -29,12 +29,25 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.harness import faults
 
-__all__ = ["Checkpoint", "read_journal", "JOURNAL_NAME", "SNAPSHOT_NAME"]
+__all__ = [
+    "Checkpoint",
+    "read_journal",
+    "save_frontier",
+    "load_frontier",
+    "JOURNAL_NAME",
+    "SNAPSHOT_NAME",
+    "FRONTIER_NAME",
+    "FRONTIER_ARRAY_NAME",
+]
 
 JOURNAL_NAME = "journal.jsonl"
 SNAPSHOT_NAME = "checkpoint.json"
+FRONTIER_NAME = "frontier.json"
+FRONTIER_ARRAY_NAME = "frontier_succ.npy"
 
 
 def read_journal(directory: str | os.PathLike[str]) -> tuple[list[dict], int]:
@@ -61,6 +74,87 @@ def read_journal(directory: str | os.PathLike[str]) -> tuple[list[dict], int]:
             except json.JSONDecodeError:
                 skipped += 1
     return events, skipped
+
+
+def save_frontier(directory: str | os.PathLike[str], partial) -> Path:
+    """Persist a truncated :class:`~repro.core.budget.Partial`'s frontier.
+
+    Writes the successor array as a full-size ``.npy`` memmap
+    (``frontier_succ.npy``) holding the explored prefix, then atomically
+    replaces ``frontier.json`` with the resume metadata.  The array is
+    written first: a crash (or an armed ``checkpoint.frontier``
+    ``partial-write`` fault) between the two leaves either the previous
+    metadata or none at all — never metadata pointing past the data — so
+    :func:`load_frontier` always resumes from a consistent (possibly
+    older) frontier.
+
+    Re-saving a frontier whose array is already the directory's memmap
+    (the resumed-build case) just flushes it in place.
+    """
+    frontier = partial.frontier
+    if frontier is None:
+        raise ValueError("partial result has no frontier to save")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    succ = frontier["succ"]
+    array_path = directory / FRONTIER_ARRAY_NAME
+    in_place = isinstance(succ, np.memmap) and succ.filename is not None and (
+        Path(succ.filename).resolve() == array_path.resolve()
+    )
+    if in_place:
+        succ.flush()
+    else:
+        mm = np.lib.format.open_memmap(
+            array_path, mode="w+", dtype=np.int64, shape=succ.shape
+        )
+        if frontier.get("kind") == "nondet":
+            rows = int(frontier["next_row"])
+            mm[:rows] = succ[:rows]
+        else:
+            lo = int(frontier["next_lo"])
+            mm[:lo] = succ[:lo]
+        mm.flush()
+        del mm
+
+    meta = {k: v for k, v in frontier.items() if k != "succ"}
+    meta["explored"] = int(partial.explored)
+    meta["reason"] = partial.reason
+    meta["stats"] = partial.stats
+    meta["saved_ts"] = time.time()
+    payload = json.dumps(meta, indent=2, default=str)
+    path = directory / FRONTIER_NAME
+    tmp = path.with_suffix(".json.tmp")
+    fault = faults.inject("checkpoint.frontier")
+    if fault is not None:  # partial-write: die before the rename
+        tmp.write_text(payload[: max(1, len(payload) // 2)], encoding="utf-8")
+        raise faults.FaultError("checkpoint.frontier", fault.kind)
+    tmp.write_text(payload + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def load_frontier(directory: str | os.PathLike[str]) -> dict | None:
+    """Load a saved frontier for resuming, or ``None`` if there is none.
+
+    The successor array comes back as a read-write memmap
+    (``mmap_mode="r+"``), so the resumed build writes new chunks straight
+    to disk and the budget charges only chunk transients — the property
+    that lets a resume make progress under the very memory ceiling that
+    truncated the original run.
+    """
+    directory = Path(directory)
+    path = directory / FRONTIER_NAME
+    try:
+        meta = json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        # Missing, or a torn first write that never reached os.replace.
+        return None
+    array_path = directory / FRONTIER_ARRAY_NAME
+    try:
+        meta["succ"] = np.load(array_path, mmap_mode="r+")
+    except FileNotFoundError:
+        return None
+    return meta
 
 
 class Checkpoint:

@@ -14,7 +14,11 @@ experiment failed" from "the interpreter died" (segfault/OOM: no
 sentinel line, nonzero exit code).
 
 ``REPRO_FAULTS`` is honoured via the inherited environment, so injected
-faults cross the isolation boundary exactly like real ones.
+faults cross the isolation boundary exactly like real ones; likewise the
+parent's cooperative deadline arrives as ``REPRO_BUDGET_WALL_S`` and is
+installed as the child's ambient budget, so even isolated experiments
+wind down on their own (``{"ok": false, "budget": {...}}``) instead of
+waiting for the parent's kill.
 """
 
 from __future__ import annotations
@@ -30,17 +34,29 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     from repro import obs
+    from repro.core.budget import Budget, BudgetExceeded, set_ambient
     from repro.harness import faults
     from repro.harness.runner import CHILD_SENTINEL, _error_payload
     from repro.experiments.registry import run_experiment
 
     faults.install_from_env()
+    set_ambient(Budget.from_env())
     payload: dict[str, object]
     try:
         result = run_experiment(argv[0])
         payload = {"ok": True, "result": result}
     except KeyboardInterrupt:
         raise
+    except BudgetExceeded as exc:
+        payload = {
+            "ok": False,
+            "budget": {
+                "reason": exc.reason,
+                "partial": (
+                    exc.partial.summary_dict() if exc.partial is not None else None
+                ),
+            },
+        }
     except BaseException as exc:  # noqa: BLE001 - everything goes to the parent
         payload = {"ok": False, "error": _error_payload(exc)}
     payload["metrics"] = obs.REGISTRY.snapshot()

@@ -16,8 +16,10 @@ Grammar
   prefix-matches (``experiment.*`` hits every experiment wrapper).
 * ``kind`` — ``raise`` (throw :class:`FaultError`), ``hang`` (sleep for
   ``REPRO_FAULT_HANG_S`` seconds, default 3600 — pair with a runner
-  timeout), or ``partial-write`` (the call site truncates its write
-  mid-record, simulating a crash between ``write`` and ``\\n``).
+  timeout), ``stall`` (sleep like ``hang`` but then *continue* normally —
+  a slow-not-dead loop body, used to prove cooperative deadlines fire
+  before the watchdog), or ``partial-write`` (the call site truncates its
+  write mid-record, simulating a crash between ``write`` and ``\\n``).
 * ``prob`` — per-hit firing probability in ``[0, 1]``.
 * ``seed`` — seeds the fault's private RNG, so a given spec fires on a
   reproducible subsequence of hits.
@@ -57,7 +59,7 @@ __all__ = [
     "KINDS",
 ]
 
-KINDS = ("raise", "hang", "partial-write")
+KINDS = ("raise", "hang", "stall", "partial-write")
 
 ENV_VAR = "REPRO_FAULTS"
 HANG_ENV_VAR = "REPRO_FAULT_HANG_S"
@@ -240,6 +242,9 @@ def inject(site: str) -> Fault | None:
     * ``raise`` — raises :class:`FaultError`;
     * ``hang`` — sleeps ``REPRO_FAULT_HANG_S`` seconds (default 3600),
       then raises :class:`FaultError` in case nothing killed it;
+    * ``stall`` — sleeps ``REPRO_FAULT_HANG_S`` seconds, then returns
+      ``None`` so the call site *continues*: a governed loop that is slow
+      rather than dead, which only a cooperative deadline can bound;
     * ``partial-write`` — returns the :class:`Fault` for the call site
       to interpret (truncate its own write, then raise).
     """
@@ -254,4 +259,7 @@ def inject(site: str) -> Fault | None:
     if fault.kind == "hang":
         time.sleep(_hang_seconds())
         raise FaultError(site, "hang")
+    if fault.kind == "stall":
+        time.sleep(_hang_seconds())
+        return None
     return fault

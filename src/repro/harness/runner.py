@@ -6,11 +6,19 @@ without changing any experiment's public API.  Per experiment it adds:
 * **structured error capture** — an exception becomes
   ``{"holds": False, "status": "error", "error": {type, message,
   traceback}}`` instead of aborting the batch;
-* **wall-clock timeouts** — the experiment runs on a watchdog thread (or
-  in a subprocess under ``isolate``) and is abandoned/killed after
-  ``timeout_s``, yielding ``status: "timeout"``;
+* **cooperative deadlines** — ``timeout_s`` becomes a
+  :class:`~repro.core.budget.Budget` wall-clock deadline installed
+  ambiently around the experiment, so governed loops wind down and
+  surface their partial progress (``status: "timeout"`` with
+  ``cooperative: True``); the watchdog thread (or subprocess kill under
+  ``isolate``) fires only after a grace period, as the last-resort
+  backstop for code that never reaches a budget check;
+* **budget governance** — a non-deadline budget trip (memory/state
+  ceiling) becomes ``status: "budget"`` with the truncation reason and
+  partial-result summary; deterministic trips are not retried;
 * **bounded retries** — transient failures are retried up to ``retries``
-  times with exponential backoff + deterministic jitter;
+  times with exponential backoff + deterministic jitter (seed the jitter
+  via ``RunnerConfig.seed`` or ``REPRO_SEED``);
 * **subprocess isolation** — with ``isolate=True`` each attempt runs in
   a child interpreter (``python -m repro.harness.child``), so a
   segfault/OOM in one experiment cannot take down the run; the child's
@@ -40,6 +48,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro import obs
+from repro.core.budget import Budget, BudgetExceeded, CancelToken, use_budget
 from repro.harness import faults
 from repro.harness.checkpoint import Checkpoint
 
@@ -50,16 +59,37 @@ __all__ = [
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_TIMEOUT",
+    "STATUS_BUDGET",
     "CHILD_SENTINEL",
+    "BUDGET_WALL_ENV",
 ]
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+STATUS_BUDGET = "budget"
 
 #: Prefix marking the child's JSON result line on stdout (everything the
 #: experiment itself may print stays un-prefixed and is ignored).
 CHILD_SENTINEL = "REPRO_CHILD_RESULT:"
+
+#: Environment variable carrying the cooperative deadline into isolated
+#: children (read by ``repro.harness.child`` via ``Budget.from_env``).
+BUDGET_WALL_ENV = "REPRO_BUDGET_WALL_S"
+
+#: Environment variable seeding the retry-backoff jitter when
+#: ``RunnerConfig.seed`` is left unset.
+SEED_ENV = "REPRO_SEED"
+
+
+def default_grace_s(timeout_s: float) -> float:
+    """Backstop delay after the cooperative deadline before the hard kill.
+
+    Long enough for governed loops to reach their next budget check and
+    flush partial artifacts, short enough that a truly wedged attempt
+    still dies promptly: 20% of the timeout, clamped to [0.5s, 5s].
+    """
+    return min(5.0, max(0.5, 0.2 * timeout_s))
 
 
 @dataclass
@@ -72,23 +102,35 @@ class RunnerConfig:
     backoff_cap_s: float = 5.0
     jitter: float = 0.25
     isolate: bool = False
-    seed: int = 0
+    #: jitter RNG seed; None falls back to ``REPRO_SEED`` and then 0, so
+    #: retry schedules are deterministic by default and steerable per run.
+    seed: int | None = None
+    #: cooperative-deadline grace before the watchdog/kill backstop;
+    #: None picks :func:`default_grace_s`.
+    grace_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.grace_s is not None and self.grace_s < 0:
+            raise ValueError(f"grace_s must be >= 0, got {self.grace_s}")
 
 
 def batch_exit_code(results: dict[str, dict]) -> int:
-    """Process exit code for a batch: 0 holds, 1 fails, 2 error/timeout."""
+    """Process exit code for a batch: 0 holds, 1 fails, 2 error/timeout/budget."""
     statuses = {r.get("status", STATUS_OK) for r in results.values()}
-    if statuses & {STATUS_ERROR, STATUS_TIMEOUT}:
+    if statuses & {STATUS_ERROR, STATUS_TIMEOUT, STATUS_BUDGET}:
         return 2
     if any(not r.get("holds") for r in results.values()):
         return 1
     return 0
+
+
+def _partial_summary(exc: BudgetExceeded) -> dict | None:
+    """JSON-safe summary of the partial a :class:`BudgetExceeded` carries."""
+    return exc.partial.summary_dict() if exc.partial is not None else None
 
 
 def _error_payload(exc: BaseException) -> dict[str, str]:
@@ -134,10 +176,19 @@ class ExperimentRunner:
         self,
         config: RunnerConfig | None = None,
         checkpoint: Checkpoint | None = None,
+        token: CancelToken | None = None,
     ):
         self.config = config if config is not None else RunnerConfig()
         self.checkpoint = checkpoint
-        self._rng = random.Random(self.config.seed)
+        #: shared cooperative-cancellation token: the CLI cancels it from
+        #: its SIGTERM/Ctrl-C handlers and every attempt's budget carries
+        #: it, so one signal winds down whatever loop is currently running.
+        self.token = token if token is not None else CancelToken()
+        seed = self.config.seed
+        if seed is None:
+            raw = os.environ.get(SEED_ENV, "").strip()
+            seed = int(raw) if raw else 0
+        self._rng = random.Random(seed)
 
     # -- single experiment -----------------------------------------------------
 
@@ -165,8 +216,17 @@ class ExperimentRunner:
                 break
             if last["status"] == STATUS_TIMEOUT:
                 obs.inc("harness.timeouts")
+            elif last["status"] == STATUS_BUDGET:
+                obs.inc("harness.budget")
             else:
                 obs.inc("harness.errors")
+            if last["status"] == STATUS_BUDGET:
+                # Memory/state-ceiling trips are deterministic: the same
+                # budget trips at the same point, so retrying burns the
+                # remaining budget without new information.
+                break
+            if self.token.cancelled:
+                break
             if attempt < attempts:
                 obs.inc("harness.retries")
                 time.sleep(self._backoff(attempt))
@@ -192,12 +252,31 @@ class ExperimentRunner:
         from repro.experiments.registry import run_experiment
 
         faults.inject("runner.attempt")
-        fn = lambda: run_experiment(exp_id)  # noqa: E731
+        cfg = self.config
+        budget = Budget(wall_s=cfg.timeout_s, token=self.token)
+
+        def fn():
+            with use_budget(budget):
+                return run_experiment(exp_id)
+
         try:
-            if self.config.timeout_s is not None:
-                timed_out, value, exc = _run_on_thread(fn, self.config.timeout_s)
+            if cfg.timeout_s is not None:
+                # The cooperative deadline fires at timeout_s inside any
+                # governed loop; the watchdog abandons the thread only a
+                # grace period later, for code that never checks.
+                grace = (
+                    cfg.grace_s
+                    if cfg.grace_s is not None
+                    else default_grace_s(cfg.timeout_s)
+                )
+                timed_out, value, exc = _run_on_thread(
+                    fn, cfg.timeout_s + grace
+                )
                 if timed_out:
-                    return self._timeout_result(exp_id)
+                    # No cancel needed: the abandoned thread's budget
+                    # deadline has already passed, so it winds down at
+                    # its next check instead of computing into the void.
+                    return self._timeout_result(exp_id, cooperative=False)
                 if exc is not None:
                     raise exc
                 result = value
@@ -205,6 +284,8 @@ class ExperimentRunner:
                 result = fn()
         except KeyboardInterrupt:  # the operator wins over error capture
             raise
+        except BudgetExceeded as exc:
+            return self._budget_result(exp_id, exc.reason, _partial_summary(exc))
         except Exception as exc:  # noqa: BLE001 - structured capture is the point
             return self._error_result(exp_id, _error_payload(exc))
         return {**result, "status": STATUS_OK}
@@ -215,6 +296,7 @@ class ExperimentRunner:
         import repro
 
         faults.inject("runner.attempt")
+        cfg = self.config
         src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
         env = dict(os.environ)
         env["PYTHONPATH"] = (
@@ -222,17 +304,30 @@ class ExperimentRunner:
             if env.get("PYTHONPATH")
             else src_dir
         )
+        kill_after = cfg.timeout_s
+        if cfg.timeout_s is not None:
+            # Ship the cooperative deadline across the process boundary;
+            # the child installs it ambiently (Budget.from_env) and winds
+            # down on its own.  The parent's kill is the backstop, one
+            # grace period later.
+            env[BUDGET_WALL_ENV] = str(cfg.timeout_s)
+            grace = (
+                cfg.grace_s
+                if cfg.grace_s is not None
+                else default_grace_s(cfg.timeout_s)
+            )
+            kill_after = cfg.timeout_s + grace
         cmd = [sys.executable, "-m", "repro.harness.child", exp_id]
         try:
             proc = subprocess.run(
                 cmd,
                 capture_output=True,
                 text=True,
-                timeout=self.config.timeout_s,
+                timeout=kill_after,
                 env=env,
             )
         except subprocess.TimeoutExpired:
-            return self._timeout_result(exp_id)
+            return self._timeout_result(exp_id, cooperative=False)
         payload = self._parse_child_output(proc.stdout)
         if payload is None:
             tail = (proc.stderr or "").strip().splitlines()[-8:]
@@ -252,6 +347,13 @@ class ExperimentRunner:
             obs.REGISTRY.merge_snapshot(metrics)
         if payload.get("ok"):
             return {**payload["result"], "status": STATUS_OK}
+        budget_info = payload.get("budget")
+        if isinstance(budget_info, dict):
+            return self._budget_result(
+                exp_id,
+                str(budget_info.get("reason", "budget exceeded")),
+                budget_info.get("partial"),
+            )
         return self._error_result(exp_id, payload.get("error") or {})
 
     @staticmethod
@@ -266,13 +368,48 @@ class ExperimentRunner:
 
     # -- terminal result shapes ------------------------------------------------
 
-    def _timeout_result(self, exp_id: str) -> dict[str, object]:
-        return {
+    def _timeout_result(
+        self,
+        exp_id: str,
+        cooperative: bool = False,
+        truncation: str | None = None,
+        partial: dict | None = None,
+    ) -> dict[str, object]:
+        result: dict[str, object] = {
             "holds": False,
             "status": STATUS_TIMEOUT,
             "experiment": exp_id,
             "timeout_s": self.config.timeout_s,
+            "cooperative": cooperative,
         }
+        if truncation is not None:
+            result["truncation"] = truncation
+        if partial is not None:
+            result["partial"] = partial
+        return result
+
+    def _budget_result(
+        self, exp_id: str, reason: str, partial: dict | None
+    ) -> dict[str, object]:
+        """Terminal shape of a budget trip.
+
+        Deadline expiries and cancellations are *timeouts* that happened
+        to land cooperatively (the partial made it out); memory/state
+        ceilings are their own ``budget`` status.
+        """
+        if reason.startswith(("deadline", "cancelled")):
+            return self._timeout_result(
+                exp_id, cooperative=True, truncation=reason, partial=partial
+            )
+        result: dict[str, object] = {
+            "holds": False,
+            "status": STATUS_BUDGET,
+            "experiment": exp_id,
+            "truncation": reason,
+        }
+        if partial is not None:
+            result["partial"] = partial
+        return result
 
     @staticmethod
     def _error_result(exp_id: str, error: dict[str, str]) -> dict[str, object]:
@@ -289,12 +426,18 @@ class ExperimentRunner:
         """Run a batch, skipping checkpoint-completed experiments.
 
         Returns ``{id: result}`` in input order; resumed results carry
-        ``"resumed": True``.  Never aborts mid-batch: every requested
-        experiment gets a terminal result.
+        ``"resumed": True``.  Never aborts mid-batch on experiment
+        failure: every requested experiment gets a terminal result.  The
+        one exception is cooperative cancellation (Ctrl-C/SIGTERM via the
+        shared token): the batch stops cleanly after the experiment that
+        observed it, returning what completed — the checkpoint picks the
+        rest up on resume.
         """
         done = self.checkpoint.completed() if self.checkpoint else {}
         results: dict[str, dict[str, object]] = {}
         for exp_id in exp_ids:
+            if self.token.cancelled:
+                break
             key = exp_id.upper()
             if key in done:
                 results[key] = {**done[key], "resumed": True}

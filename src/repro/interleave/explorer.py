@@ -10,6 +10,7 @@ from __future__ import annotations
 import math
 from collections.abc import Mapping, Sequence
 
+from repro.core.budget import Budget, BudgetExceeded, Partial, resolve_budget
 from repro.interleave.machine import MachineState, Thread, _execute
 from repro.obs import span
 
@@ -25,15 +26,34 @@ def count_interleavings(threads: Sequence[Thread]) -> int:
     return total
 
 
+def _check_dfs_budget(budget: Budget, seen: set, outcomes) -> None:
+    """Poll ``budget`` at a DFS expansion; trip with the progress snapshot."""
+    reason = budget.over()
+    if reason is not None:
+        raise BudgetExceeded(
+            reason,
+            partial=Partial.truncated(
+                reason,
+                explored=len(seen),
+                stats={"states_seen": len(seen), "outcomes_so_far": len(outcomes)},
+            ),
+        )
+
+
 def explore_outcomes(
-    threads: Sequence[Thread], shared: Mapping[str, int]
+    threads: Sequence[Thread],
+    shared: Mapping[str, int],
+    budget: Budget | None = None,
 ) -> set[frozenset[tuple[str, int]]]:
     """All final shared memories reachable by *some* interleaving.
 
     Each outcome is a frozenset of ``(variable, value)`` items.  The search
     is a DFS over machine states with memoisation, so identical
     intermediate states reached by different schedules are expanded once.
+    The budget (explicit or ambient) is polled at every expansion; each
+    memoised state charges one state unit.
     """
+    budget = resolve_budget(budget)
     outcomes: set[frozenset[tuple[str, int]]] = set()
     seen: set[tuple] = set()
 
@@ -41,7 +61,9 @@ def explore_outcomes(
         key = state.snapshot()
         if key in seen:
             return
+        _check_dfs_budget(budget, seen, outcomes)
         seen.add(key)
+        budget.charge(states=1)
         runnable = [t for t in threads if state.pcs[t.name] < len(t.code)]
         if not runnable:
             outcomes.add(frozenset(state.shared.items()))
@@ -58,7 +80,9 @@ def explore_outcomes(
 
 
 def outcome_schedules(
-    threads: Sequence[Thread], shared: Mapping[str, int]
+    threads: Sequence[Thread],
+    shared: Mapping[str, int],
+    budget: Budget | None = None,
 ) -> dict[frozenset[tuple[str, int]], tuple[str, ...]]:
     """One witness schedule per reachable outcome.
 
@@ -66,7 +90,9 @@ def outcome_schedules(
     interleaving (sequence of thread names) producing it — the
     constructive half of the paper's granularity argument ("there
     certainly exists a choice of a sequential interleaving ...").
+    Governed exactly like :func:`explore_outcomes`.
     """
+    budget = resolve_budget(budget)
     witnesses: dict[frozenset[tuple[str, int]], tuple[str, ...]] = {}
     seen: set[tuple] = set()
 
@@ -74,7 +100,9 @@ def outcome_schedules(
         key = state.snapshot()
         if key in seen:
             return
+        _check_dfs_budget(budget, seen, witnesses)
         seen.add(key)
+        budget.charge(states=1)
         runnable = [t for t in threads if state.pcs[t.name] < len(t.code)]
         if not runnable:
             witnesses.setdefault(frozenset(state.shared.items()), trace)

@@ -17,14 +17,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.cycles import FunctionalGraph
+from repro.core.budget import Budget, resolve_budget
 from repro.sds.sds import SDS, SyDS
 
 __all__ = ["garden_of_eden_configs", "is_garden_of_eden", "is_invertible"]
 
 
-def garden_of_eden_configs(system: SDS | SyDS) -> np.ndarray:
-    """Packed codes of all configurations with no preimage."""
-    return FunctionalGraph(system.global_map).gardens_of_eden
+def garden_of_eden_configs(
+    system: SDS | SyDS, budget: Budget | None = None
+) -> np.ndarray:
+    """Packed codes of all configurations with no preimage.
+
+    The in-degree enumeration runs under ``budget`` (explicit or ambient):
+    the functional-graph loops poll it cooperatively and a trip raises
+    :class:`~repro.core.budget.BudgetExceeded`.
+    """
+    budget = resolve_budget(budget)
+    budget.check()
+    return FunctionalGraph(system.global_map, budget=budget).gardens_of_eden
 
 
 def is_garden_of_eden(system: SDS | SyDS, code: int) -> bool:

@@ -14,6 +14,7 @@ __all__ = [
     "check_probability",
     "check_state_vector",
     "check_node_index",
+    "check_memory_budget",
 ]
 
 
@@ -55,6 +56,32 @@ def check_state_vector(state, n: int) -> np.ndarray:
     if not np.all(arr <= 1):
         raise ValueError("state entries must be 0 or 1")
     return arr
+
+
+def check_memory_budget(n: int, mem_bytes: int | None, name: str = "--n") -> int:
+    """Reject ``n`` when even the bare ``2**n`` successor table busts the ceiling.
+
+    The governed builders can *truncate* analysis structures and stream
+    chunks, but the successor table itself (8 bytes/state) is the floor:
+    if that alone exceeds ``mem_bytes``, no amount of graceful degradation
+    produces a useful partial result, so fail fast with the remedies.
+    ``mem_bytes=None`` (no ceiling) always passes.
+    """
+    n = check_positive(n, name)
+    if mem_bytes is None:
+        return n
+    # Lazy import: validation sits below repro.core in the import graph.
+    from repro.core.budget import estimate_succ_bytes, format_bytes
+
+    need = estimate_succ_bytes(n)
+    if need > mem_bytes:
+        raise ValueError(
+            f"{name}={n} needs {format_bytes(need)} just for its 2**{n}-entry "
+            f"successor table, over the {format_bytes(mem_bytes)} memory "
+            f"ceiling — raise --budget-mem, or sample trajectories with "
+            f"'simulate' instead of enumerating the full phase space"
+        )
+    return n
 
 
 def check_node_index(i: int, n: int) -> int:

@@ -478,3 +478,170 @@ class TestEndToEndResilience:
         assert "Verdict: **ERROR**" in text
         assert "21 / 22 experiments hold" in text
         assert text.count("## E") == 22
+
+
+class TestSeededBackoff:
+    """Satellite: the retry-backoff jitter is seedable and reproducible."""
+
+    # Pinned schedule for RunnerConfig defaults (base 0.1s, cap 5s,
+    # jitter 0.25) under seed 42 — a regression anchor: if the jitter
+    # formula or RNG stream changes, this fails loudly.
+    PINNED_42 = [0.1159856699614471, 0.20125053776113333, 0.42750293183691196]
+
+    def _schedule(self, **kwargs):
+        runner = ExperimentRunner(RunnerConfig(retries=3, **kwargs))
+        return [runner._backoff(a) for a in (1, 2, 3)]
+
+    def test_schedule_pinned_for_seed_42(self):
+        assert self._schedule(seed=42) == pytest.approx(self.PINNED_42)
+
+    def test_same_seed_same_schedule(self):
+        assert self._schedule(seed=7) == self._schedule(seed=7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(seed=7) != self._schedule(seed=8)
+
+    def test_env_seed_used_when_config_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "42")
+        assert self._schedule() == pytest.approx(self.PINNED_42)
+
+    def test_default_seed_is_zero(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        assert self._schedule() == self._schedule(seed=0)
+
+
+class TestBudgetGovernance:
+    """Satellite: budget trips through the runner — cooperative deadlines
+    beat the watchdog, deterministic trips are terminal."""
+
+    def test_stall_fault_winds_down_cooperatively(self, monkeypatch):
+        # A governed loop that *stalls* (slow, not dead): the cooperative
+        # deadline fires at the next budget check, long before the
+        # watchdog backstop (grace set absurdly high to prove which one
+        # acted).
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "0.6")
+        install("phase_space.chunk:stall:1.0:0")
+        cfg = RunnerConfig(timeout_s=0.25, grace_s=30.0)
+        res = ExperimentRunner(cfg).run_one("E1")
+        assert res["status"] == "timeout"
+        assert res["cooperative"] is True
+        assert res["truncation"].startswith("deadline")
+        assert res["duration_s"] < 5  # nowhere near the 30s watchdog
+        counters = obs.REGISTRY.snapshot()["counters"]
+        assert counters["harness.timeouts"] == 1
+
+    def test_budget_trip_is_terminal_not_retried(self, monkeypatch):
+        import repro.experiments.registry as registry
+        from repro.core.budget import BudgetExceeded, Partial
+
+        def boom(exp_id):
+            raise BudgetExceeded(
+                "memory: test ceiling",
+                partial=Partial.truncated("memory: test ceiling", explored=7),
+            )
+
+        monkeypatch.setattr(registry, "run_experiment", boom)
+        res = ExperimentRunner(RunnerConfig(retries=3)).run_one("E1")
+        assert res["status"] == "budget"
+        assert res["attempts"] == 1  # deterministic trip: no retries burned
+        assert res["truncation"] == "memory: test ceiling"
+        assert res["partial"]["explored"] == 7
+        assert batch_exit_code({"E1": res}) == 2
+        counters = obs.REGISTRY.snapshot()["counters"]
+        assert counters["harness.budget"] == 1
+        assert "harness.retries" not in counters
+
+    def test_cancelled_token_stops_batch_cleanly(self):
+        from repro.core.budget import CancelToken
+
+        tok = CancelToken()
+        tok.cancel("SIGTERM")
+        results = ExperimentRunner(token=tok).run_many(["E1", "E2"])
+        assert results == {}
+
+    def test_report_renders_budget_verdict(self, monkeypatch):
+        import repro.experiments.registry as registry
+        from repro.core.budget import BudgetExceeded, Partial
+        from repro.experiments.report import render_markdown
+
+        real = registry.run_experiment
+
+        def sometimes(exp_id):
+            if exp_id == "E1":
+                raise BudgetExceeded(
+                    "memory: ceiling",
+                    partial=Partial.truncated(
+                        "memory: ceiling", explored=5, total=10,
+                        frontier={"kind": "t"},
+                    ),
+                )
+            return real(exp_id)
+
+        monkeypatch.setattr(registry, "run_experiment", sometimes)
+        res = ExperimentRunner().run_one("E1")
+        text = render_markdown({"E1": res})
+        assert "Verdict: **BUDGET**" in text
+        assert "Truncated: memory: ceiling" in text
+        assert "explored 5/10 states, resumable" in text
+
+
+class TestFrontierCheckpointFaults:
+    """Satellite: partial-write faults during frontier checkpointing
+    never leave an inconsistent resume state."""
+
+    @pytest.fixture()
+    def truncated_partial(self):
+        from repro.core.automaton import CellularAutomaton
+        from repro.core.budget import Budget
+        from repro.core.phase_space import build_phase_space
+        from repro.core.rules import MajorityRule
+        from repro.spaces.line import Ring
+
+        ca = CellularAutomaton(Ring(18), MajorityRule())
+        partial = build_phase_space(ca, budget=Budget(mem_bytes=12 << 20))
+        assert not partial.complete and partial.frontier is not None
+        return ca, partial
+
+    def test_partial_write_torn_first_save_reads_as_absent(
+        self, tmp_path, truncated_partial
+    ):
+        from repro.harness.checkpoint import load_frontier, save_frontier
+
+        ca, partial = truncated_partial
+        install("checkpoint.frontier:partial-write:1.0:0:1")
+        with pytest.raises(FaultError):
+            save_frontier(tmp_path, partial)
+        # The torn metadata never reached os.replace: no frontier.json,
+        # so the loader reports "nothing to resume", not garbage.
+        assert load_frontier(tmp_path) is None
+
+        # Retry (fault disarmed after one fire) succeeds; the resumed
+        # build completes under the same ceiling that truncated it.
+        from repro.core.budget import Budget
+        from repro.core.phase_space import build_phase_space
+
+        save_frontier(tmp_path, partial)
+        frontier = load_frontier(tmp_path)
+        assert frontier is not None
+        resumed = build_phase_space(
+            ca, budget=Budget(mem_bytes=12 << 20), frontier=frontier
+        )
+        assert resumed.complete
+
+    def test_partial_write_resave_keeps_previous_frontier(
+        self, tmp_path, truncated_partial
+    ):
+        from repro.harness.checkpoint import load_frontier, save_frontier
+
+        _, partial = truncated_partial
+        save_frontier(tmp_path, partial)
+        before = load_frontier(tmp_path)
+        assert before is not None
+
+        install("checkpoint.frontier:partial-write:1.0:0:1")
+        with pytest.raises(FaultError):
+            save_frontier(tmp_path, partial)
+        after = load_frontier(tmp_path)
+        # Crash mid-rewrite degrades to the *older* consistent frontier.
+        assert after is not None
+        assert after["next_lo"] == before["next_lo"]
