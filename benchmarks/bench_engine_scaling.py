@@ -1,11 +1,15 @@
-"""E15 — engine throughput and the vectorization ablation.
+"""E15 — engine throughput, the vectorization ablation, sweep backends.
 
 Implementation artifact (DESIGN.md Section 5): the synchronous step is one
 window-gather plus one vectorized rule application.  Expected series: the
 vectorized step beats the per-node reference by orders of magnitude and
 scales linearly in n; whole-phase-space sweeps stay chunk-bounded in
-memory.
+memory; the compiled ``table``/``bitplane`` kernels beat the ``numpy``
+reference by >= 5x on the n=20 MAJORITY sweep (the PR-4 acceptance bar),
+and process sharding beats the best serial kernel on multi-CPU hosts.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -59,3 +63,65 @@ def test_grid_step_throughput(benchmark, rng):
     state = rng.integers(0, 2, ca.n).astype(np.uint8)
     out = benchmark(lambda: ca.step(state))
     assert out.shape == (65536,)
+
+
+# -- sweep backends (PR 4) -----------------------------------------------------
+#
+# The acceptance series: the compiled kernels against the numpy reference
+# on the same n=20 MAJORITY whole-space sweep.  Bit-identical results are
+# asserted in-loop, so the timing claim is also a correctness claim.
+
+_N20_REFERENCE = {}
+
+
+def _n20_reference() -> np.ndarray:
+    if "succ" not in _N20_REFERENCE:
+        ca = CellularAutomaton(Ring(20), MajorityRule(), backend="bitplane")
+        _N20_REFERENCE["succ"] = ca.step_all()
+    return _N20_REFERENCE["succ"]
+
+
+@pytest.mark.parametrize("backend", ["numpy", "table", "bitplane"])
+def test_sweep_backend_n20(benchmark, backend):
+    """n=20 MAJORITY sweep per serial backend — the 5x acceptance bar."""
+    ca = CellularAutomaton(Ring(20), MajorityRule(), backend=backend)
+    assert ca.backend.name == backend
+    succ = benchmark(ca.step_all)
+    np.testing.assert_array_equal(succ, _n20_reference())
+
+
+@pytest.mark.parametrize("backend", ["table", "bitplane"])
+def test_all_node_successors_n16(benchmark, backend):
+    """The shared one-pass sequential sweep (n rows, one unpack)."""
+    ca = CellularAutomaton(Ring(16), MajorityRule(), backend=backend)
+    table = benchmark(ca.all_node_successors)
+    assert table.shape == (16, 1 << 16)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="process-backend speedup needs >= 4 physical CPUs to be honest",
+)
+@pytest.mark.parametrize("backend", ["process"])
+def test_sweep_process_n24(benchmark, backend):
+    """n=24 MAJORITY sweep, sharded across 4 workers (multi-CPU hosts).
+
+    Compare against the serial bitplane entry of the same module to read
+    off the >= 2x acceptance ratio.
+    """
+    ca = CellularAutomaton(Ring(24), MajorityRule(), backend="process",
+                           workers=4)
+    succ = benchmark.pedantic(ca.step_all, rounds=3, iterations=1)
+    assert succ.shape == (1 << 24,)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="process-backend speedup needs >= 4 physical CPUs to be honest",
+)
+@pytest.mark.parametrize("backend", ["bitplane"])
+def test_sweep_serial_n24(benchmark, backend):
+    """The serial n=24 baseline for the process-sharding ratio."""
+    ca = CellularAutomaton(Ring(24), MajorityRule(), backend="bitplane")
+    succ = benchmark.pedantic(ca.step_all, rounds=3, iterations=1)
+    assert succ.shape == (1 << 24,)

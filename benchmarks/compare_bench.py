@@ -1,0 +1,100 @@
+"""Benchmark-regression gate: compare two ``BENCH_*.json`` files.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--tolerance 2.0]
+
+Entries are matched by benchmark ``fullname``; for each pair the median
+wall time is compared and the run **fails (exit 1) when any benchmark
+regressed by more than ``tolerance`` x** the baseline median.  Entries
+present on only one side are reported but never fail the gate (new
+benchmarks appear, host-gated ones disappear), and baselines recorded on
+a different machine are expected to differ in absolute speed — which is
+why the gate is a generous ratio on medians, not an absolute bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    """Map of benchmark fullname -> median seconds from one report."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    out: dict[str, float] = {}
+    for entry in payload.get("benchmarks", []):
+        median = entry.get("stats", {}).get("median_s")
+        name = entry.get("fullname")
+        if name and isinstance(median, (int, float)) and median > 0:
+            out[str(name)] = float(median)
+    return out
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    tolerance: float,
+) -> tuple[list[str], bool]:
+    """Per-benchmark report lines and whether any regression trips."""
+    lines: list[str] = []
+    failed = False
+    for name in sorted(set(baseline) | set(current)):
+        old = baseline.get(name)
+        new = current.get(name)
+        if old is None:
+            lines.append(f"  NEW      {name}: {new:.4f}s (no baseline)")
+            continue
+        if new is None:
+            lines.append(f"  MISSING  {name}: baseline {old:.4f}s, not rerun")
+            continue
+        ratio = new / old
+        verdict = "OK"
+        if ratio > tolerance:
+            verdict = "REGRESSED"
+            failed = True
+        lines.append(
+            f"  {verdict:<9}{name}: {old:.4f}s -> {new:.4f}s "
+            f"({ratio:.2f}x)"
+        )
+    return lines, failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when current median > tolerance * baseline (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 1.0:
+        parser.error(f"--tolerance must be > 1.0, got {args.tolerance:g}")
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    if not baseline:
+        print(f"no benchmark entries in baseline {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"no benchmark entries in current {args.current}", file=sys.stderr)
+        return 2
+    lines, failed = compare(baseline, current, args.tolerance)
+    print(f"benchmark comparison ({args.baseline.name} -> {args.current.name}, "
+          f"tolerance {args.tolerance:g}x):")
+    print("\n".join(lines))
+    if failed:
+        print("FAIL: at least one benchmark regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    print("OK: no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

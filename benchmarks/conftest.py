@@ -16,6 +16,7 @@ perf PRs have numbers to beat.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -24,8 +25,12 @@ import numpy as np
 import pytest
 
 from repro.obs import REGISTRY
+from repro.perf import BACKEND_ENV
 
-BACKEND = "numpy"
+#: the session-default sweep backend (benchmarks that parametrize over
+#: backends record their own; everything else inherits this label, which
+#: matches what ``resolve_backend`` will actually pick up from the env)
+BACKEND = os.environ.get(BACKEND_ENV, "").strip() or "auto"
 
 
 @pytest.fixture
@@ -59,7 +64,7 @@ def _benchmark_entry(bench) -> dict[str, object]:
         "group": getattr(bench, "group", None),
         "params": {k: v for k, v in params.items()},
         "n": params.get("n"),
-        "backend": BACKEND,
+        "backend": params.get("backend", BACKEND),
         "stats": _stats_dict(bench),
     }
 

@@ -134,16 +134,24 @@ class CensusRow:
         return self.gardens_of_eden / self.configurations
 
 
-def majority_ring_census(sizes: Iterable[int]) -> list[CensusRow]:
+def majority_ring_census(
+    sizes: Iterable[int],
+    backend: str | None = None,
+    workers: int | None = None,
+) -> list[CensusRow]:
     """Exhaustive census of MAJORITY-with-memory rings.
 
     Also asserts the structural characterisation of fixed points (no
     isolated run) configuration by configuration — a census row is only
-    produced if the characterisation holds exactly.
+    produced if the characterisation holds exactly.  ``backend`` /
+    ``workers`` select the sweep backend (see :mod:`repro.perf`).
     """
     rows = []
     for n in sorted(set(int(m) for m in sizes)):
-        ca = CellularAutomaton(Ring(n), MajorityRule(), memory=True)
+        ca = CellularAutomaton(
+            Ring(n), MajorityRule(), memory=True, backend=backend,
+            workers=workers,
+        )
         ps = PhaseSpace.from_automaton(ca)
         fps = set(ps.fixed_points.tolist())
         for code in range(ps.size):

@@ -77,7 +77,9 @@ def _self_dependent(rule: WolframRule) -> bool:
 
 @lru_cache(maxsize=None)
 def survey_rule(
-    number: int, ring_sizes: tuple[int, ...] = (5, 6, 7, 8)
+    number: int,
+    ring_sizes: tuple[int, ...] = (5, 6, 7, 8),
+    backend: str | None = None,
 ) -> RuleProfile:
     """Full structural + dynamical profile of one elementary rule."""
     rule = WolframRule(number)
@@ -86,7 +88,9 @@ def survey_rule(
     parallel_cycles = False
     sequential_cycles = False
     for n in ring_sizes:
-        ca = CellularAutomaton(Ring(n, radius=1), rule, memory=True)
+        ca = CellularAutomaton(
+            Ring(n, radius=1), rule, memory=True, backend=backend
+        )
         ps = PhaseSpace.from_automaton(ca)
         lengths = ps.cycle_lengths()
         parallel_max = max(parallel_max, max(lengths))
@@ -108,11 +112,12 @@ def survey_rule(
 
 
 def survey_all_rules(
-    ring_sizes: Iterable[int] = (5, 6, 7, 8)
+    ring_sizes: Iterable[int] = (5, 6, 7, 8),
+    backend: str | None = None,
 ) -> list[RuleProfile]:
     """Profiles of all 256 elementary rules."""
     sizes = tuple(sorted(set(int(n) for n in ring_sizes)))
-    return [survey_rule(k, sizes) for k in range(256)]
+    return [survey_rule(k, sizes, backend) for k in range(256)]
 
 
 def survey_summary(profiles: list[RuleProfile]) -> dict[str, object]:

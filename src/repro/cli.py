@@ -74,6 +74,7 @@ from repro.core.schedules import (
 from repro.experiments import EXPERIMENTS
 from repro.experiments.registry import get_experiment
 from repro.harness import faults
+from repro.perf.base import MAX_SWEEP_N, BackendUnsupported
 from repro.spaces.base import FiniteSpace
 from repro.spaces.grid import Grid2D
 from repro.spaces.hypercube import Hypercube
@@ -154,6 +155,21 @@ def _add_space_rule_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--wolfram", type=int, default=None)
     p.add_argument("--memoryless", action="store_true",
                    help="exclude the node's own state from its window")
+
+
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    group = p.add_argument_group("sweep engine")
+    group.add_argument("--backend", default=None,
+                       choices=["auto", "bitplane", "table", "numpy",
+                                "process"],
+                       help="whole-space sweep kernel (default: the "
+                            "REPRO_BACKEND env var, then 'auto' — bitplane "
+                            "when the rule lowers to bitwise ops, table "
+                            "otherwise, process sharding for large spaces "
+                            "on multi-CPU hosts)")
+    group.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for the process backend "
+                            "(default: REPRO_WORKERS, then the CPU count)")
 
 
 def _add_budget_args(p: argparse.ArgumentParser, resume: bool = False) -> None:
@@ -240,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["parallel", "sequential"])
     p_ps.add_argument("--dot", default=None, metavar="FILE",
                       help="write a Graphviz DOT rendering to FILE")
+    _add_backend_args(p_ps)
     _add_budget_args(p_ps, resume=True)
 
     p_census = sub.add_parser(
@@ -247,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_census.add_argument("--min-n", type=int, default=3)
     p_census.add_argument("--max-n", type=int, default=12)
+    _add_backend_args(p_census)
     _add_budget_args(p_census)
 
     p_survey = sub.add_parser(
@@ -256,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="largest ring size checked per rule")
     p_survey.add_argument("--full-table", action="store_true",
                           help="print one line per rule, not just the summary")
+    _add_backend_args(p_survey)
     _add_budget_args(p_survey)
 
     p_report = sub.add_parser(
@@ -295,6 +314,9 @@ def _validate_args(args: argparse.Namespace) -> None:
         value = getattr(args, attr, None)
         if value is not None and value < minimum:
             raise SystemExit(f"{flag} must be >= {minimum}, got {value}")
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {workers}")
     wolfram = getattr(args, "wolfram", None)
     if wolfram is not None and not 0 <= wolfram <= 255:
         raise SystemExit(
@@ -401,13 +423,19 @@ def _cmd_phase_space(args: argparse.Namespace, out) -> int:
     from repro.util.validation import check_memory_budget
 
     space = _make_space(args)
-    ca = CellularAutomaton(space, _make_rule(args), memory=not args.memoryless)
+    ca = CellularAutomaton(
+        space,
+        _make_rule(args),
+        memory=not args.memoryless,
+        backend=args.backend,
+        workers=args.workers,
+    )
     budget = ambient_budget()
     resume_dir = getattr(args, "resume", None)
-    if ca.n > 24:
+    if ca.n > MAX_SWEEP_N:
         raise SystemExit(
             f"phase space over 2**{ca.n} configurations is too large even "
-            f"for a governed build (max --n 24)"
+            f"for a governed build (max --n {MAX_SWEEP_N})"
         )
     if ca.n > 20 and budget.mem_bytes is None and not resume_dir:
         raise SystemExit(
@@ -479,7 +507,11 @@ def _cmd_census(args: argparse.Namespace, out) -> int:
 
     if not 3 <= args.min_n <= args.max_n <= 18:
         raise SystemExit("census needs 3 <= min-n <= max-n <= 18")
-    rows = majority_ring_census(range(args.min_n, args.max_n + 1))
+    rows = majority_ring_census(
+        range(args.min_n, args.max_n + 1),
+        backend=args.backend,
+        workers=args.workers,
+    )
     print(f"{'n':>3} {'configs':>8} {'FPs':>6} {'CCs':>4} {'GoE':>7} "
           f"{'GoE%':>6} {'maxT':>5}", file=out)
     for r in rows:
@@ -502,7 +534,7 @@ def _cmd_survey(args: argparse.Namespace, out) -> int:
     from repro.analysis.elementary import survey_all_rules, survey_summary
 
     sizes = tuple(range(5, max(6, args.max_ring + 1)))
-    profiles = survey_all_rules(ring_sizes=sizes)
+    profiles = survey_all_rules(ring_sizes=sizes, backend=args.backend)
     if args.full_table:
         print(f"{'rule':>5} {'mono':>5} {'sym':>4} {'thr':>4} "
               f"{'par-cycles':>10} {'seq-cycles':>10}", file=out)
@@ -684,6 +716,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         try:
             with use_budget(_budget_from_args(args, token)):
                 code = _dispatch(args, out)
+        except BackendUnsupported as exc:
+            # An explicit --backend that cannot run the automaton: a
+            # one-line error, not a traceback (auto never raises this).
+            raise SystemExit(str(exc)) from exc
         except KeyboardInterrupt:
             # Satellite of the governance work: no traceback, one line,
             # the conventional 128+SIGINT exit code.  Artifacts/metrics

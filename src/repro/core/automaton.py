@@ -19,16 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import BudgetExceeded, resolve_budget
 from repro.core.rules import UpdateRule
+from repro.perf.base import CHUNK as _CHUNK
+from repro.perf.base import MAX_SWEEP_N
 from repro.spaces.base import FiniteSpace
 from repro.util.bitops import bits_to_int, int_to_bits
 from repro.util.validation import check_node_index, check_state_vector
 
 __all__ = ["CellularAutomaton"]
-
-#: configurations processed per chunk in whole-space sweeps (2**16 keeps the
-#: intermediate gather under ~35 MB even at n = 24, radius 2)
-_CHUNK = 1 << 16
 
 
 class CellularAutomaton:
@@ -43,9 +42,24 @@ class CellularAutomaton:
     memory:
         If True (the paper's default), a node's own state is part of its
         rule's window; if False the node sees only its neighbors.
+    backend:
+        Sweep-backend name (``auto``, ``bitplane``, ``table``, ``numpy``,
+        ``process``) for the whole-space sweeps; None defers to the
+        ``REPRO_BACKEND`` env var and then the ``auto`` policy.  See
+        :mod:`repro.perf`.
+    workers:
+        Worker-process count for the ``process`` backend (None: the
+        ``REPRO_WORKERS`` env var, then the CPU count).
     """
 
-    def __init__(self, space: FiniteSpace, rule: UpdateRule, memory: bool = True):
+    def __init__(
+        self,
+        space: FiniteSpace,
+        rule: UpdateRule,
+        memory: bool = True,
+        backend: str | None = None,
+        workers: int | None = None,
+    ):
         self.space = space
         self.rule = rule
         self.memory = memory
@@ -57,6 +71,40 @@ class CellularAutomaton:
                     f"rule {rule.name} has arity {rule.arity} but space "
                     f"{space.describe()} has window widths {widths.tolist()}"
                 )
+        self._init_backend(backend, workers)
+
+    def _init_backend(self, backend: str | None, workers: int | None) -> None:
+        """Record the backend selection; construction is lazy (the compiled
+        backends do real work — LUTs, kernel lowering — that pure-dynamics
+        callers never need), but an explicit bad name fails fast here."""
+        if backend is not None:
+            from repro.perf import _check_name
+
+            backend = _check_name(backend)
+        self._backend_spec = backend
+        self._workers = workers
+        self._backend = None
+
+    @property
+    def backend(self):
+        """The bound :class:`~repro.perf.SweepBackend` (built on first use)."""
+        if self._backend is None:
+            from repro.perf import resolve_backend
+
+            self._backend = resolve_backend(
+                self, self._backend_spec, self._workers
+            )
+        return self._backend
+
+    def rule_at(self, i: int) -> UpdateRule:
+        """The local rule of node ``i`` (uniform here; heterogeneous CAs
+        override this — it is the per-node contract the backends compile)."""
+        return self.rule
+
+    def _rule_groups(self) -> list[tuple[UpdateRule, np.ndarray]]:
+        """``(rule, nodes)`` batches for vectorized application — one batch
+        for a homogeneous automaton."""
+        return [(self.rule, np.arange(self.n, dtype=np.int64))]
 
     @property
     def n(self) -> int:
@@ -161,31 +209,26 @@ class CellularAutomaton:
     def step_all_range(self, lo: int, hi: int) -> np.ndarray:
         """Packed synchronous successors of configurations ``lo .. hi - 1``.
 
-        One bounded-memory chunk of :meth:`step_all`; the governed
-        phase-space builder calls this directly so it can consult its
-        budget between chunks.
+        One bounded-memory chunk of :meth:`step_all`, computed by the
+        bound sweep backend; the governed phase-space builder calls this
+        directly so it can consult its budget between chunks.
         """
-        n = self.n
-        place = np.int64(1) << np.arange(n, dtype=np.int64)
-        configs = self._config_chunk(lo, hi)
-        ext = np.concatenate(
-            [configs, np.zeros((hi - lo, 1), dtype=np.uint8)], axis=1
-        )
-        inputs = ext[:, self._windows]  # (chunk, n, k_max)
-        new = self.rule.apply_windows(inputs, self._lengths)
-        return new.astype(np.int64) @ place
+        return self.backend.step_all_range(lo, hi)
 
     def sweep_transient_bytes(self) -> int:
         """Peak transient bytes of one chunk of a whole-space sweep.
 
-        The per-chunk scratch (bit-unpacked configs, the gathered window
-        tensor, the new-state matrix and the packed output) — what a
-        budget must have headroom for *besides* the persistent successor
-        array.
+        The backend's per-chunk scratch — what a budget must have headroom
+        for *besides* the persistent successor array.
         """
-        k_max = self._windows.shape[1]
-        # configs + ext + inputs (uint8 each), new (uint8), packed (int64)
-        return _CHUNK * ((self.n + 1) + self.n * k_max + self.n + 8)
+        return self.backend.transient_bytes()
+
+    def _check_sweep_size(self, what: str) -> int:
+        if self.n > MAX_SWEEP_N:
+            raise ValueError(
+                f"{what} over 2**{self.n} configurations is too large"
+            )
+        return 1 << self.n
 
     def step_all(self, budget=None) -> np.ndarray:
         """Packed synchronous successor of every configuration.
@@ -196,16 +239,21 @@ class CellularAutomaton:
         chunks (wall-clock/cancellation only; memory-governed builds with
         resumable frontiers live in :func:`repro.core.phase_space.build_phase_space`).
         """
-        n = self.n
-        if n > 24:
-            raise ValueError(f"step_all over 2**{n} configurations is too large")
-        total = 1 << n
+        total = self._check_sweep_size("step_all")
         succ = np.empty(total, dtype=np.int64)
+        backend = self.backend
+        if backend.is_sharded:
+            _, reason = backend.governed_sweep(
+                succ, resolve_budget(budget), mode="step"
+            )
+            if reason is not None:
+                raise BudgetExceeded(reason)
+            return succ
         for lo in range(0, total, _CHUNK):
             if budget is not None:
                 budget.check()
             hi = min(lo + _CHUNK, total)
-            succ[lo:hi] = self.step_all_range(lo, hi)
+            succ[lo:hi] = backend.step_all_range(lo, hi)
         return succ
 
     def node_successors(self, i: int, budget=None) -> np.ndarray:
@@ -216,33 +264,40 @@ class CellularAutomaton:
         relation of the SCA.
         """
         check_node_index(i, self.n)
-        n = self.n
-        if n > 24:
-            raise ValueError(f"node_successors over 2**{n} configurations is too large")
-        total = 1 << n
+        total = self._check_sweep_size("node_successors")
         succ = np.empty(total, dtype=np.int64)
-        # Slice off rectangular padding: beyond the node's true window
-        # length every entry is the quiescent slot, which fixed-arity rules
-        # must not see as an extra input.
-        window = self._windows[i][: self._lengths[i]]
-        length = self._lengths[i : i + 1]
+        backend = self.backend
+        if backend.is_sharded:
+            _, reason = backend.governed_sweep(
+                succ, resolve_budget(budget), mode="node", node=i
+            )
+            if reason is not None:
+                raise BudgetExceeded(reason)
+            return succ
         for lo in range(0, total, _CHUNK):
             if budget is not None:
                 budget.check()
             hi = min(lo + _CHUNK, total)
-            codes = np.arange(lo, hi, dtype=np.int64)
-            configs = self._config_chunk(lo, hi)
-            ext = np.concatenate(
-                [configs, np.zeros((hi - lo, 1), dtype=np.uint8)], axis=1
-            )
-            inputs = ext[:, window]  # (chunk, k)
-            new_bits = self.rule.apply_windows(inputs, length).astype(np.int64)
-            old_bits = (codes >> i) & 1
-            succ[lo:hi] = codes ^ ((old_bits ^ new_bits) << i)
+            succ[lo:hi] = backend.node_successors_range(i, lo, hi)
         return succ
 
     def all_node_successors(self, budget=None) -> np.ndarray:
-        """Matrix of shape ``(n, 2**n)``: row ``i`` is :meth:`node_successors(i)`."""
-        return np.stack(
-            [self.node_successors(i, budget=budget) for i in range(self.n)]
-        )
+        """Matrix of shape ``(n, 2**n)``: row ``i`` is :meth:`node_successors(i)`.
+
+        One shared sweep fills all ``n`` rows per chunk — the per-chunk
+        setup (configuration unpacking, input planes) is paid once instead
+        of once per node.
+        """
+        total = self._check_sweep_size("all_node_successors")
+        out = np.empty((self.n, total), dtype=np.int64)
+        backend = self.backend
+        if backend.is_sharded:
+            for i in range(self.n):
+                out[i] = self.node_successors(i, budget=budget)
+            return out
+        for lo in range(0, total, _CHUNK):
+            if budget is not None:
+                budget.check()
+            hi = min(lo + _CHUNK, total)
+            backend.sweep_all_nodes_range(lo, hi, out[:, lo:hi])
+        return out

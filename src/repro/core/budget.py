@@ -395,12 +395,15 @@ class Budget:
 
     # -- checks ----------------------------------------------------------------
 
-    def over(self, pending_bytes: int = 0) -> str | None:
+    def over(self, pending_bytes: int = 0, pending_states: int = 0) -> str | None:
         """The trip reason, or None while every dimension has headroom.
 
         ``pending_bytes`` projects the next allocation: governed loops ask
         "may I hold one more chunk?" *before* allocating it, which is what
-        turns an OOM kill into a clean truncation.
+        turns an OOM kill into a clean truncation.  ``pending_states``
+        likewise projects work already dispatched but not yet charged —
+        the sharded sweep uses it so a states cap trips at the same
+        configuration the serial chunk loop trips at.
         """
         reason: str | None = None
         if self.token.cancelled:
@@ -415,9 +418,12 @@ class Budget:
                 + (f" + {format_bytes(pending_bytes)} pending" if pending_bytes else "")
                 + f" exceeds the {format_bytes(self.mem_bytes)} ceiling"
             )
-        elif self.max_states is not None and self.states_used >= self.max_states:
+        elif self.max_states is not None and (
+            self.states_used + pending_states >= self.max_states
+        ):
             reason = (
-                f"states: enumerated {self.states_used} >= cap {self.max_states}"
+                f"states: enumerated {self.states_used + pending_states} "
+                f">= cap {self.max_states}"
             )
         if reason is not None and not self._tripped:
             self._tripped = True

@@ -18,6 +18,7 @@ from repro.core.automaton import CellularAutomaton
 from repro.core.budget import Budget, BudgetExceeded, Partial, resolve_budget
 from repro.core.schedules import UpdateSchedule
 from repro.obs import span
+from repro.util.bitops import bits_to_int
 from repro.util.validation import check_non_negative, check_state_vector
 
 __all__ = [
@@ -72,11 +73,7 @@ class ConvergenceResult:
         """Packed code of the fixed point reached, or None if not converged."""
         if not self.converged:
             return None
-        value = 0
-        for i, b in enumerate(self.final_state):
-            if b:
-                value |= 1 << i
-        return value
+        return bits_to_int(self.final_state)
 
 
 def block_step(

@@ -41,10 +41,17 @@ class HeterogeneousCA(CellularAutomaton):
     memory:
         Whether each node's own state is part of its window (default True,
         the paper's convention).
+    backend, workers:
+        Sweep-backend selection, as for :class:`CellularAutomaton`.
     """
 
     def __init__(
-        self, space: FiniteSpace, rules: Sequence[UpdateRule], memory: bool = True
+        self,
+        space: FiniteSpace,
+        rules: Sequence[UpdateRule],
+        memory: bool = True,
+        backend: str | None = None,
+        workers: int | None = None,
     ):
         rules = list(rules)
         if len(rules) != space.n:
@@ -63,6 +70,7 @@ class HeterogeneousCA(CellularAutomaton):
                     f"node {i}: rule {rule.name} has arity {rule.arity} but "
                     f"the window has width {int(self._lengths[i])}"
                 )
+        self._init_backend(backend, workers)
 
     def describe(self) -> str:
         names = {r.name for r in self.rules}
@@ -71,6 +79,9 @@ class HeterogeneousCA(CellularAutomaton):
         return f"HeterogeneousCA[{self.space.describe()}, {label}, {mem}]"
 
     # -- scalar paths ---------------------------------------------------------
+
+    def rule_at(self, i: int) -> UpdateRule:
+        return self.rules[i]
 
     def node_next(self, state: np.ndarray, i: int) -> int:
         window = self.space.input_window(i, self.memory)
@@ -120,40 +131,8 @@ class HeterogeneousCA(CellularAutomaton):
                 out.append((rule, idx))
         return out
 
-    # -- whole-space sweeps -----------------------------------------------------
-
-    def node_successors(self, i: int, budget=None) -> np.ndarray:
-        saved = self.rule
-        try:
-            self.rule = self.rules[i]
-            return super().node_successors(i, budget=budget)
-        finally:
-            self.rule = saved
-
-    def step_all_range(self, lo: int, hi: int) -> np.ndarray:
-        """Range sweep with per-rule-group batching (overrides the
-        homogeneous sweep, which would apply ``self.rule`` to every node)."""
-        configs = self._config_chunk(lo, hi)
-        ext = np.concatenate(
-            [configs, np.zeros((hi - lo, 1), dtype=np.uint8)], axis=1
-        )
-        out = np.zeros(hi - lo, dtype=np.int64)
-        for rule, nodes in self._rule_groups():
-            inputs = ext[:, self._windows[nodes]]
-            bits = rule.apply_windows(inputs, self._lengths[nodes]).astype(np.int64)
-            out |= bits @ (np.int64(1) << nodes.astype(np.int64))
-        return out
-
-    def step_all(self, budget=None) -> np.ndarray:
-        """The synchronous global map, assembled bit-by-bit per node."""
-        n = self.n
-        if n > 24:
-            raise ValueError(f"step_all over 2**{n} configurations is too large")
-        succ = np.zeros(1 << n, dtype=np.int64)
-        for i in range(n):
-            bit = (self.node_successors(i, budget=budget) >> i) & 1
-            succ |= bit << i
-        return succ
+    # Whole-space sweeps need no overrides: the sweep backends compile the
+    # per-node rules through ``rule_at`` / ``_rule_groups`` directly.
 
 
 class _SlicedRule:

@@ -38,6 +38,7 @@ from repro.core.budget import (
     resolve_budget,
 )
 from repro.obs import span
+from repro.perf.base import MAX_SWEEP_N
 from repro.util.bitops import config_str
 
 __all__ = ["NondetPhaseSpace", "build_nondet_phase_space"]
@@ -315,7 +316,7 @@ def build_nondet_phase_space(
     """
     budget = resolve_budget(budget)
     n = ca.n
-    if n > 24:
+    if n > MAX_SWEEP_N:
         raise ValueError(
             f"sequential phase space over 2**{n} configurations is too large"
         )

@@ -29,12 +29,11 @@ from repro.core.budget import (
     resolve_budget,
 )
 from repro.obs import span
+from repro.perf.base import CHUNK as _CHUNK
+from repro.perf.base import MAX_SWEEP_N
 from repro.util.bitops import config_str
 
 __all__ = ["ConfigClass", "PhaseSpace", "build_phase_space"]
-
-#: configurations per governed chunk (matches the engine's sweep chunking)
-_CHUNK = 1 << 16
 
 #: extra per-configuration bytes the cycle analysis holds beyond ``succ``
 #: (in-degree + peel order int64, on-cycle + classes masks).
@@ -174,9 +173,27 @@ class PhaseSpace:
         """Configurations with no preimage under the global map."""
         return self.graph.gardens_of_eden
 
+    @cached_property
+    def _pred_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style inverse of the global map: ``(indptr, order)``.
+
+        ``order`` lists all configurations sorted by successor; the
+        predecessors of ``code`` are ``order[indptr[code]:indptr[code+1]]``.
+        Built once in O(2**n log 2**n); each query is then O(in-degree)
+        instead of a fresh O(2**n) scan of ``succ``.
+        """
+        order = np.argsort(self.succ, kind="stable").astype(np.int64)
+        counts = np.bincount(self.succ, minlength=self.size)
+        indptr = np.zeros(self.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, order
+
     def predecessors(self, code: int) -> np.ndarray:
         """All configurations mapping onto ``code`` in one step."""
-        return np.flatnonzero(self.succ == code)
+        if not 0 <= code < self.size:
+            raise ValueError(f"configuration code {code} out of range")
+        indptr, order = self._pred_index
+        return np.sort(order[indptr[code] : indptr[code + 1]])
 
     def is_stable_attractor(self, code: int) -> bool:
         """Deterministic FPs are always stable sinks: once there, stay there.
@@ -192,10 +209,17 @@ class PhaseSpace:
     def to_networkx(self) -> nx.DiGraph:
         """The phase space as a DiGraph with 0/1-string node labels."""
         g = nx.DiGraph()
-        for code in range(self.size):
-            g.add_node(code, label=config_str(code, self.n_nodes))
-        for code in range(self.size):
-            g.add_edge(code, int(self.succ[code]))
+        # Vectorized labels: unpack all codes to a (size, n) bit matrix,
+        # view each '0'/'1' byte row as one fixed-width bytes scalar.
+        codes = np.arange(self.size, dtype=np.int64)
+        bits = (codes[:, None] >> np.arange(self.n_nodes, dtype=np.int64)) & 1
+        chars = (bits + ord("0")).astype(np.uint8)
+        labels = np.ascontiguousarray(chars).view(f"S{self.n_nodes}").ravel()
+        g.add_nodes_from(
+            (int(code), {"label": label.decode("ascii")})
+            for code, label in zip(codes, labels)
+        )
+        g.add_edges_from(zip(codes.tolist(), self.succ.tolist()))
         return g
 
     def summary(self) -> dict[str, object]:
@@ -237,7 +261,7 @@ def build_phase_space(
     """
     budget = resolve_budget(budget)
     n = ca.n
-    if n > 24:
+    if n > MAX_SWEEP_N:
         raise ValueError(f"phase space over 2**{n} configurations is too large")
     total = 1 << n
     # Lazy import: repro.harness imports the checkpoint layer which imports
@@ -278,29 +302,62 @@ def build_phase_space(
         "phase_space.build", n=n, configs=total, budget=budget.describe()
     ) as build_span:
         with span("phase_space.global_map", n=n, resumed_from=start):
-            lo = start
-            while lo < total:
-                hi = min(lo + _CHUNK, total)
-                reason = budget.over(
-                    pending_bytes=transient + per_state * (hi - lo)
+            backend = ca.backend
+            if backend.is_sharded:
+                # The shard layer drives its own dispatch/merge loop; it
+                # charges the budget as the contiguous completed prefix
+                # advances and reports the honest resume point on a trip.
+                def _count_fps(lo: int, hi: int) -> None:
+                    nonlocal fp_count
+                    fp_count += int(
+                        np.count_nonzero(
+                            succ[lo:hi] == np.arange(lo, hi, dtype=np.int64)
+                        )
+                    )
+
+                next_lo, reason = backend.governed_sweep(
+                    succ,
+                    budget,
+                    start=start,
+                    per_state=per_state,
+                    mode="step",
+                    on_prefix=_count_fps,
                 )
                 if reason is not None:
-                    build_span.set(truncated=reason, explored=lo)
+                    build_span.set(truncated=reason, explored=next_lo)
                     return Partial.truncated(
                         reason,
-                        explored=lo,
+                        explored=next_lo,
                         total=total,
                         stats={"fixed_points_so_far": fp_count},
-                        frontier=_frontier(lo),
+                        frontier=_frontier(next_lo),
                     )
-                faults.inject("phase_space.chunk")
-                chunk = ca.step_all_range(lo, hi)
-                succ[lo:hi] = chunk
-                fp_count += int(
-                    np.count_nonzero(chunk == np.arange(lo, hi, dtype=np.int64))
-                )
-                budget.charge(states=hi - lo, bytes_=per_state * (hi - lo))
-                lo = hi
+            else:
+                lo = start
+                while lo < total:
+                    hi = min(lo + _CHUNK, total)
+                    reason = budget.over(
+                        pending_bytes=transient + per_state * (hi - lo)
+                    )
+                    if reason is not None:
+                        build_span.set(truncated=reason, explored=lo)
+                        return Partial.truncated(
+                            reason,
+                            explored=lo,
+                            total=total,
+                            stats={"fixed_points_so_far": fp_count},
+                            frontier=_frontier(lo),
+                        )
+                    faults.inject("phase_space.chunk")
+                    chunk = ca.step_all_range(lo, hi)
+                    succ[lo:hi] = chunk
+                    fp_count += int(
+                        np.count_nonzero(
+                            chunk == np.arange(lo, hi, dtype=np.int64)
+                        )
+                    )
+                    budget.charge(states=hi - lo, bytes_=per_state * (hi - lo))
+                    lo = hi
         # Enumeration complete.  Gate the cycle analysis on the *projected*
         # analysis footprint so the FunctionalGraph arrays never OOM: the
         # in-memory path pre-charged the analysis share per state, the

@@ -16,6 +16,14 @@ Both families implement the same two-method interface: scalar
 semantics, and vectorized :meth:`UpdateRule.apply_windows` used by the
 synchronous engine (one call handles every node of every configuration in a
 batch — no Python loop on the hot path, per the HPC guide).
+
+Two *lowerings* feed the compiled sweep backends (:mod:`repro.perf`):
+
+* :meth:`UpdateRule.lut` materialises the rule at a concrete window width
+  as a ``2**k`` lookup table (the ``table`` backend's format);
+* :meth:`UpdateRule.count_profile` exposes the count profile of totalistic
+  rules (the ``bitplane`` backend's format — threshold/majority/parity
+  rules become pure bitwise kernels over 64-configuration words).
 """
 
 from __future__ import annotations
@@ -96,6 +104,30 @@ class UpdateRule(ABC):
         """A fixed-arity view of the rule (needed by the infinite line)."""
         return TableRule(self.truth_table(arity), name=f"{self.name}[{arity}]")
 
+    # -- lowerings for the compiled sweep backends -----------------------------
+
+    def lut(self, width: int) -> np.ndarray:
+        """The rule at window width ``width`` as a ``2**width`` uint8 table.
+
+        Entry ``c`` is the next state for the window whose input ``j`` is
+        bit ``j`` of ``c`` (little-endian, matching the packed-code
+        convention everywhere else).  Subclasses override this with
+        vectorized constructions; the generic fallback enumerates the
+        truth table scalar by scalar, so it is gated to small widths.
+        """
+        if width > 20:
+            raise ValueError(
+                f"refusing to materialise a 2**{width}-entry lookup table"
+            )
+        return self.truth_table(width).table
+
+    def count_profile(self, width: int) -> np.ndarray | None:
+        """``profile[c]`` = next state when exactly ``c`` of ``width``
+        inputs are 1, or ``None`` when the rule is not totalistic at this
+        width.  Totalistic rules are exactly what the ``bitplane`` backend
+        lowers to carry-save-adder kernels."""
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 
@@ -127,6 +159,22 @@ class TableRule(UpdateRule):
             )
         codes = inputs.astype(np.int64) @ self._weights
         return self.function.table[codes]
+
+    def lut(self, width: int) -> np.ndarray:
+        if width != self.arity:
+            raise ValueError(
+                f"{self._name} has fixed arity {self.arity}, requested "
+                f"width {width}"
+            )
+        return self.function.table
+
+    def count_profile(self, width: int) -> np.ndarray | None:
+        if width != self.arity or not self.function.is_symmetric():
+            return None
+        # Symmetric: any representative of each count works; use the
+        # all-low-bits code ``(1 << c) - 1`` which has popcount ``c``.
+        reps = (1 << np.arange(width + 1, dtype=np.int64)) - 1
+        return self.function.table[reps]
 
     @property
     def name(self) -> str:
@@ -176,6 +224,31 @@ class SymmetricRule(UpdateRule):
             )
         counts = inputs.sum(axis=-1, dtype=np.int64)
         return self.decide(counts, np.broadcast_to(lengths, counts.shape))
+
+    def _check_width(self, width: int) -> None:
+        if self.arity is not None and width != self.arity:
+            raise ValueError(
+                f"{self.name} has fixed arity {self.arity}, requested "
+                f"width {width}"
+            )
+
+    def lut(self, width: int) -> np.ndarray:
+        from repro.util.bitops import popcount_array
+
+        self._check_width(width)
+        if width > 20:
+            raise ValueError(
+                f"refusing to materialise a 2**{width}-entry lookup table"
+            )
+        counts = popcount_array(np.arange(1 << width, dtype=np.int64))
+        lengths = np.full(counts.shape, width, dtype=np.int64)
+        return self.decide(counts, lengths).astype(np.uint8)
+
+    def count_profile(self, width: int) -> np.ndarray | None:
+        self._check_width(width)
+        counts = np.arange(width + 1, dtype=np.int64)
+        lengths = np.full(width + 1, width, dtype=np.int64)
+        return self.decide(counts, lengths).astype(np.uint8)
 
 
 class MajorityRule(SymmetricRule):

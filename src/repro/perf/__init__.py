@@ -1,0 +1,129 @@
+"""Pluggable sweep backends for whole-phase-space enumeration.
+
+Every experiment in the paper reduces to whole-space sweeps — the packed
+parallel successor (``step_all``) or single-node sequential successors
+(``node_successors``) of all ``2**n`` configurations.  This package holds
+the kernels that compute them, behind one registry:
+
+``numpy``
+    The generic window-gather reference (works for every space and rule).
+``table``
+    Per-node rules compiled to ``2**k`` lookup tables; a chunk is integer
+    bit extraction + one gather per node.
+``bitplane``
+    SWAR kernels packing 64 configurations per ``uint64`` word; threshold
+    / XOR / small-arity (elementary) rules as pure bitwise ops.
+``process``
+    A multiprocessing shard layer over any serial backend, merging into a
+    shared-memory successor array with honest budget/frontier semantics.
+
+Selection: ``CellularAutomaton(backend=...)`` > the ``REPRO_BACKEND`` env
+var > ``auto``.  The ``auto`` policy picks the fastest applicable kernel —
+bitplane when every node's rule lowers to a bit kernel, table when the
+windows fit a LUT, numpy otherwise — and wraps it in process sharding for
+spaces of at least ``2**PROCESS_MIN_N`` configurations on multi-CPU hosts.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.perf.base import (
+    CHUNK,
+    MAX_SWEEP_N,
+    BackendUnsupported,
+    NumpyBackend,
+    SweepBackend,
+)
+from repro.perf.bitplane import BitplaneBackend, lower_bit_kernel
+from repro.perf.process import ProcessBackend, default_workers
+from repro.perf.table import TableBackend
+
+__all__ = [
+    "CHUNK",
+    "MAX_SWEEP_N",
+    "PROCESS_MIN_N",
+    "BackendUnsupported",
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "SweepBackend",
+    "NumpyBackend",
+    "TableBackend",
+    "BitplaneBackend",
+    "ProcessBackend",
+    "lower_bit_kernel",
+    "default_workers",
+    "resolve_backend",
+    "resolve_serial_backend",
+]
+
+#: env var selecting the default backend (``auto`` when unset)
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: smallest n the ``auto`` policy shards across processes (below this the
+#: fork + shared-memory overhead outweighs the sweep itself)
+PROCESS_MIN_N = 22
+
+BACKENDS: dict[str, type[SweepBackend]] = {
+    "numpy": NumpyBackend,
+    "table": TableBackend,
+    "bitplane": BitplaneBackend,
+    "process": ProcessBackend,
+}
+
+#: ``auto`` plus the concrete backends, in documentation order
+BACKEND_NAMES = ("auto", "bitplane", "table", "numpy", "process")
+
+#: serial preference order of the ``auto`` policy
+_AUTO_SERIAL = ("bitplane", "table", "numpy")
+
+
+def _check_name(name: str) -> str:
+    name = name.strip().lower()
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown sweep backend {name!r} (choose from "
+            f"{', '.join(BACKEND_NAMES)})"
+        )
+    return name
+
+
+def resolve_serial_backend(ca, name: str = "auto") -> SweepBackend:
+    """Construct the serial backend ``name`` for ``ca`` (``auto`` picks the
+    fastest applicable of bitplane > table > numpy)."""
+    name = _check_name(name)
+    if name == "process":
+        raise ValueError("process is not a serial backend")
+    if name != "auto":
+        return BACKENDS[name](ca)
+    for candidate in _AUTO_SERIAL:
+        if BACKENDS[candidate].supports(ca) is None:
+            return BACKENDS[candidate](ca)
+    return NumpyBackend(ca)  # pragma: no cover - numpy always applies
+
+
+def resolve_backend(
+    ca, name: str | None = None, workers: int | None = None
+) -> SweepBackend:
+    """Backend for ``ca`` per the explicit ``name`` > env > ``auto`` chain.
+
+    ``workers`` only matters for the process backend (explicit count >
+    ``REPRO_WORKERS`` > CPU count).  ``auto`` adds process sharding only
+    for spaces of at least ``2**PROCESS_MIN_N`` configurations and more
+    than one available worker.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV, "").strip() or "auto"
+    name = _check_name(name)
+    if name == "process":
+        return ProcessBackend(ca, inner="auto", workers=workers)
+    if name != "auto":
+        return BACKENDS[name](ca)
+    effective = workers if workers is not None else default_workers()
+    if (
+        ca.n >= PROCESS_MIN_N
+        and effective > 1
+        and ProcessBackend.supports(ca) is None
+    ):
+        return ProcessBackend(ca, inner="auto", workers=workers)
+    return resolve_serial_backend(ca, "auto")

@@ -1,0 +1,331 @@
+"""Multiprocess sharded sweep backend.
+
+Splits ``[start, 2**n)`` into contiguous shards, computes each shard in a
+worker process with a serial kernel (any of the other backends), and
+merges the results into the caller's successor array through
+``multiprocessing.shared_memory`` buffers — zero-copy on the worker side,
+one ``memcpy`` per shard on the parent side (which also works when the
+parent array is a resumed disk-backed memmap).
+
+Governance stays honest across the process boundary:
+
+* the parent consults the :class:`~repro.core.budget.Budget` before each
+  shard dispatch and while waiting for results, and *charges* shards only
+  as the contiguous completed prefix advances — so a trip returns exactly
+  the resumable ``next_lo`` frontier the serial builders return, with
+  identical deterministic accounting;
+* a shared :class:`multiprocessing.Event` cancel flag is polled by every
+  worker between chunks, so Ctrl-C / deadline trips wind the pool down
+  cooperatively instead of leaving orphans (workers also ignore SIGINT —
+  the parent owns the signal);
+* each worker resets its forked copy of the obs metrics registry on
+  startup and ships a final snapshot back on shutdown; the parent folds
+  those into its own registry via ``REGISTRY.merge_snapshot``.
+
+Workers are forked, so arbitrary rule objects (closures included) need no
+pickling; the backend is unsupported where ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import signal
+from collections import deque
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import obs
+from repro.perf.base import CHUNK, BackendUnsupported, SweepBackend
+
+__all__ = ["ProcessBackend", "DEFAULT_WORKERS_ENV"]
+
+#: env var overriding the worker count (``CellularAutomaton(workers=...)``
+#: and the CLI ``--workers`` flag take precedence)
+DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
+
+#: seconds between budget/liveness checks while waiting on worker results
+_POLL_S = 0.1
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` if set, else the CPU count."""
+    env = os.environ.get(DEFAULT_WORKERS_ENV, "").strip()
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def _worker_main(inner, task_q, result_q, cancel) -> None:
+    """Worker loop: shards in, per-shard completions + a final metrics out.
+
+    ``inner`` is the parent's fully constructed serial backend, inherited
+    by fork (rules never cross a pickle boundary).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # The forked registry starts as a copy of the parent's counts; reset so
+    # the final snapshot holds only this worker's own increments.
+    obs.REGISTRY.reset()
+    while True:
+        task = task_q.get()
+        if task is None:
+            result_q.put(("metrics", os.getpid(), obs.REGISTRY.snapshot()))
+            return
+        sid, mode, node, lo, hi, shm_name = task
+        # Forked workers share the parent's resource tracker, so attaching
+        # here neither duplicates nor steals ownership of the block.
+        shm = shared_memory.SharedMemory(name=shm_name)
+        try:
+            out = np.ndarray(hi - lo, dtype=np.int64, buffer=shm.buf)
+            ok = True
+            for clo in range(lo, hi, CHUNK):
+                if cancel.is_set():
+                    ok = False
+                    break
+                chi = min(clo + CHUNK, hi)
+                if mode == "step":
+                    out[clo - lo : chi - lo] = inner.step_all_range(clo, chi)
+                else:
+                    out[clo - lo : chi - lo] = inner.node_successors_range(
+                        node, clo, chi
+                    )
+            del out
+        finally:
+            shm.close()
+        result_q.put(("done", sid, ok))
+
+
+class ProcessBackend(SweepBackend):
+    """Shard whole-space sweeps across forked worker processes."""
+
+    name = "process"
+    is_sharded = True
+
+    @classmethod
+    def supports(cls, ca) -> str | None:
+        if "fork" not in mp.get_all_start_methods():  # pragma: no cover
+            return "requires the fork start method (POSIX hosts)"
+        return None
+
+    def __init__(self, ca, inner: str = "auto", workers: int | None = None):
+        super().__init__(ca)
+        reason = self.supports(ca)
+        if reason is not None:  # pragma: no cover - POSIX-only container
+            raise BackendUnsupported(
+                f"process backend cannot run {ca.describe()}: {reason}"
+            )
+        from repro.perf import resolve_serial_backend
+
+        self._inner = resolve_serial_backend(ca, inner)
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+
+    def describe(self) -> str:
+        return f"process[{self._inner.name} x{self.workers}]"
+
+    # -- serial kernels (delegated) --------------------------------------------
+    # Direct range calls (single chunks, small sweeps) skip the pool.
+
+    def step_all_range(self, lo: int, hi: int) -> np.ndarray:
+        return self._inner.step_all_range(lo, hi)
+
+    def node_successors_range(self, i: int, lo: int, hi: int) -> np.ndarray:
+        return self._inner.node_successors_range(i, lo, hi)
+
+    def sweep_all_nodes_range(self, lo: int, hi: int, out: np.ndarray) -> None:
+        self._inner.sweep_all_nodes_range(lo, hi, out)
+
+    def transient_bytes(self) -> int:
+        # every worker holds one chunk of inner scratch plus its shard's
+        # shared int64 output buffer in flight
+        return self.workers * (
+            self._inner.transient_bytes() + 8 * self._shard_len()
+        )
+
+    # -- sharded governed sweep ------------------------------------------------
+
+    def _shard_len(self, span: int | None = None) -> int:
+        """Shard size: ~4 shards per worker for load balance, CHUNK-aligned."""
+        if span is None:
+            span = 1 << self.ca.n
+        per = span // (self.workers * 4) or span
+        return max(CHUNK, (per // CHUNK) * CHUNK)
+
+    def governed_sweep(
+        self,
+        out: np.ndarray,
+        budget,
+        *,
+        start: int = 0,
+        per_state: int = 0,
+        mode: str = "step",
+        node: int | None = None,
+        on_prefix=None,
+    ) -> tuple[int, str | None]:
+        """Fill ``out[start:]`` by sharding across the worker pool.
+
+        Returns ``(next_lo, reason)``: ``reason`` is None when the sweep
+        completed, else the budget trip reason and ``next_lo`` the end of
+        the contiguous completed-and-charged prefix — the honest resume
+        point.  ``on_prefix(lo, hi)`` fires in order as the prefix grows
+        (the phase-space builder streams fixed-point counts through it).
+        """
+        total = int(out.size)
+        if start >= total:
+            return total, None
+        shard_len = self._shard_len(total - start)
+        shards = [
+            (lo, min(lo + shard_len, total))
+            for lo in range(start, total, shard_len)
+        ]
+        transient = self._inner.transient_bytes()
+
+        # Start the shared-memory resource tracker *before* forking, so the
+        # workers inherit it: their attaches then register as no-op
+        # duplicates with the parent's tracker instead of each worker
+        # spawning a private tracker that "cleans up" blocks it never owned.
+        try:  # pragma: no cover - private but stable since 3.8
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+
+        ctx = mp.get_context("fork")
+        task_q: mp.Queue = ctx.Queue()
+        result_q: mp.Queue = ctx.Queue()
+        cancel = ctx.Event()
+        nworkers = min(self.workers, len(shards))
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(self._inner, task_q, result_q, cancel),
+                daemon=True,
+            )
+            for _ in range(nworkers)
+        ]
+        with obs.span(
+            "perf.process.sweep",
+            mode=mode,
+            total=total,
+            start=start,
+            shards=len(shards),
+            workers=nworkers,
+            inner=self._inner.name,
+        ) as sweep_span:
+            for p in procs:
+                p.start()
+
+            pending: deque[int] = deque(range(len(shards)))
+            inflight: dict[int, shared_memory.SharedMemory] = {}
+            status: dict[int, bool] = {}
+            next_merge = 0  # first shard not yet folded into the prefix
+            uncharged = 0  # dispatched states not yet charged to the budget
+            reason: str | None = None
+
+            def _advance_prefix() -> None:
+                nonlocal next_merge, uncharged
+                while next_merge < len(shards) and status.get(next_merge):
+                    lo, hi = shards[next_merge]
+                    budget.charge(states=hi - lo, bytes_=per_state * (hi - lo))
+                    uncharged -= hi - lo
+                    if on_prefix is not None:
+                        on_prefix(lo, hi)
+                    next_merge += 1
+
+            try:
+                while pending or inflight:
+                    while (
+                        pending and reason is None and len(inflight) < 2 * nworkers
+                    ):
+                        sid = pending[0]
+                        lo, hi = shards[sid]
+                        # Project every dispatched-but-uncharged shard too,
+                        # so dispatch-ahead trips at the same accounted
+                        # footprint the serial chunk loop would (which
+                        # checks with all prior chunks already charged).
+                        reason = budget.over(
+                            pending_bytes=transient
+                            + per_state * (uncharged + hi - lo),
+                            pending_states=uncharged,
+                        )
+                        if reason is not None:
+                            break
+                        shm = shared_memory.SharedMemory(
+                            create=True, size=(hi - lo) * 8
+                        )
+                        inflight[sid] = shm
+                        pending.popleft()
+                        uncharged += hi - lo
+                        task_q.put((sid, mode, node, lo, hi, shm.name))
+                    if reason is not None:
+                        # Memory/state trips only stop *dispatch* — shards
+                        # already in flight were admitted by the projection
+                        # and are allowed to finish (the serial loop would
+                        # have completed those chunks too).  Cancellation
+                        # and deadline trips interrupt the workers.
+                        if reason.startswith(("cancelled", "deadline")):
+                            cancel.set()
+                        pending.clear()
+                        if not inflight:
+                            break
+                    try:
+                        msg = result_q.get(timeout=_POLL_S)
+                    except queue.Empty:
+                        if reason is None:
+                            reason = budget.over()
+                            if reason is not None:
+                                continue
+                        if not any(p.is_alive() for p in procs) and inflight:
+                            raise RuntimeError(
+                                "process backend: all workers died with "
+                                f"{len(inflight)} shard(s) outstanding"
+                            )
+                        continue
+                    kind, sid, ok = msg
+                    if kind != "done":  # pragma: no cover - metrics come later
+                        continue
+                    shm = inflight.pop(sid)
+                    lo, hi = shards[sid]
+                    if ok:
+                        # Merge even past a trip: the data is correct, and a
+                        # memmap-backed resume benefits from it; only prefix
+                        # shards are *charged* and counted in the frontier.
+                        out[lo:hi] = np.ndarray(
+                            hi - lo, dtype=np.int64, buffer=shm.buf
+                        )
+                    status[sid] = ok
+                    shm.close()
+                    shm.unlink()
+                    if ok:
+                        _advance_prefix()
+            finally:
+                if reason is not None:
+                    cancel.set()
+                for _ in procs:
+                    task_q.put(None)
+                for p in procs:
+                    p.join(timeout=5.0)
+                # Fold each worker's metrics into the parent registry.
+                while True:
+                    try:
+                        msg = result_q.get_nowait()
+                    except queue.Empty:
+                        break
+                    if msg[0] == "metrics":
+                        obs.REGISTRY.merge_snapshot(msg[2])
+                for p in procs:  # pragma: no cover - stuck-worker safety net
+                    if p.is_alive():
+                        p.terminate()
+                        p.join(timeout=1.0)
+                for shm in inflight.values():  # pragma: no cover - trip races
+                    shm.close()
+                    shm.unlink()
+            next_lo = shards[next_merge][0] if next_merge < len(shards) else total
+            sweep_span.set(next_lo=next_lo, truncated=reason)
+            obs.inc("perf.process.sweeps")
+            obs.inc("perf.process.shards_done", next_merge)
+            return next_lo, reason

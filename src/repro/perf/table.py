@@ -1,0 +1,146 @@
+"""Compiled lookup-table sweep backend.
+
+At construction, every node's local rule is lowered to a ``2**k`` lookup
+table (:meth:`repro.core.rules.UpdateRule.lut`, deduplicated across nodes
+sharing a rule object and window width).  A chunk of the sweep is then
+pure integer bit-extraction plus one fancy-index gather per node — no
+uint8 unpacking of configurations, no per-chunk ``apply_windows``
+dispatch, no ``(chunk, n, k)`` window tensor.
+
+For contiguous windows (rings — the paper's spaces) the per-node window
+code is a single 2-shift rotation of the packed codes instead of ``k``
+bit extractions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.perf.base import CHUNK, BackendUnsupported, SweepBackend
+
+__all__ = ["TableBackend", "MAX_LUT_WIDTH"]
+
+#: widest window a LUT is compiled for (2**20 uint8 entries = 1 MB)
+MAX_LUT_WIDTH = 20
+
+#: widest window that also gets a per-node pre-shifted int64 table
+#: (2**12 entries = 32 KB per node — L1/L2-resident)
+_PRESHIFT_MAX_WIDTH = 12
+
+
+class TableBackend(SweepBackend):
+    """Per-node rule tables + integer bit gathers."""
+
+    name = "table"
+
+    @classmethod
+    def supports(cls, ca) -> str | None:
+        k_max = int(ca._lengths.max()) if ca.n else 0
+        if k_max > MAX_LUT_WIDTH:
+            return (
+                f"window width {k_max} exceeds the LUT ceiling "
+                f"{MAX_LUT_WIDTH}"
+            )
+        return None
+
+    def __init__(self, ca):
+        super().__init__(ca)
+        reason = self.supports(ca)
+        if reason is not None:
+            raise BackendUnsupported(
+                f"table backend cannot run {ca.describe()}: {reason}"
+            )
+        n = ca.n
+        self._mask_n = np.int64((1 << n) - 1)
+        luts: dict[tuple[int, int], np.ndarray] = {}
+        self._luts: list[np.ndarray] = []
+        #: per node: (rotation shift, width) for contiguous ring windows,
+        #: else None (fall back to per-bit extraction)
+        self._rot: list[tuple[int, int] | None] = []
+        #: per node: (sources, positions) with quiescent slots dropped
+        self._gather: list[tuple[np.ndarray, np.ndarray]] = []
+        #: per node: the LUT pre-upcast to int64 and pre-shifted by the
+        #: node index, so a sweep chunk is gather + or — no per-chunk
+        #: astype/shift.  Only for narrow windows (wide pre-shifted
+        #: tables would cost 8 bytes/entry per *node*).
+        self._lut64: list[np.ndarray | None] = []
+        for i in range(n):
+            k = int(ca._lengths[i])
+            rule = ca.rule_at(i)
+            key = (id(rule), k)
+            if key not in luts:
+                luts[key] = np.ascontiguousarray(rule.lut(k), dtype=np.uint8)
+            self._luts.append(luts[key])
+            if k <= _PRESHIFT_MAX_WIDTH:
+                self._lut64.append(luts[key].astype(np.int64) << i)
+            else:
+                self._lut64.append(None)
+            window = np.asarray(ca._windows[i][:k], dtype=np.int64)
+            self._rot.append(self._contiguous(window, k))
+            real = window != n  # sentinel slots always read 0: skip them
+            self._gather.append(
+                (window[real], np.arange(k, dtype=np.int64)[real])
+            )
+
+    def _contiguous(self, window: np.ndarray, k: int) -> tuple[int, int] | None:
+        """``(shift, k)`` when the window is ``shift .. shift+k-1 mod n``."""
+        n = self.ca.n
+        if k == 0 or np.any(window == n):
+            return None
+        shift = int(window[0])
+        expect = (shift + np.arange(k, dtype=np.int64)) % n
+        if np.array_equal(window, expect):
+            return shift, k
+        return None
+
+    def _wcodes(self, i: int, codes: np.ndarray) -> np.ndarray:
+        """Packed window code of node ``i`` for each configuration code."""
+        rot = self._rot[i]
+        if rot is not None:
+            shift, k = rot
+            mask = np.int64((1 << k) - 1)
+            if shift == 0:
+                return codes & mask
+            if shift + k <= self.ca.n:
+                # window sits inside the code: plain shift + mask
+                return (codes >> shift) & mask
+            # window wraps past bit n-1: rotate the n-bit codes right by
+            # ``shift`` (window bit j reads config bit (shift + j) mod n)
+            low = codes & np.int64((1 << shift) - 1)
+            rotated = (codes >> shift) | (low << (self.ca.n - shift))
+            return rotated & mask
+        sources, positions = self._gather[i]
+        out = np.zeros(codes.shape, dtype=np.int64)
+        for src, pos in zip(sources.tolist(), positions.tolist()):
+            out |= ((codes >> src) & 1) << pos
+        return out
+
+    def step_all_range(self, lo: int, hi: int) -> np.ndarray:
+        codes = np.arange(lo, hi, dtype=np.int64)
+        out = np.zeros(hi - lo, dtype=np.int64)
+        for i in range(self.ca.n):
+            lut64 = self._lut64[i]
+            if lut64 is not None:
+                out |= lut64[self._wcodes(i, codes)]
+            else:
+                bits = self._luts[i][self._wcodes(i, codes)]
+                out |= bits.astype(np.int64) << i
+        return out
+
+    def node_successors_range(self, i: int, lo: int, hi: int) -> np.ndarray:
+        codes = np.arange(lo, hi, dtype=np.int64)
+        new_bits = self._luts[i][self._wcodes(i, codes)].astype(np.int64)
+        old_bits = (codes >> i) & 1
+        return codes ^ ((old_bits ^ new_bits) << i)
+
+    def sweep_all_nodes_range(self, lo: int, hi: int, out: np.ndarray) -> None:
+        codes = np.arange(lo, hi, dtype=np.int64)
+        for i in range(self.ca.n):
+            new_bits = self._luts[i][self._wcodes(i, codes)].astype(np.int64)
+            old_bits = (codes >> i) & 1
+            out[i] = codes ^ ((old_bits ^ new_bits) << i)
+
+    def transient_bytes(self) -> int:
+        # codes + window codes + packed output (int64) + gathered bits
+        # (uint8) + the int64 upcast of the gather
+        return CHUNK * (8 + 8 + 8 + 1 + 8)

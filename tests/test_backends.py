@@ -1,0 +1,335 @@
+"""Property tests for the sweep-backend subsystem (repro.perf).
+
+Every backend must produce *bit-identical* successor maps: the numpy
+window-gather reference, the compiled ``table`` and ``bitplane`` kernels
+and the ``process`` shard layer are interchangeable by construction, and
+these tests pin that down against the scalar ``step_naive`` oracle and
+against each other — across spaces (rings, lines, wide radii), rule
+families (threshold, XOR, raw tables, heterogeneous mixtures) and both
+memory conventions.  Governance is part of the contract too: budget
+trips must yield the same resumable frontier whichever kernel runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.budget import Budget, CancelToken
+from repro.core.heterogeneous import HeterogeneousCA
+from repro.core.phase_space import PhaseSpace, build_phase_space
+from repro.core.rules import (
+    MajorityRule,
+    SimpleThresholdRule,
+    TableRule,
+    WolframRule,
+    XorRule,
+)
+from repro.harness.checkpoint import load_frontier, save_frontier
+from repro.perf import (
+    BACKENDS,
+    BackendUnsupported,
+    BitplaneBackend,
+    ProcessBackend,
+    lower_bit_kernel,
+    resolve_backend,
+    resolve_serial_backend,
+)
+from repro.spaces.line import Line, Ring
+from repro.util.bitops import config_str, int_to_bits
+
+SERIAL = ("numpy", "table", "bitplane")
+
+
+def oracle_step_all(ca: CellularAutomaton) -> np.ndarray:
+    """Successor of every configuration via the scalar step_naive path."""
+    out = np.empty(1 << ca.n, dtype=np.int64)
+    for code in range(1 << ca.n):
+        out[code] = ca.pack(ca.step_naive(int_to_bits(code, ca.n)))
+    return out
+
+
+def make_ca(space, rule, memory=True, backend=None, workers=None):
+    return CellularAutomaton(
+        space, rule, memory=memory, backend=backend, workers=workers
+    )
+
+
+CASES = [
+    pytest.param(Ring(9), MajorityRule(), True, id="ring9-majority"),
+    pytest.param(Ring(9), XorRule(), True, id="ring9-xor"),
+    pytest.param(Ring(9), SimpleThresholdRule(2), False, id="ring9-thr2-nomem"),
+    pytest.param(Line(9), MajorityRule(), True, id="line9-majority"),
+    pytest.param(Ring(8, radius=2), XorRule(), True, id="ring8-r2-xor"),
+    pytest.param(Ring(9), WolframRule(110), True, id="ring9-w110"),
+    pytest.param(Ring(9), WolframRule(30), True, id="ring9-w30"),
+]
+
+
+class TestSerialBackendsMatchOracle:
+    @pytest.mark.parametrize("space,rule,memory", CASES)
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_step_all_matches_step_naive(self, space, rule, memory, backend):
+        ca = make_ca(space, rule, memory=memory, backend=backend)
+        if ca.backend.name != backend:
+            pytest.fail(f"requested {backend}, resolved {ca.backend.name}")
+        np.testing.assert_array_equal(ca.step_all(), oracle_step_all(ca))
+
+    @pytest.mark.parametrize("space,rule,memory", CASES)
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_node_successors_flip_exactly_one_bit(
+        self, space, rule, memory, backend
+    ):
+        ca = make_ca(space, rule, memory=memory, backend=backend)
+        ref = make_ca(space, rule, memory=memory, backend="numpy")
+        for i in range(ca.n):
+            succ = ca.node_successors(i)
+            np.testing.assert_array_equal(succ, ref.node_successors(i))
+            # single-node update: nothing but bit i may change
+            diff = succ ^ np.arange(1 << ca.n, dtype=np.int64)
+            assert np.all((diff & ~(np.int64(1) << i)) == 0)
+
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_all_node_successors_one_pass_matches_rows(self, backend):
+        ca = make_ca(Ring(9), MajorityRule(), backend=backend)
+        table = ca.all_node_successors()
+        assert table.shape == (9, 1 << 9)
+        for i in range(ca.n):
+            np.testing.assert_array_equal(table[i], ca.node_successors(i))
+
+
+class TestHeterogeneous:
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_mixed_rules_match_oracle(self, backend):
+        n = 9
+        rules = [MajorityRule() if i % 2 else XorRule() for i in range(n)]
+        ca = HeterogeneousCA(Ring(n), rules, backend=backend)
+        np.testing.assert_array_equal(ca.step_all(), oracle_step_all(ca))
+
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_mixed_rules_all_node_successors(self, backend):
+        n = 8
+        rules = [SimpleThresholdRule(1) if i < 4 else XorRule() for i in range(n)]
+        ca = HeterogeneousCA(Ring(n), rules, backend=backend)
+        ref = HeterogeneousCA(Ring(n), rules, backend="numpy")
+        np.testing.assert_array_equal(
+            ca.all_node_successors(), ref.all_node_successors()
+        )
+
+
+class TestRandomRules:
+    """Hypothesis: arbitrary 3-input tables agree across every backend."""
+
+    @given(table=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_random_elementary_table(self, table):
+        rule = WolframRule(table)
+        results = {}
+        for backend in SERIAL:
+            ca = make_ca(Ring(8), rule, backend=backend)
+            results[backend] = ca.step_all()
+        for backend in SERIAL[1:]:
+            np.testing.assert_array_equal(results["numpy"], results[backend])
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=32, max_size=32),
+        memory=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_radius2_table(self, bits, memory):
+        # width-5 windows with memory, width-4 without
+        width = 5 if memory else 4
+        rule = TableRule([bits[i] for i in range(1 << width)])
+        results = {}
+        for backend in SERIAL:
+            ca = make_ca(Ring(7, radius=2), rule, memory=memory, backend=backend)
+            results[backend] = ca.step_all()
+        oracle = oracle_step_all(
+            make_ca(Ring(7, radius=2), rule, memory=memory, backend="numpy")
+        )
+        for backend in SERIAL:
+            np.testing.assert_array_equal(results[backend], oracle)
+
+
+class TestProcessBackend:
+    def test_step_all_matches_serial(self):
+        ca = make_ca(Ring(12), MajorityRule(), backend="process", workers=2)
+        assert isinstance(ca.backend, ProcessBackend)
+        ref = make_ca(Ring(12), MajorityRule(), backend="numpy")
+        np.testing.assert_array_equal(ca.step_all(), ref.step_all())
+
+    def test_governed_build_matches_serial(self):
+        ca = make_ca(Ring(16), MajorityRule(), backend="process", workers=2)
+        ref = make_ca(Ring(16), MajorityRule(), backend="numpy")
+        p = build_phase_space(ca, budget=Budget())
+        assert p.complete
+        assert p.value.summary() == PhaseSpace.from_automaton(ref).summary()
+
+    def test_trip_yields_prefix_frontier_and_resume(self, tmp_path):
+        # Ring(17) splits into two CHUNK-sized shards; a one-chunk states
+        # cap trips between them, leaving a strict prefix.
+        ca = make_ca(Ring(17), MajorityRule(), backend="process", workers=2)
+        exact = PhaseSpace.from_automaton(
+            make_ca(Ring(17), MajorityRule(), backend="numpy")
+        )
+        p1 = build_phase_space(ca, budget=Budget(max_states=1 << 16))
+        assert not p1.complete
+        assert "states" in p1.reason
+        assert 0 < p1.explored < 1 << 17
+        assert p1.frontier is not None and p1.frontier["next_lo"] == p1.explored
+        # the charged prefix is bit-identical to the serial sweep
+        ref_succ = make_ca(Ring(17), MajorityRule(), backend="numpy").step_all()
+        np.testing.assert_array_equal(
+            np.asarray(p1.frontier["succ"])[: p1.explored],
+            ref_succ[: p1.explored],
+        )
+        save_frontier(tmp_path, p1)
+        p2 = build_phase_space(
+            ca, budget=Budget(), frontier=load_frontier(tmp_path)
+        )
+        assert p2.complete
+        assert p2.value.summary() == exact.summary()
+
+    def test_cancellation_interrupts_workers(self):
+        token = CancelToken()
+        token.cancel("user interrupt")
+        ca = make_ca(Ring(16), MajorityRule(), backend="process", workers=2)
+        p = build_phase_space(ca, budget=Budget(token=token))
+        assert not p.complete
+        assert p.reason.startswith("cancelled")
+
+    def test_describe_names_inner_kernel(self):
+        ca = make_ca(Ring(12), MajorityRule(), backend="process", workers=3)
+        assert ca.backend.describe() == "process[bitplane x3]"
+
+
+class TestGovernedTripEquivalence:
+    """A states-cap trip leaves the same frontier whichever kernel ran."""
+
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_trip_and_resume_match_exact(self, backend, tmp_path):
+        ca = make_ca(Ring(17), MajorityRule(), backend=backend)
+        exact = PhaseSpace.from_automaton(
+            make_ca(Ring(17), MajorityRule(), backend="numpy")
+        )
+        p1 = build_phase_space(ca, budget=Budget(max_states=1 << 16))
+        assert not p1.complete
+        assert p1.explored == 1 << 16  # exactly one chunk, every backend
+        save_frontier(tmp_path, p1)
+        p2 = build_phase_space(
+            ca, budget=Budget(), frontier=load_frontier(tmp_path)
+        )
+        assert p2.complete
+        assert p2.value.summary() == exact.summary()
+
+
+class TestSelectionPolicy:
+    def test_explicit_name_wins(self):
+        ca = make_ca(Ring(9), MajorityRule(), backend="table")
+        assert ca.backend.name == "table"
+
+    def test_auto_prefers_bitplane_for_threshold(self):
+        ca = make_ca(Ring(9), MajorityRule())
+        assert ca.backend.name == "bitplane"
+
+    def test_auto_falls_back_below_bitplane_minimum(self):
+        # n=5 < 64-configuration words: bitplane refuses, auto moves on.
+        ca = make_ca(Ring(5), MajorityRule())
+        assert ca.backend.name in ("table", "numpy")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "table")
+        ca = make_ca(Ring(9), MajorityRule())
+        assert ca.backend.name == "table"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "table")
+        ca = make_ca(Ring(9), MajorityRule(), backend="numpy")
+        assert ca.backend.name == "numpy"
+
+    def test_unknown_name_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            make_ca(Ring(9), MajorityRule(), backend="simd")
+
+    def test_unsupported_explicit_backend_raises(self):
+        ca = make_ca(Ring(5), MajorityRule(), backend="bitplane")
+        with pytest.raises(BackendUnsupported, match="needs n >= 6"):
+            ca.backend  # resolution is lazy
+
+    def test_supports_reasons_are_strings(self):
+        ca = make_ca(Ring(5), MajorityRule())
+        reason = BitplaneBackend.supports(ca)
+        assert isinstance(reason, str) and "64" in reason
+
+    def test_resolve_serial_rejects_process(self):
+        ca = make_ca(Ring(9), MajorityRule())
+        with pytest.raises(ValueError, match="not a serial backend"):
+            resolve_serial_backend(ca, "process")
+
+    def test_registry_covers_all_names(self):
+        assert set(BACKENDS) == {"numpy", "table", "bitplane", "process"}
+
+    def test_auto_stays_serial_for_small_spaces(self):
+        backend = resolve_backend(make_ca(Ring(10), MajorityRule()), "auto",
+                                  workers=4)
+        assert not backend.is_sharded
+
+
+class TestBitKernelLowering:
+    def test_xor_lowers_to_parity(self):
+        kind, _ = lower_bit_kernel(XorRule(), 3)
+        assert kind == "parity"
+
+    def test_majority_lowers_to_profile(self):
+        kind, prof = lower_bit_kernel(MajorityRule(), 3)
+        assert kind == "profile"
+        assert list(prof) == [0, 0, 1, 1]
+
+    def test_arbitrary_table_lowers_to_sop(self):
+        kind, _ = lower_bit_kernel(WolframRule(110), 3)
+        assert kind in ("table", "profile", "parity")
+
+
+class TestPhaseSpaceIndexes:
+    """Satellite: vectorized to_networkx and the CSR predecessor index."""
+
+    def test_predecessors_match_bruteforce(self, majority_ring8):
+        ps = PhaseSpace.from_automaton(majority_ring8)
+        succ = ps.succ
+        for code in (0, 1, 37, 255):
+            expected = np.flatnonzero(succ == code)
+            np.testing.assert_array_equal(ps.predecessors(code), expected)
+
+    def test_predecessors_range_checked(self, majority_ring8):
+        ps = PhaseSpace.from_automaton(majority_ring8)
+        with pytest.raises(ValueError):
+            ps.predecessors(1 << 8)
+        with pytest.raises(ValueError):
+            ps.predecessors(-1)
+
+    def test_to_networkx_labels_and_edges(self, majority_ring8):
+        ps = PhaseSpace.from_automaton(majority_ring8)
+        g = ps.to_networkx()
+        assert g.number_of_nodes() == 256
+        assert g.number_of_edges() == 256
+        for code in (0, 1, 128, 255):
+            assert g.nodes[code]["label"] == config_str(code, 8)
+            assert list(g.successors(code)) == [int(ps.succ[code])]
+
+
+class TestConvergenceCode:
+    def test_fixed_point_code_packs_final_state(self, majority_ring8):
+        from repro.core.evolution import sequential_converge
+        from repro.core.schedules import FixedPermutation
+        from repro.util.bitops import bits_to_int
+
+        state = int_to_bits(0b11001100, 8)
+        res = sequential_converge(
+            majority_ring8, state, FixedPermutation(), max_updates=1000
+        )
+        assert res.converged
+        assert res.fixed_point_code == bits_to_int(res.final_state)
+        assert res.fixed_point_code == majority_ring8.pack(res.final_state)
