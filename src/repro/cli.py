@@ -17,6 +17,11 @@ Subcommands
 ``stats``
     Pretty-print the obs metrics snapshot (in-process, or from a run
     directory written via ``--artifacts-dir``).
+``fuzz``
+    Seeded differential fuzzing of the sweep backends against the
+    scalar oracle and the paper's theorems (``--self-test`` injects
+    known-bad mutant kernels; ``--replay finding.json`` re-checks a
+    recorded counterexample).
 
 Every subcommand accepts ``--trace`` (record tracing spans into the
 metrics registry) and ``--artifacts-dir DIR`` (persist the run as
@@ -289,8 +294,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the raw snapshot as JSON")
 
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing + invariant oracles (qa)",
+        description=(
+            "Seeded, deterministic fuzzing: random CA instances are run "
+            "through every applicable sweep backend and diffed against "
+            "the scalar oracle and the paper's theorems; failures shrink "
+            "to minimal replayable findings.  Exit code: 0 clean, 1 "
+            "findings (or a missed mutant under --self-test), 2 usage, "
+            "3 budget-truncated."
+        ),
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="master seed; case c of seed s is the same "
+                             "instance on every machine")
+    p_fuzz.add_argument("--cases", type=int, default=200, metavar="N",
+                        help="number of fuzz cases to run (default 200)")
+    p_fuzz.add_argument("--backends", default="auto", metavar="LIST",
+                        help="comma-separated sweep backends to diff "
+                             "(default 'auto': every applicable serial "
+                             "kernel — numpy, table, bitplane)")
+    p_fuzz.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="greedily minimise failing instances "
+                             "(--no-shrink keeps the raw counterexample)")
+    p_fuzz.add_argument("--max-findings", type=int, default=8, metavar="N",
+                        help="stop after N findings (default 8)")
+    p_fuzz.add_argument("--findings-dir", default=None, metavar="DIR",
+                        help="write each finding.json under DIR (default: "
+                             "<artifacts-dir>/findings when --artifacts-dir "
+                             "is given)")
+    p_fuzz.add_argument("--self-test", action="store_true",
+                        help="inject each known-bad mutant kernel and "
+                             "require the oracles to catch it and shrink "
+                             "the counterexample to n <= 6")
+    p_fuzz.add_argument("--replay", default=None, metavar="FILE",
+                        help="replay a finding.json instead of fuzzing: "
+                             "exit 0 if it no longer reproduces, 1 if it "
+                             "still fails")
+    _add_budget_args(p_fuzz)
+
     for p in (p_list, p_run, p_sim, p_ps, p_census, p_survey, p_report,
-              p_stats):
+              p_stats, p_fuzz):
         _add_obs_args(p)
 
     return parser
@@ -326,6 +371,21 @@ def _validate_args(args: argparse.Namespace) -> None:
     timeout = getattr(args, "timeout", None)
     if timeout is not None and timeout <= 0:
         raise SystemExit(f"--timeout must be positive, got {timeout:g}")
+    cases = getattr(args, "cases", None)
+    if cases is not None and cases < 1:
+        raise SystemExit(f"--cases must be >= 1, got {cases}")
+    max_findings = getattr(args, "max_findings", None)
+    if max_findings is not None and max_findings < 1:
+        raise SystemExit(f"--max-findings must be >= 1, got {max_findings}")
+    backends = getattr(args, "backends", None)
+    if backends is not None:
+        valid = {"auto", "numpy", "table", "bitplane", "process"}
+        for name in backends.split(","):
+            if name.strip() and name.strip() not in valid:
+                raise SystemExit(
+                    f"--backends: unknown sweep backend {name.strip()!r} "
+                    f"(choose from {', '.join(sorted(valid))})"
+                )
     wall = getattr(args, "budget_wall", None)
     if wall is not None and wall <= 0:
         raise SystemExit(f"--budget-wall must be positive, got {wall:g}")
@@ -605,6 +665,79 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace, out) -> int:
+    from repro import qa
+    from repro.qa.fuzz import SELF_TEST_MAX_N
+
+    backends = None
+    if args.backends and args.backends != "auto":
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    findings_dir = args.findings_dir
+    if findings_dir is None and getattr(args, "artifacts_dir", None):
+        findings_dir = os.path.join(args.artifacts_dir, "findings")
+
+    if args.replay:
+        try:
+            violation = qa.replay_finding(args.replay, backends=backends)
+        except (OSError, ValueError, KeyError) as err:
+            raise SystemExit(f"cannot replay {args.replay!r}: {err}") from err
+        if violation is None:
+            print(f"{args.replay}: check passes — finding no longer "
+                  f"reproduces", file=out)
+            return 0
+        print(f"{args.replay}: still failing", file=out)
+        print(json.dumps(violation, indent=2, sort_keys=True, default=str),
+              file=out)
+        return 1
+
+    if args.self_test:
+        results = qa.run_self_test(
+            seed=args.seed, cases=args.cases, backends=backends,
+            findings_dir=findings_dir,
+        )
+        all_ok = True
+        for name, res in results.items():
+            if res["caught"] and res["shrunk_n"] <= SELF_TEST_MAX_N:
+                print(f"  {name}: caught by {res['check']} after "
+                      f"{res['cases_run']} case(s), shrunk to "
+                      f"n={res['shrunk_n']}", file=out)
+            elif res["caught"]:
+                all_ok = False
+                print(f"  {name}: caught by {res['check']} but only "
+                      f"shrunk to n={res['shrunk_n']} "
+                      f"(want <= {SELF_TEST_MAX_N})", file=out)
+            else:
+                all_ok = False
+                print(f"  {name}: MISSED after {res['cases_run']} case(s)",
+                      file=out)
+        print(f"self-test: {len(results)} mutant kernels, "
+              f"{'all caught' if all_ok else 'ORACLE BLIND SPOT'}", file=out)
+        return 0 if all_ok else 1
+
+    report = qa.run_fuzz(
+        seed=args.seed, cases=args.cases, backends=backends,
+        shrink=args.shrink, max_findings=args.max_findings,
+        findings_dir=findings_dir,
+    )
+    names = ",".join(report.backends_seen) or "none"
+    print(f"fuzz seed={report.seed}: {report.cases_run}/"
+          f"{report.cases_requested} cases, backends [{names}], "
+          f"{len(report.findings)} finding(s)", file=out)
+    for finding in report.findings:
+        spec = qa.InstanceSpec.from_dict(finding.spec)
+        where = ""
+        if findings_dir is not None:
+            where = f" -> {os.path.join(findings_dir, finding.name + '.json')}"
+        print(f"  {finding.check}: {spec.describe()} "
+              f"[digest {finding.digest}]{where}", file=out)
+    if report.findings:
+        return 1
+    if report.truncated is not None:
+        print(f"budget exhausted — {report.truncated}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "list":
         return _cmd_list(out)
@@ -620,6 +753,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return _cmd_survey(args, out)
     if args.command == "stats":
         return _cmd_stats(args, out)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args, out)
     if args.command == "report":
         from repro.experiments.report import generate_report
 

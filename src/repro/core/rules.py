@@ -40,7 +40,7 @@ from repro.core.boolean import (
     wolfram_table,
     xor_function,
 )
-from repro.util.validation import check_positive
+from repro.util.validation import check_non_negative, check_positive
 
 __all__ = [
     "UpdateRule",
@@ -91,7 +91,7 @@ class UpdateRule(ABC):
             raise ValueError("symmetric rule needs an explicit arity")
         if self.arity is not None and k != self.arity:
             raise ValueError(f"rule has fixed arity {self.arity}, requested {k}")
-        check_positive(k, "arity")
+        check_non_negative(k, "arity")
         idx = np.arange(1 << k, dtype=np.uint32)
         table = np.empty(1 << k, dtype=np.uint8)
         for code in range(1 << k):
@@ -265,7 +265,7 @@ class MajorityRule(SymmetricRule):
             raise ValueError(f"ties must be 'zero' or 'one', got {ties!r}")
         self.ties = ties
         if arity is not None:
-            check_positive(arity, "arity")
+            check_non_negative(arity, "arity")
         self.arity = arity
 
     def decide(self, counts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -293,7 +293,7 @@ class SimpleThresholdRule(SymmetricRule):
             raise ValueError(f"threshold must be non-negative, got {threshold}")
         self.threshold = threshold
         if arity is not None:
-            check_positive(arity, "arity")
+            check_non_negative(arity, "arity")
         self.arity = arity
 
     def decide(self, counts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -313,7 +313,7 @@ class XorRule(SymmetricRule):
 
     def __init__(self, arity: int | None = None):
         if arity is not None:
-            check_positive(arity, "arity")
+            check_non_negative(arity, "arity")
         self.arity = arity
 
     def decide(self, counts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -332,8 +332,8 @@ class TotalisticRule(SymmetricRule):
 
     def __init__(self, profile: Sequence[int]):
         prof = np.asarray(profile, dtype=np.uint8).ravel()
-        if prof.size < 2:
-            raise ValueError("profile needs at least 2 entries (arity >= 1)")
+        if prof.size < 1:
+            raise ValueError("profile needs at least 1 entry (arity >= 0)")
         if not np.all(prof <= 1):
             raise ValueError("profile entries must be 0 or 1")
         self.profile = prof

@@ -213,6 +213,11 @@ def install_from_env(environ: Mapping[str, str] | None = None) -> bool:
     return True
 
 
+#: injectable sleep hook: tests patch this with a fake clock so hang and
+#: stall faults advance virtual time instead of blocking the suite
+_sleep = time.sleep
+
+
 def _hang_seconds() -> float:
     raw = os.environ.get(HANG_ENV_VAR, "").strip()
     try:
@@ -257,9 +262,9 @@ def inject(site: str) -> Fault | None:
     if fault.kind == "raise":
         raise FaultError(site, "raise")
     if fault.kind == "hang":
-        time.sleep(_hang_seconds())
+        _sleep(_hang_seconds())
         raise FaultError(site, "hang")
     if fault.kind == "stall":
-        time.sleep(_hang_seconds())
+        _sleep(_hang_seconds())
         return None
     return fault

@@ -69,6 +69,10 @@ STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
 STATUS_BUDGET = "budget"
 
+#: injectable sleep hook for the retry backoff: tests patch this with a
+#: fake clock so retry tests record delays instead of serving them
+_sleep = time.sleep
+
 #: Prefix marking the child's JSON result line on stdout (everything the
 #: experiment itself may print stays un-prefixed and is ignored).
 CHILD_SENTINEL = "REPRO_CHILD_RESULT:"
@@ -229,7 +233,7 @@ class ExperimentRunner:
                 break
             if attempt < attempts:
                 obs.inc("harness.retries")
-                time.sleep(self._backoff(attempt))
+                _sleep(self._backoff(attempt))
         last["attempts"] = attempt
         last["duration_s"] = time.perf_counter() - t0
         if self.checkpoint is not None:

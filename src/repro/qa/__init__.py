@@ -1,0 +1,70 @@
+"""Seeded differential fuzzing and invariant oracles (``repro fuzz``).
+
+The qa subsystem hunts for disagreements between the sweep backends and
+for violations of the paper's theorems on randomly generated instances:
+
+* :mod:`repro.qa.generators` — seeded random CA instances (rule
+  families, topologies, schedules) sized adaptively under a Budget;
+* :mod:`repro.qa.differential` — every applicable backend pair diffed
+  against the ``step_naive`` oracle, including the trip/resume path;
+* :mod:`repro.qa.oracles` — Lemma 1/2 cycle-freeness, Theorem 1
+  two-cycles, linear superposition, schedule-order independence;
+* :mod:`repro.qa.shrink` — greedy, deterministic counterexample
+  minimisation;
+* :mod:`repro.qa.findings` — byte-for-byte reproducible
+  ``finding.json`` artifacts with ready-to-paste pytest snippets;
+* :mod:`repro.qa.mutants` — known-bad kernels for the self-test.
+"""
+
+from repro.qa.differential import (
+    CHECKS,
+    Instance,
+    applicable_backends,
+    run_all_checks,
+    run_check,
+    run_first_violation,
+)
+from repro.qa.findings import Finding, canonical_json, spec_digest
+from repro.qa.fuzz import (
+    FuzzReport,
+    case_seed,
+    replay_finding,
+    replay_spec,
+    run_fuzz,
+    run_self_test,
+)
+from repro.qa.generators import (
+    InstanceSpec,
+    build_automaton,
+    build_rule,
+    build_schedule,
+    sample_spec,
+)
+from repro.qa.mutants import MUTANTS, active_mutant
+from repro.qa.shrink import shrink_spec
+
+__all__ = [
+    "CHECKS",
+    "Finding",
+    "FuzzReport",
+    "Instance",
+    "InstanceSpec",
+    "MUTANTS",
+    "active_mutant",
+    "applicable_backends",
+    "build_automaton",
+    "build_rule",
+    "build_schedule",
+    "canonical_json",
+    "case_seed",
+    "replay_finding",
+    "replay_spec",
+    "run_all_checks",
+    "run_check",
+    "run_first_violation",
+    "run_fuzz",
+    "run_self_test",
+    "sample_spec",
+    "shrink_spec",
+    "spec_digest",
+]

@@ -1,0 +1,310 @@
+"""Differential harness: every applicable backend against the scalar oracle.
+
+For one :class:`~repro.qa.generators.InstanceSpec` the harness builds the
+automaton once per applicable sweep backend and diffs, pairwise against
+the ``step_naive`` ground truth:
+
+* ``step_all`` — the full parallel successor array;
+* ``all_node_successors`` — the ``(n, 2**n)`` sequential update matrix;
+* phase-space digests — :meth:`PhaseSpace.summary` per backend;
+* the governed build and the trip/resume path — a frontier computed by
+  one backend is resumed by the *next* backend and must land on the same
+  phase space as the uninterrupted sweep;
+* scalar-vs-swept schedule steps — walking the instance's sequential
+  schedule via ``update_node`` must match composing node-successor rows.
+
+Each check returns a structured violation dict (or ``None``), keyed in
+:data:`CHECKS` so the shrinker and ``finding.json`` replay can re-run a
+single named check deterministically.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.budget import Budget
+from repro.core.phase_space import PhaseSpace, build_phase_space
+from repro.perf import BACKENDS
+from repro.qa.generators import InstanceSpec, build_automaton, build_schedule
+from repro.util.bitops import int_to_bits
+
+__all__ = [
+    "Instance",
+    "CHECKS",
+    "DIFFERENTIAL_CHECKS",
+    "applicable_backends",
+    "run_check",
+    "run_first_violation",
+    "run_all_checks",
+]
+
+#: serial backends eligible for auto-selection in the harness (the
+#: ``process`` shard layer forks per sweep — include it explicitly via
+#: ``backends=[..., "process"]`` when that cost is wanted)
+AUTO_BACKENDS = ("numpy", "table", "bitplane")
+
+#: how many mismatching codes a violation records (enough to eyeball,
+#: small enough to keep finding.json readable)
+_MAX_DIFF_CODES = 4
+
+
+def applicable_backends(
+    spec: InstanceSpec, requested: list[str] | None = None
+) -> list[str]:
+    """Backends that support this instance, in deterministic order."""
+    ca = build_automaton(spec)
+    names = list(requested) if requested else list(AUTO_BACKENDS)
+    out = []
+    for name in names:
+        if name == "auto":
+            continue
+        cls = BACKENDS[name]
+        if cls.supports(ca) is None:
+            out.append(name)
+    return out
+
+
+class Instance:
+    """One built fuzz case: lazily computed per-backend sweep results."""
+
+    def __init__(self, spec: InstanceSpec, backends: list[str] | None = None):
+        self.spec = spec
+        self.ca = build_automaton(spec)  # scalar/default-path automaton
+        self.backends = applicable_backends(spec, backends)
+
+    @cached_property
+    def cas(self) -> dict:
+        return {
+            name: build_automaton(self.spec, backend=name)
+            for name in self.backends
+        }
+
+    # -- ground truth ----------------------------------------------------------
+
+    @cached_property
+    def oracle_succ(self) -> np.ndarray:
+        """Parallel successors via the scalar ``step_naive`` path."""
+        n = self.ca.n
+        out = np.empty(1 << n, dtype=np.int64)
+        for code in range(1 << n):
+            out[code] = self.ca.pack(self.ca.step_naive(int_to_bits(code, n)))
+        return out
+
+    @cached_property
+    def oracle_node_succ(self) -> np.ndarray:
+        """Sequential node successors derived from the parallel oracle.
+
+        Updating node ``i`` alone replaces bit ``i`` with bit ``i`` of the
+        full parallel image (each node reads only the *current* state).
+        """
+        n = self.ca.n
+        codes = np.arange(1 << n, dtype=np.int64)
+        changed = codes ^ self.oracle_succ
+        out = np.empty((n, 1 << n), dtype=np.int64)
+        for i in range(n):
+            out[i] = codes ^ (((changed >> i) & 1) << i)
+        return out
+
+    @cached_property
+    def oracle_digest(self) -> dict:
+        return PhaseSpace(self.oracle_succ, self.ca.n).summary()
+
+
+def _diff_codes(expected: np.ndarray, got: np.ndarray) -> dict:
+    codes = np.flatnonzero(expected != got)[:_MAX_DIFF_CODES]
+    return {
+        "mismatches": int(np.count_nonzero(expected != got)),
+        "codes": [int(c) for c in codes],
+        "expected": [int(expected[c]) for c in codes],
+        "got": [int(got[c]) for c in codes],
+    }
+
+
+# -- differential checks -------------------------------------------------------
+
+
+def check_step_all(inst: Instance):
+    for name in inst.backends:
+        got = inst.cas[name].step_all()
+        if not np.array_equal(got, inst.oracle_succ):
+            return {
+                "backend": name,
+                "vs": "step_naive",
+                **_diff_codes(inst.oracle_succ, got),
+            }
+    return None
+
+
+def check_node_successors(inst: Instance):
+    mid = inst.ca.n // 2
+    for name in inst.backends:
+        ca = inst.cas[name]
+        got = ca.all_node_successors()
+        if not np.array_equal(got, inst.oracle_node_succ):
+            rows = np.flatnonzero(
+                (got != inst.oracle_node_succ).any(axis=1)
+            )
+            i = int(rows[0])
+            return {
+                "backend": name,
+                "vs": "step_naive",
+                "path": "sweep_all_nodes",
+                "node": i,
+                **_diff_codes(inst.oracle_node_succ[i], got[i]),
+            }
+        # The single-row chunk kernel is a distinct code path from the
+        # shared one-pass sweep: diff one representative row through it.
+        row = ca.node_successors(mid)
+        if not np.array_equal(row, inst.oracle_node_succ[mid]):
+            return {
+                "backend": name,
+                "vs": "step_naive",
+                "path": "node_successors_row",
+                "node": mid,
+                **_diff_codes(inst.oracle_node_succ[mid], row),
+            }
+    return None
+
+
+def check_phase_digest(inst: Instance):
+    seen: dict[bytes, dict] = {}
+    for name in inst.backends:
+        succ = np.asarray(inst.cas[name].step_all())
+        key = succ.tobytes()
+        if key not in seen:
+            seen[key] = PhaseSpace(succ, inst.ca.n).summary()
+        digest = seen[key]
+        if digest != inst.oracle_digest:
+            return {
+                "backend": name,
+                "vs": "step_naive",
+                "digest": digest,
+                "expected_digest": inst.oracle_digest,
+            }
+    return None
+
+
+def check_trip_resume(inst: Instance):
+    """A frontier cut by one backend, resumed by the next, must agree."""
+    n = inst.ca.n
+    total = 1 << n
+    lo = total // 2
+    codes = np.arange(lo, dtype=np.int64)
+    for idx, name in enumerate(inst.backends):
+        ca_a = inst.cas[name]
+        ca_b = inst.cas[inst.backends[(idx + 1) % len(inst.backends)]]
+        succ = np.empty(total, dtype=np.int64)
+        succ[:lo] = ca_a.step_all_range(0, lo)
+        frontier = {
+            "kind": "phase_space",
+            "n": n,
+            "next_lo": lo,
+            "fixed_points_so_far": int(np.count_nonzero(succ[:lo] == codes)),
+            "succ": succ,
+        }
+        partial = build_phase_space(ca_b, budget=Budget(), frontier=frontier)
+        if not partial.complete:
+            return {
+                "backend": name,
+                "resumed_by": ca_b.backend.name,
+                "error": f"resumed build truncated: {partial.reason}",
+            }
+        if not np.array_equal(partial.value.succ, inst.oracle_succ):
+            return {
+                "backend": name,
+                "resumed_by": ca_b.backend.name,
+                "vs": "step_naive",
+                **_diff_codes(inst.oracle_succ, partial.value.succ),
+            }
+        expect_fp = int(
+            np.count_nonzero(
+                inst.oracle_succ == np.arange(total, dtype=np.int64)
+            )
+        )
+        if int(partial.stats.get("fixed_points", -1)) != expect_fp:
+            return {
+                "backend": name,
+                "resumed_by": ca_b.backend.name,
+                "error": "resumed fixed-point count diverged",
+                "expected": expect_fp,
+                "got": int(partial.stats.get("fixed_points", -1)),
+            }
+    return None
+
+
+def check_schedule_step(inst: Instance):
+    """Scalar ``update_node`` walk vs node-successor composition."""
+    schedule = build_schedule(inst.spec.schedule, inst.spec.n)
+    if not schedule.is_sequential:
+        return None
+    n = inst.ca.n
+    rng = np.random.default_rng(inst.spec.seed)
+    state = rng.integers(0, 2, size=n).astype(np.uint8)
+    code = int(inst.ca.pack(state))
+    node_succ = inst.oracle_node_succ
+    blocks = schedule.blocks(n)
+    trail = []
+    for _ in range(2 * n):
+        (i,) = next(blocks)
+        state = inst.ca.update_node(state, i)
+        code = int(node_succ[i][code])
+        trail.append((int(i), code))
+        if int(inst.ca.pack(state)) != code:
+            return {
+                "vs": "update_node",
+                "node": int(i),
+                "expected": int(inst.ca.pack(state)),
+                "got": code,
+                "trail": trail[-3:],
+            }
+    return None
+
+
+from repro.qa.oracles import ORACLE_CHECKS  # noqa: E402  (registry assembly)
+
+DIFFERENTIAL_CHECKS = {
+    "differential.step_all": check_step_all,
+    "differential.node_successors": check_node_successors,
+    "differential.phase_digest": check_phase_digest,
+    "differential.trip_resume": check_trip_resume,
+    "differential.schedule_step": check_schedule_step,
+}
+
+#: full registry, in deterministic execution order
+CHECKS = {**DIFFERENTIAL_CHECKS, **ORACLE_CHECKS}
+
+
+def run_check(
+    spec: InstanceSpec, name: str, backends: list[str] | None = None
+):
+    """Run one named check on a fresh instance; violation dict or None."""
+    if name not in CHECKS:
+        raise ValueError(f"unknown qa check {name!r}")
+    inst = Instance(spec, backends)
+    if not inst.backends:
+        return None
+    return CHECKS[name](inst)
+
+
+def run_first_violation(
+    spec: InstanceSpec, backends: list[str] | None = None
+):
+    """Run all checks in order; return ``(name, violation)`` or None."""
+    inst = Instance(spec, backends)
+    if not inst.backends:
+        return None
+    for name, fn in CHECKS.items():
+        violation = fn(inst)
+        if violation is not None:
+            return name, violation
+    return None
+
+
+def run_all_checks(
+    spec: InstanceSpec, backends: list[str] | None = None
+) -> dict:
+    """All checks on one instance: name -> violation|None (tests/debug)."""
+    inst = Instance(spec, backends)
+    return {name: fn(inst) for name, fn in CHECKS.items()}

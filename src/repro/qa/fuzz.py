@@ -1,0 +1,211 @@
+"""The fuzz driver: seeded case loop, budget governance, self-test.
+
+``run_fuzz`` derives one independent sub-seed per case from the master
+seed (via :class:`numpy.random.SeedSequence`, so case ``c`` of seed ``s``
+is the same instance on every machine), samples an instance under the
+ambient budget, runs the check registry, and shrinks whatever fails.
+Everything is observable: ``qa.*`` counters and spans flow through the
+obs stack, findings serialise as run artifacts.
+
+``run_self_test`` proves the oracles have teeth: each mutant kernel from
+:mod:`repro.qa.mutants` is installed in turn and the loop must catch it
+and shrink the counterexample to ``n <= 6``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core.budget import Budget, resolve_budget
+from repro.qa.differential import (
+    CHECKS,
+    Instance,
+    applicable_backends,
+    run_check,
+    run_first_violation,
+)
+from repro.qa.findings import Finding
+from repro.qa.generators import InstanceSpec, sample_spec
+from repro.qa.mutants import MUTANTS, active_mutant
+from repro.qa.shrink import shrink_spec
+
+__all__ = [
+    "FuzzReport",
+    "run_fuzz",
+    "run_self_test",
+    "replay_spec",
+    "replay_finding",
+    "case_seed",
+    "DEFAULT_MAX_FINDINGS",
+    "SELF_TEST_MAX_N",
+]
+
+#: the fuzz loop stops after this many findings (each one is shrunk,
+#: which re-runs the failing check many times)
+DEFAULT_MAX_FINDINGS = 8
+
+#: acceptance bar for the self-test: every mutant must shrink to n <= 6
+SELF_TEST_MAX_N = 6
+
+
+def case_seed(seed: int, case: int) -> int:
+    """Deterministic, machine-independent sub-seed for one fuzz case."""
+    state = np.random.SeedSequence([int(seed), int(case)]).generate_state(1)
+    return int(state[0])
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seed: int
+    cases_requested: int
+    cases_run: int = 0
+    findings: list = field(default_factory=list)
+    truncated: str | None = None  #: budget trip reason, if the loop stopped early
+    backends_seen: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases_requested": self.cases_requested,
+            "cases_run": self.cases_run,
+            "findings": len(self.findings),
+            "truncated": self.truncated,
+            "backends_seen": sorted(self.backends_seen),
+        }
+
+
+def run_fuzz(
+    seed: int = 0,
+    cases: int = 100,
+    backends: list[str] | None = None,
+    shrink: bool = True,
+    budget: Budget | None = None,
+    max_findings: int = DEFAULT_MAX_FINDINGS,
+    findings_dir: str | Path | None = None,
+    max_n: int | None = None,
+) -> FuzzReport:
+    """Run the seeded fuzz loop; returns the (deterministic) report."""
+    budget = resolve_budget(budget)
+    report = FuzzReport(seed=int(seed), cases_requested=int(cases))
+    seen_backends: set[str] = set()
+    for case in range(cases):
+        reason = budget.over()
+        if reason is not None:
+            report.truncated = reason
+            break
+        if len(report.findings) >= max_findings:
+            break
+        spec = sample_spec(case_seed(seed, case), budget=budget, max_n=max_n)
+        with obs.span(
+            "qa.case", case=case, seed=spec.seed, instance=spec.describe()
+        ) as sp:
+            obs.inc("qa.cases")
+            inst = Instance(spec, backends)
+            seen_backends.update(inst.backends)
+            report.cases_run += 1
+            hit = None
+            if inst.backends:
+                for name, fn in CHECKS.items():
+                    violation = fn(inst)
+                    if violation is not None:
+                        hit = (name, violation)
+                        break
+            if hit is None:
+                continue
+            check, violation = hit
+            obs.inc("qa.findings")
+            sp.set(check=check)
+            original = spec
+            steps = 0
+            if shrink:
+                with obs.span("qa.shrink", check=check):
+                    spec, steps = shrink_spec(spec, check, backends)
+                    violation = run_check(spec, check, backends) or violation
+            finding = Finding(
+                check=check,
+                detail=violation,
+                spec=spec.to_dict(),
+                backends=applicable_backends(spec, backends),
+                shrunk=steps > 0,
+                shrink_steps=steps,
+                original_spec=(
+                    original.to_dict() if steps > 0 else None
+                ),
+            )
+            report.findings.append(finding)
+            if findings_dir is not None:
+                finding.save(findings_dir)
+    report.backends_seen = sorted(seen_backends)
+    return report
+
+
+def run_self_test(
+    seed: int = 0,
+    cases: int = 400,
+    backends: list[str] | None = None,
+    findings_dir: str | Path | None = None,
+) -> dict:
+    """Fuzz with each mutant kernel installed; all must be caught.
+
+    Returns ``{mutant: {"caught", "shrunk_n", "check", "cases_run"}}``.
+    """
+    results: dict[str, dict] = {}
+    for name in MUTANTS:
+        with obs.span("qa.self_test", mutant=name):
+            with active_mutant(name):
+                report = run_fuzz(
+                    seed=seed,
+                    cases=cases,
+                    backends=backends,
+                    shrink=True,
+                    max_findings=1,
+                    findings_dir=findings_dir,
+                )
+        if report.findings:
+            finding = report.findings[0]
+            results[name] = {
+                "caught": True,
+                "check": finding.check,
+                "shrunk_n": int(finding.spec["n"]),
+                "cases_run": report.cases_run,
+                "digest": finding.digest,
+            }
+            obs.inc("qa.mutants_caught")
+        else:
+            results[name] = {
+                "caught": False,
+                "cases_run": report.cases_run,
+                "truncated": report.truncated,
+            }
+            obs.inc("qa.mutants_missed")
+    return results
+
+
+def replay_spec(
+    spec: dict | InstanceSpec,
+    check: str | None = None,
+    backends: list[str] | None = None,
+):
+    """Re-run one check (or all) on a spec; first violation or None."""
+    if isinstance(spec, dict):
+        spec = InstanceSpec.from_dict(spec)
+    if check is not None:
+        return run_check(spec, check, backends)
+    hit = run_first_violation(spec, backends)
+    return None if hit is None else hit[1]
+
+
+def replay_finding(path: str | Path, backends: list[str] | None = None):
+    """Replay a ``finding.json``; the violation dict, or None if fixed."""
+    finding = Finding.load(path)
+    return replay_spec(finding.spec, check=finding.check, backends=backends)

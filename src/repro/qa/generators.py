@@ -1,0 +1,262 @@
+"""Seeded random CA instances for differential fuzzing.
+
+An :class:`InstanceSpec` is a plain-JSON description of one fuzz case —
+space, size, rule(s), schedule — explicit enough that the shrinker can
+edit any field and a ``finding.json`` can rebuild the exact automaton
+years later.  Sampling is driven by a :class:`numpy.random.Generator`
+seeded from the spec's own seed, and sizes are drawn *adaptively under a
+Budget*: the generator never proposes an instance whose full sweep set
+(``(n+2) * 2**n`` states and their arrays) would blow the ambient
+ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.automaton import CellularAutomaton
+from repro.core.budget import Budget, resolve_budget
+from repro.core.heterogeneous import HeterogeneousCA
+from repro.core.rules import (
+    MajorityRule,
+    SimpleThresholdRule,
+    TableRule,
+    TotalisticRule,
+    UpdateRule,
+    WolframRule,
+    XorRule,
+)
+from repro.core.schedules import (
+    BlockSequential,
+    FixedPermutation,
+    FixedWord,
+    RandomPermutationSweeps,
+    UpdateSchedule,
+)
+from repro.spaces.line import Line, Ring
+
+__all__ = [
+    "InstanceSpec",
+    "build_rule",
+    "build_schedule",
+    "build_automaton",
+    "sample_spec",
+    "max_feasible_n",
+    "MIN_N",
+    "DEFAULT_MAX_N",
+]
+
+#: smallest instance the sampler proposes (radius-2 rings need 2r+1 = 5)
+MIN_N = 4
+#: largest instance the sampler proposes when the budget allows it —
+#: 2**8 configurations keeps the scalar step_naive oracle a few ms/case
+DEFAULT_MAX_N = 8
+
+
+@dataclass
+class InstanceSpec:
+    """A fully explicit, JSON-serialisable fuzz instance."""
+
+    seed: int
+    space: str  #: "ring" | "line"
+    n: int
+    radius: int
+    memory: bool
+    rules: list  #: rule spec dicts; length 1 = homogeneous, length n = per-node
+    schedule: dict  #: schedule spec dict
+    def to_dict(self) -> dict:
+        return {
+            "seed": int(self.seed),
+            "space": self.space,
+            "n": int(self.n),
+            "radius": int(self.radius),
+            "memory": bool(self.memory),
+            "rules": [dict(r) for r in self.rules],
+            "schedule": dict(self.schedule),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InstanceSpec":
+        return cls(
+            seed=int(data["seed"]),
+            space=str(data["space"]),
+            n=int(data["n"]),
+            radius=int(data["radius"]),
+            memory=bool(data["memory"]),
+            rules=[dict(r) for r in data["rules"]],
+            schedule=dict(data["schedule"]),
+        )
+
+    @property
+    def width(self) -> int:
+        """Uniform window width of this instance."""
+        return 2 * self.radius + (1 if self.memory else 0)
+
+    def describe(self) -> str:
+        kinds = ",".join(sorted({r["kind"] for r in self.rules}))
+        return (
+            f"{self.space}(n={self.n},r={self.radius},"
+            f"mem={int(self.memory)}) rules[{kinds}] "
+            f"sched[{self.schedule['kind']}]"
+        )
+
+
+# -- builders ------------------------------------------------------------------
+
+
+def build_rule(spec: dict, width: int) -> UpdateRule:
+    """Instantiate one rule spec at the instance's window width."""
+    kind = spec["kind"]
+    if kind == "majority":
+        return MajorityRule()
+    if kind == "threshold":
+        return SimpleThresholdRule(int(spec["threshold"]))
+    if kind == "xor":
+        return XorRule()
+    if kind == "totalistic":
+        return TotalisticRule(list(spec["profile"]))
+    if kind == "wolfram":
+        return WolframRule(int(spec["number"]))
+    if kind == "table":
+        return TableRule(list(spec["table"]), name=f"FuzzTable(k={width})")
+    raise ValueError(f"unknown rule kind {kind!r}")
+
+
+def build_schedule(spec: dict, n: int) -> UpdateSchedule:
+    """Instantiate a schedule spec for ``n`` nodes."""
+    kind = spec["kind"]
+    if kind == "perm":
+        return FixedPermutation(list(spec["perm"]))
+    if kind == "word":
+        return FixedWord(list(spec["word"]))
+    if kind == "block":
+        return BlockSequential([list(b) for b in spec["partition"]])
+    if kind == "sweeps":
+        return RandomPermutationSweeps(seed=int(spec["seed"]))
+    raise ValueError(f"unknown schedule kind {kind!r}")
+
+
+def build_automaton(spec: InstanceSpec, backend: str | None = None):
+    """Rebuild the automaton an :class:`InstanceSpec` describes."""
+    if spec.space == "ring":
+        space = Ring(spec.n, radius=spec.radius)
+    elif spec.space == "line":
+        space = Line(spec.n, radius=spec.radius)
+    else:
+        raise ValueError(f"unknown space kind {spec.space!r}")
+    width = spec.width
+    if len(spec.rules) == 1:
+        rule = build_rule(spec.rules[0], width)
+        return CellularAutomaton(
+            space, rule, memory=spec.memory, backend=backend
+        )
+    if len(spec.rules) != spec.n:
+        raise ValueError(
+            f"heterogeneous spec needs 1 or {spec.n} rules, got "
+            f"{len(spec.rules)}"
+        )
+    # Share rule objects across nodes with identical specs so backend
+    # LUT deduplication (keyed by id) still applies.
+    cache: dict[bytes, UpdateRule] = {}
+    rules = []
+    for rspec in spec.rules:
+        key = repr(sorted(rspec.items())).encode()
+        if key not in cache:
+            cache[key] = build_rule(rspec, width)
+        rules.append(cache[key])
+    return HeterogeneousCA(space, rules, memory=spec.memory, backend=backend)
+
+
+# -- sampling ------------------------------------------------------------------
+
+
+def max_feasible_n(budget: Budget | None, ceiling: int = DEFAULT_MAX_N) -> int:
+    """Largest ``n <= ceiling`` whose full sweep set fits the budget.
+
+    One case holds the parallel successor array plus the ``(n, 2**n)``
+    node-successor matrix, so the projected footprint is about
+    ``(n + 2) * 8 * 2**n`` bytes and ``(n + 2) * 2**n`` states.
+    """
+    budget = resolve_budget(budget)
+    for n in range(ceiling, MIN_N - 1, -1):
+        states = (n + 2) * (1 << n)
+        if budget.over(pending_bytes=8 * states, pending_states=states) is None:
+            return n
+    return MIN_N
+
+
+def _sample_rule(rng: np.random.Generator, width: int) -> dict:
+    kinds = ["majority", "threshold", "xor", "totalistic", "table"]
+    weights = [0.22, 0.22, 0.16, 0.2, 0.2]
+    if width == 3:
+        kinds.append("wolfram")
+        weights.append(0.1)
+    weights = np.asarray(weights) / np.sum(weights)
+    kind = str(rng.choice(kinds, p=weights))
+    if kind == "threshold":
+        return {"kind": "threshold", "threshold": int(rng.integers(0, width + 2))}
+    if kind == "totalistic":
+        profile = rng.integers(0, 2, size=width + 1)
+        return {"kind": "totalistic", "profile": [int(b) for b in profile]}
+    if kind == "table":
+        table = rng.integers(0, 2, size=1 << width)
+        return {"kind": "table", "table": [int(b) for b in table]}
+    if kind == "wolfram":
+        return {"kind": "wolfram", "number": int(rng.integers(0, 256))}
+    return {"kind": kind}
+
+
+def _sample_schedule(rng: np.random.Generator, n: int) -> dict:
+    kind = str(
+        rng.choice(["perm", "word", "block", "sweeps"], p=[0.4, 0.2, 0.2, 0.2])
+    )
+    if kind == "perm":
+        return {"kind": "perm", "perm": [int(i) for i in rng.permutation(n)]}
+    if kind == "word":
+        length = int(rng.integers(n, 2 * n + 1))
+        return {
+            "kind": "word",
+            "word": [int(i) for i in rng.integers(0, n, size=length)],
+        }
+    if kind == "block":
+        labels = rng.integers(0, max(2, n // 2), size=n)
+        partition = [
+            [int(i) for i in np.flatnonzero(labels == lab)]
+            for lab in np.unique(labels)
+        ]
+        return {"kind": "block", "partition": partition}
+    return {"kind": "sweeps", "seed": int(rng.integers(0, 1 << 31))}
+
+
+def sample_spec(
+    seed: int,
+    budget: Budget | None = None,
+    max_n: int | None = None,
+) -> InstanceSpec:
+    """Draw one instance spec, deterministically from ``seed``."""
+    rng = np.random.default_rng(seed)
+    ceiling = max_n if max_n is not None else DEFAULT_MAX_N
+    hi = max_feasible_n(budget, ceiling=max(MIN_N, ceiling))
+    n = int(rng.integers(MIN_N, hi + 1))
+    space = "ring" if rng.random() < 0.6 else "line"
+    radius = 2 if (rng.random() < 0.2 and n >= 5) else 1
+    if space == "ring" and n < 2 * radius + 1:
+        radius = 1
+    memory = bool(rng.random() < 0.7)
+    width = 2 * radius + (1 if memory else 0)
+    if rng.random() < 0.15:
+        rules = [_sample_rule(rng, width) for _ in range(n)]
+    else:
+        rules = [_sample_rule(rng, width)]
+    schedule = _sample_schedule(rng, n)
+    return InstanceSpec(
+        seed=int(seed),
+        space=space,
+        n=n,
+        radius=radius,
+        memory=memory,
+        rules=rules,
+        schedule=schedule,
+    )

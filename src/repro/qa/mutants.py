@@ -1,0 +1,105 @@
+"""Known-bad mutant kernels: the fuzzer's self-test.
+
+Each mutant monkey-patches one backend kernel with a subtly wrong
+variant of the real implementation — the kind of off-by-one a kernel
+rewrite could plausibly introduce.  ``repro fuzz --self-test`` runs the
+fuzz loop with each mutant active and demands that the differential
+harness catches it and shrinks the counterexample to ``n <= 6``; a
+mutant that survives means the oracles have a blind spot.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.perf.bitplane import BitplaneBackend
+from repro.perf.table import TableBackend
+
+__all__ = ["MUTANTS", "active_mutant"]
+
+
+def _mutant_table_wrap(cls=TableBackend):
+    """Off-by-one in the table backend's wrapped-window rotation."""
+    original = cls._wcodes
+
+    def _wcodes(self, i, codes):
+        rot = self._rot[i]
+        if rot is not None:
+            shift, k = rot
+            if shift != 0 and shift + k > self.ca.n:
+                mask = np.int64((1 << k) - 1)
+                low = codes & np.int64((1 << shift) - 1)
+                # BUG: rotates one bit short of the true wrap distance.
+                rotated = (codes >> shift) | (
+                    low << max(0, self.ca.n - shift - 1)
+                )
+                return rotated & mask
+        return original(self, i, codes)
+
+    return [(cls, "_wcodes", _wcodes)]
+
+
+def _mutant_table_stale_bit(cls=TableBackend):
+    """Node successor XORs the new bit instead of replacing the old one.
+
+    Patches both node-successor kernels (the single-row chunk path and
+    the shared one-pass sweep), as a copy-paste bug plausibly would.
+    """
+
+    def node_successors_range(self, i, lo, hi):
+        codes = np.arange(lo, hi, dtype=np.int64)
+        new_bits = self._luts[i][self._wcodes(i, codes)].astype(np.int64)
+        # BUG: flips bit i whenever the new bit is 1, rather than
+        # whenever it differs from the old bit.
+        return codes ^ (new_bits << i)
+
+    def sweep_all_nodes_range(self, lo, hi, out):
+        for i in range(self.ca.n):
+            out[i] = node_successors_range(self, i, lo, hi)
+
+    return [
+        (cls, "node_successors_range", node_successors_range),
+        (cls, "sweep_all_nodes_range", sweep_all_nodes_range),
+    ]
+
+
+def _mutant_bitplane_parity_drop(cls=BitplaneBackend):
+    """Bit-plane parity kernel forgets the last input plane."""
+    original = cls._eval_kernel
+
+    def _eval_kernel(self, kernel, inputs, nwords):
+        kind, _ = kernel
+        if kind == "parity" and len(inputs) > 1:
+            out = np.zeros(nwords, dtype=np.uint64)
+            for plane in inputs[:-1]:  # BUG: one plane short
+                out ^= plane
+            return out
+        return original(self, kernel, inputs, nwords)
+
+    return [(cls, "_eval_kernel", _eval_kernel)]
+
+
+#: name -> patch factory returning [(class, attribute, replacement), ...]
+MUTANTS = {
+    "table-wrap-rotation": _mutant_table_wrap,
+    "table-stale-bit": _mutant_table_stale_bit,
+    "bitplane-parity-drop": _mutant_bitplane_parity_drop,
+}
+
+
+@contextmanager
+def active_mutant(name: str):
+    """Install a named mutant kernel for the duration of the context."""
+    if name not in MUTANTS:
+        raise ValueError(f"unknown mutant {name!r}")
+    patches = MUTANTS[name]()
+    originals = [(cls, attr, cls.__dict__[attr]) for cls, attr, _ in patches]
+    for cls, attr, replacement in patches:
+        setattr(cls, attr, replacement)
+    try:
+        yield name
+    finally:
+        for cls, attr, original in originals:
+            setattr(cls, attr, original)

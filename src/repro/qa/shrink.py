@@ -1,0 +1,146 @@
+"""Greedy counterexample shrinking.
+
+Given a spec that fails a named check, repeatedly try simpler variants —
+fewer nodes, radius 1, homogeneous rules, rules replaced by MAJORITY or
+XOR, canonical sweep schedules — keeping a variant only if the check
+still fails *deterministically* (two fresh re-runs produce the identical
+violation).  The candidate order is fixed, so the same failing spec
+always shrinks to the same minimal finding.
+"""
+
+from __future__ import annotations
+
+from repro.qa.differential import run_check
+from repro.qa.findings import canonical_json
+from repro.qa.generators import InstanceSpec, build_automaton
+
+__all__ = ["shrink_spec", "shrink_candidates"]
+
+#: overall cap on candidate evaluations per shrink (each evaluation runs
+#: the failing check twice)
+MAX_ATTEMPTS = 200
+
+
+def _with(spec: InstanceSpec, **changes) -> InstanceSpec:
+    data = spec.to_dict()
+    data.update(changes)
+    return InstanceSpec.from_dict(data)
+
+
+def _shrink_schedule_to_n(schedule: dict, n: int) -> dict:
+    """Remap a schedule spec onto the first ``n`` nodes."""
+    kind = schedule["kind"]
+    if kind == "perm":
+        perm = [i for i in schedule["perm"] if i < n]
+        return {"kind": "perm", "perm": perm or list(range(n))}
+    if kind == "word":
+        word = [i for i in schedule["word"] if i < n]
+        return {"kind": "word", "word": word or [0]}
+    if kind == "block":
+        partition = [
+            [i for i in block if i < n] for block in schedule["partition"]
+        ]
+        partition = [b for b in partition if b]
+        if sorted(i for b in partition for i in b) != list(range(n)):
+            partition = [[i] for i in range(n)]
+        return {"kind": "block", "partition": partition}
+    return dict(schedule)
+
+
+def _shrink_rule_to_width(rule: dict, width: int) -> dict:
+    """Project a rule spec down to a smaller window width."""
+    kind = rule["kind"]
+    if kind == "totalistic":
+        return {"kind": "totalistic", "profile": rule["profile"][: width + 1]}
+    if kind == "table":
+        return {"kind": "table", "table": rule["table"][: 1 << width]}
+    if kind == "threshold":
+        return {
+            "kind": "threshold",
+            "threshold": min(int(rule["threshold"]), width + 1),
+        }
+    if kind == "wolfram" and width != 3:
+        return {"kind": "majority"}
+    return dict(rule)
+
+
+def shrink_candidates(spec: InstanceSpec):
+    """Simpler variants of ``spec``, most aggressive first."""
+    min_n = 2 * spec.radius + 1 if spec.space == "ring" else 1
+    min_n = max(min_n, 2)
+    # 1. shrink n (big halving step first, then decrement)
+    for new_n in dict.fromkeys([max(min_n, spec.n // 2), spec.n - 1]):
+        if min_n <= new_n < spec.n:
+            rules = spec.rules
+            if len(rules) > 1:
+                rules = rules[:new_n]
+            yield _with(
+                spec,
+                n=new_n,
+                rules=rules,
+                schedule=_shrink_schedule_to_n(spec.schedule, new_n),
+            )
+    # 2. radius 2 -> 1 (projects every rule to the narrower window)
+    if spec.radius > 1:
+        new_width = 2 * 1 + (1 if spec.memory else 0)
+        yield _with(
+            spec,
+            radius=1,
+            rules=[_shrink_rule_to_width(r, new_width) for r in spec.rules],
+        )
+    # 3. heterogeneous -> homogeneous
+    if len(spec.rules) > 1:
+        yield _with(spec, rules=[spec.rules[0]])
+    # 4. simplify rules toward MAJORITY, then XOR
+    for target in ({"kind": "majority"}, {"kind": "xor"}):
+        if any(r != target for r in spec.rules):
+            yield _with(spec, rules=[dict(target)] * len(spec.rules))
+    # 5. canonical sweep schedule, then shorter words
+    identity = {"kind": "perm", "perm": list(range(spec.n))}
+    if spec.schedule != identity:
+        yield _with(spec, schedule=identity)
+    if spec.schedule["kind"] == "word" and len(spec.schedule["word"]) > 1:
+        word = spec.schedule["word"]
+        yield _with(spec, schedule={"kind": "word", "word": word[: len(word) // 2]})
+
+
+def _fails_deterministically(
+    spec: InstanceSpec, check: str, backends
+) -> bool:
+    try:
+        build_automaton(spec)
+    except (ValueError, TypeError):
+        return False
+    first = run_check(spec, check, backends)
+    if first is None:
+        return False
+    second = run_check(spec, check, backends)
+    return (
+        second is not None
+        and canonical_json(first) == canonical_json(second)
+    )
+
+
+def shrink_spec(
+    spec: InstanceSpec,
+    check: str,
+    backends: list[str] | None = None,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> tuple[InstanceSpec, int]:
+    """Greedily minimise ``spec`` for ``check``; (minimal spec, steps)."""
+    current = spec
+    steps = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in shrink_candidates(current):
+            attempts += 1
+            if _fails_deterministically(candidate, check, backends):
+                current = candidate
+                steps += 1
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current, steps

@@ -1,6 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Seeding: every randomized fixture derives from :func:`session_seed`,
+which honors the ``REPRO_SEED`` environment variable — the same variable
+the harness uses for retry-jitter seeding — so a CI failure log's seed
+reproduces the identical run locally, verbatim.
+"""
 
 from __future__ import annotations
+
+import os
+import threading
 
 import networkx as nx
 import numpy as np
@@ -11,11 +20,29 @@ from repro.core.rules import MajorityRule, XorRule
 from repro.spaces.graph import GraphSpace
 from repro.spaces.line import Ring
 
+#: default seed when REPRO_SEED is unset (the paper's publication date)
+DEFAULT_SEED = 20040426
+
+
+def session_seed() -> int:
+    """The suite's RNG seed: ``REPRO_SEED`` if set, else the default."""
+    raw = os.environ.get("REPRO_SEED", "").strip()
+    try:
+        return int(raw) if raw else DEFAULT_SEED
+    except ValueError:
+        return DEFAULT_SEED
+
 
 @pytest.fixture
-def rng() -> np.random.Generator:
-    """Deterministic RNG for randomized tests."""
-    return np.random.default_rng(20040426)
+def fuzz_seed() -> int:
+    """Integer seed for the qa/property suites, honoring REPRO_SEED."""
+    return session_seed()
+
+
+@pytest.fixture
+def rng(fuzz_seed: int) -> np.random.Generator:
+    """Deterministic RNG for randomized tests (REPRO_SEED-aware)."""
+    return np.random.default_rng(fuzz_seed)
 
 
 @pytest.fixture
@@ -33,3 +60,60 @@ def xor_two_node() -> CellularAutomaton:
 def random_states(rng: np.random.Generator, count: int, n: int) -> np.ndarray:
     """Matrix of random 0/1 states, shape (count, n)."""
     return rng.integers(0, 2, size=(count, n)).astype(np.uint8)
+
+
+class FakeClock:
+    """Injectable clock for timing-sensitive harness tests.
+
+    Patched over the ``_sleep`` hooks in :mod:`repro.harness.runner` and
+    :mod:`repro.harness.faults`, it records every requested delay and
+    advances a virtual clock instead of blocking the suite.  For
+    watchdog tests, :meth:`hold_from` makes long sleeps (an injected
+    hang) genuinely block — on an event the fixture releases at
+    teardown — so the worker thread stays alive past the join timeout
+    without the test paying the nominal hang duration.
+    """
+
+    def __init__(self) -> None:
+        self.sleeps: list[float] = []
+        self._now = 0.0
+        self._lock = threading.Lock()
+        self._gate = threading.Event()
+        self._hold_threshold: float | None = None
+        #: real-time cap on a held sleep, so a bug cannot wedge the suite
+        self.max_real_block_s = 30.0
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps.append(float(seconds))
+            self._now += float(seconds)
+        if (
+            self._hold_threshold is not None
+            and seconds >= self._hold_threshold
+        ):
+            self._gate.wait(self.max_real_block_s)
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def hold_from(self, threshold_s: float) -> None:
+        """Make sleeps of at least ``threshold_s`` block until release."""
+        self._hold_threshold = float(threshold_s)
+
+    def release(self) -> None:
+        """Unblock every held sleep (called automatically at teardown)."""
+        self._gate.set()
+
+
+@pytest.fixture
+def fake_clock(monkeypatch) -> FakeClock:
+    """Route harness sleeps (retry backoff, hang/stall faults) through a
+    recording virtual clock."""
+    from repro.harness import faults, runner
+
+    clock = FakeClock()
+    monkeypatch.setattr(runner, "_sleep", clock.sleep)
+    monkeypatch.setattr(faults, "_sleep", clock.sleep)
+    yield clock
+    clock.release()

@@ -12,6 +12,7 @@ trips must yield the same resumable frontier whichever kernel runs.
 
 from __future__ import annotations
 
+import networkx as nx
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -25,6 +26,7 @@ from repro.core.rules import (
     MajorityRule,
     SimpleThresholdRule,
     TableRule,
+    TotalisticRule,
     WolframRule,
     XorRule,
 )
@@ -38,6 +40,7 @@ from repro.perf import (
     resolve_backend,
     resolve_serial_backend,
 )
+from repro.spaces.graph import GraphSpace
 from repro.spaces.line import Line, Ring
 from repro.util.bitops import config_str, int_to_bits
 
@@ -333,3 +336,59 @@ class TestConvergenceCode:
         assert res.converged
         assert res.fixed_point_code == bits_to_int(res.final_state)
         assert res.fixed_point_code == majority_ring8.pack(res.final_state)
+
+
+class TestDegenerateArities:
+    """Arity-0/1 and constant rules through the LUT lowering (satellite).
+
+    An edgeless graph gives uniform window width 1 (with memory) or 0
+    (memoryless), exercising the degenerate ends of every backend's rule
+    lowering that the ring/line matrix above never reaches.
+    """
+
+    DEGENERATE = [
+        pytest.param(False, TableRule([1], name="const1"), id="arity0-const1"),
+        pytest.param(False, TableRule([0], name="const0"), id="arity0-const0"),
+        pytest.param(False, TotalisticRule([1]), id="arity0-totalistic"),
+        pytest.param(True, TableRule([0, 1], name="identity"), id="arity1-identity"),
+        pytest.param(True, TableRule([1, 0], name="NOT"), id="arity1-not"),
+        pytest.param(True, TotalisticRule([1, 0]), id="arity1-totalistic-not"),
+    ]
+
+    @pytest.mark.parametrize("memory,rule", DEGENERATE)
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_matches_oracle(self, memory, rule, backend):
+        space = GraphSpace(nx.empty_graph(8))
+        ca = make_ca(space, rule, memory=memory, backend=backend)
+        assert np.array_equal(ca.step_all(), oracle_step_all(ca))
+
+    @pytest.mark.parametrize("memory,rule", DEGENERATE)
+    @pytest.mark.parametrize("backend", SERIAL)
+    def test_node_successors(self, memory, rule, backend):
+        ca = make_ca(GraphSpace(nx.empty_graph(8)), rule, memory=memory, backend=backend)
+        oracle = oracle_step_all(ca)
+        succ = ca.node_successors(3)
+        codes = np.arange(1 << ca.n, dtype=np.int64)
+        expect = codes ^ (((codes ^ oracle) >> 3) & 1) << 3
+        assert np.array_equal(succ, expect)
+
+    def test_constant_rule_lut_lowering(self):
+        assert TableRule([1]).lut(0).tolist() == [1]
+        assert TableRule([0]).lut(0).tolist() == [0]
+        assert TotalisticRule([1]).lut(0).tolist() == [1]
+        assert TableRule([1, 1], name="const").count_profile(1).tolist() == [1, 1]
+
+    def test_arity0_symmetric_rules(self):
+        # Explicit arity 0 is now legal on the symmetric families.
+        assert MajorityRule(arity=0).lut(0).tolist() == [0]
+        assert XorRule(arity=0).lut(0).tolist() == [0]
+        assert SimpleThresholdRule(1, arity=0).lut(0).tolist() == [0]
+        assert MajorityRule().truth_table(0).table.tolist() == [0]
+
+    def test_arity1_lut_and_kernel_lowering(self):
+        assert XorRule().lut(1).tolist() == [0, 1]
+        assert MajorityRule().lut(1).tolist() == [0, 1]
+        kind, data = lower_bit_kernel(TableRule([1, 0], name="NOT"), 1)
+        assert kind == "profile" and data.tolist() == [1, 0]
+        kind, _ = lower_bit_kernel(XorRule(), 1)
+        assert kind == "parity"

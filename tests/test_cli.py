@@ -242,3 +242,50 @@ class TestReportCommand:
         assert "wrote" in text
         content = target.read_text()
         assert content.count("## E") == 22
+
+
+class TestBackendErrorPaths:
+    """An explicit --backend that cannot run dies with a one-line error
+    (no traceback), and subcommands without backend selection reject the
+    flag at the argparse layer with the conventional usage exit code."""
+
+    def test_unsupported_backend_is_one_line_systemexit(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("phase-space", "--n", "5", "--backend", "bitplane")
+        message = str(excinfo.value)
+        assert "bitplane backend cannot run" in message
+        assert "needs n >= 6" in message
+        assert "\n" not in message  # one line, not a traceback dump
+
+    def test_bad_workers_rejected_before_any_work(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(
+                "phase-space", "--n", "6", "--backend", "process",
+                "--workers", "0",
+            )
+        assert str(excinfo.value) == "--workers must be >= 1, got 0"
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("census", "--backend", "process", "--workers", "-2")
+        assert str(excinfo.value) == "--workers must be >= 1, got -2"
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--n", "8", "--backend", "table"],
+        ["run", "E1", "--backend", "table"],
+        ["list", "--backend", "numpy"],
+    ])
+    def test_backend_flag_rejected_by_non_sweep_subcommands(
+        self, argv, capsys
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(*argv)
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "unrecognized arguments: --backend" in err
+
+    def test_unknown_backend_name_listed_in_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("phase-space", "--n", "6", "--backend", "cuda")
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("fuzz", "--cases", "1", "--backends", "numpy,cuda")
+        assert "unknown sweep backend 'cuda'" in str(excinfo.value)

@@ -121,15 +121,12 @@ class TestInjection:
             inject("boom")
         assert inject("elsewhere") is None
 
-    def test_hang_kind_sleeps_then_raises(self, monkeypatch):
+    def test_hang_kind_sleeps_then_raises(self, monkeypatch, fake_clock):
         monkeypatch.setenv("REPRO_FAULT_HANG_S", "0.05")
         install("slow:hang:1.0:0")
-        import time
-
-        t0 = time.perf_counter()
         with pytest.raises(FaultError, match="kind=hang"):
             inject("slow")
-        assert time.perf_counter() - t0 >= 0.05
+        assert fake_clock.sleeps == [0.05]
 
     def test_partial_write_kind_returned_not_acted(self):
         install("w:partial-write:1.0:0")
@@ -280,28 +277,43 @@ class TestRunner:
         with pytest.raises(KeyError, match="unknown experiment"):
             ExperimentRunner().run_one("E99")
 
-    def test_transient_fault_retried_to_success(self):
+    def test_transient_fault_retried_to_success(self, fake_clock):
         install("experiment.E1:raise:1.0:0:1")  # fires once, then disarms
         cfg = RunnerConfig(retries=2, backoff_base_s=0.01, backoff_cap_s=0.02)
         res = ExperimentRunner(cfg).run_one("E1")
         assert res["status"] == "ok" and res["holds"] is True
         assert res["attempts"] == 2
+        assert len(fake_clock.sleeps) == 1  # exactly one backoff, recorded
+        assert (
+            cfg.backoff_base_s
+            <= fake_clock.sleeps[0]
+            <= cfg.backoff_cap_s * (1 + cfg.jitter)
+        )
         counters = obs.REGISTRY.snapshot()["counters"]
         assert counters["harness.retries"] == 1
         assert counters["harness.errors"] == 1
 
-    def test_retries_exhausted_is_error(self):
+    def test_retries_exhausted_is_error(self, fake_clock):
         install("experiment.E1:raise:1.0:0")
         cfg = RunnerConfig(retries=2, backoff_base_s=0.01, backoff_cap_s=0.02)
         res = ExperimentRunner(cfg).run_one("E1")
         assert res["status"] == "error" and res["attempts"] == 3
+        assert len(fake_clock.sleeps) == 2  # one backoff per retry
+        assert all(
+            cfg.backoff_base_s <= s <= cfg.backoff_cap_s * (1 + cfg.jitter)
+            for s in fake_clock.sleeps
+        )
         counters = obs.REGISTRY.snapshot()["counters"]
         assert counters["harness.retries"] == 2
         assert counters["harness.errors"] == 3
 
-    def test_timeout_abandons_hung_experiment(self, monkeypatch):
+    def test_timeout_abandons_hung_experiment(self, monkeypatch, fake_clock):
         monkeypatch.setenv("REPRO_FAULT_HANG_S", "5")
         install("experiment.E1:hang:1.0:0")
+        # Hold the injected hang on a real event (released at teardown)
+        # so the worker genuinely outlives the watchdog join without the
+        # test paying the nominal 5-second hang.
+        fake_clock.hold_from(1.0)
         res = ExperimentRunner(RunnerConfig(timeout_s=0.3)).run_one("E1")
         assert res["status"] == "timeout" and res["holds"] is False
         assert res["timeout_s"] == 0.3

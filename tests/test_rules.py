@@ -136,9 +136,15 @@ class TestTotalisticRule:
 
     def test_rejects_bad_profile(self):
         with pytest.raises(ValueError):
-            TotalisticRule([0])
+            TotalisticRule([])
         with pytest.raises(ValueError):
             TotalisticRule([0, 2])
+
+    def test_single_entry_profile_is_arity_zero(self):
+        rule = TotalisticRule([1])
+        assert rule.arity == 0
+        assert rule.evaluate([]) == 1
+        assert rule.lut(0).tolist() == [1]
 
     def test_profile_readonly(self):
         rule = TotalisticRule([0, 1])
