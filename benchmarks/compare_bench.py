@@ -12,26 +12,28 @@ present on only one side are reported but never fail the gate (new
 benchmarks appear, host-gated ones disappear), and baselines recorded on
 a different machine are expected to differ in absolute speed — which is
 why the gate is a generous ratio on medians, not an absolute bound.
+
+The arithmetic lives in :func:`repro.obs.index.compare_medians`, shared
+with ``repro runs compare`` so the CI gate and the cross-run index can
+never drift apart; this script stays a thin file-level front end.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
+
+try:
+    from repro.obs.index import bench_medians, compare_medians
+except ImportError:  # invoked as a script without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs.index import bench_medians, compare_medians
 
 
 def load_medians(path: Path) -> dict[str, float]:
     """Map of benchmark fullname -> median seconds from one report."""
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    out: dict[str, float] = {}
-    for entry in payload.get("benchmarks", []):
-        median = entry.get("stats", {}).get("median_s")
-        name = entry.get("fullname")
-        if name and isinstance(median, (int, float)) and median > 0:
-            out[str(name)] = float(median)
-    return out
+    return bench_medians(path)
 
 
 def compare(
@@ -40,27 +42,7 @@ def compare(
     tolerance: float,
 ) -> tuple[list[str], bool]:
     """Per-benchmark report lines and whether any regression trips."""
-    lines: list[str] = []
-    failed = False
-    for name in sorted(set(baseline) | set(current)):
-        old = baseline.get(name)
-        new = current.get(name)
-        if old is None:
-            lines.append(f"  NEW      {name}: {new:.4f}s (no baseline)")
-            continue
-        if new is None:
-            lines.append(f"  MISSING  {name}: baseline {old:.4f}s, not rerun")
-            continue
-        ratio = new / old
-        verdict = "OK"
-        if ratio > tolerance:
-            verdict = "REGRESSED"
-            failed = True
-        lines.append(
-            f"  {verdict:<9}{name}: {old:.4f}s -> {new:.4f}s "
-            f"({ratio:.2f}x)"
-        )
-    return lines, failed
+    return compare_medians(baseline, current, tolerance)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,7 +16,16 @@ Subcommands
     sequential phase space of a small automaton.
 ``stats``
     Pretty-print the obs metrics snapshot (in-process, or from a run
-    directory written via ``--artifacts-dir``).
+    directory written via ``--artifacts-dir``); ``--format prom`` emits
+    Prometheus textfile-collector exposition instead.
+``runs``
+    Query the cross-run sqlite index (``runs_index.sqlite``):
+    ``index`` ingests artifact directories/files (all five dialects),
+    ``list``/``show`` browse, ``gc`` prunes stale rows, and ``compare``
+    diffs two runs' timer medians (exit 1 on a regression beyond
+    ``--tolerance``).
+``tail``
+    Follow a live or finished run's ``progress.jsonl`` heartbeats.
 ``fuzz``
     Seeded differential fuzzing of the sweep backends against the
     scalar oracle and the paper's theorems (``--self-test`` injects
@@ -24,9 +33,13 @@ Subcommands
     recorded counterexample).
 
 Every subcommand accepts ``--trace`` (record tracing spans into the
-metrics registry) and ``--artifacts-dir DIR`` (persist the run as
-``manifest.json`` + ``events.jsonl`` under DIR; implies ``--trace``).
-``REPRO_TRACE=1`` in the environment enables tracing globally.
+metrics registry), ``--artifacts-dir DIR`` (persist the run as
+``manifest.json`` + ``events.jsonl`` + ``metrics.prom`` under DIR;
+implies ``--trace``), ``--profile FILE`` (write a span profile in
+speedscope or collapsed-stack format; implies ``--trace``) and
+``--progress`` (stream throttled rate/ETA heartbeats to stderr, and to
+``progress.jsonl`` when an artifacts dir is active).  ``REPRO_TRACE=1``
+in the environment enables tracing globally.
 
 Resource governance: the enumerating subcommands accept ``--budget-mem``
 / ``--budget-wall`` / ``--budget-states``; tripping a budget yields an
@@ -48,6 +61,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs.progress import PROGRESS_NAME
 from repro.core.budget import (
     Budget,
     BudgetExceeded,
@@ -206,6 +220,22 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     group.add_argument("--artifacts-dir", default=None, metavar="DIR",
                        help="persist this run as manifest.json + events.jsonl "
                             "under DIR (implies --trace)")
+    group.add_argument("--profile", default=None, metavar="FILE",
+                       help="write a span profile of this invocation to FILE "
+                            "(implies --trace)")
+    group.add_argument("--profile-format", default="speedscope",
+                       choices=["speedscope", "collapsed"],
+                       help="profile format: speedscope JSON (open at "
+                            "speedscope.app) or collapsed stacks for "
+                            "flamegraph.pl (default: speedscope)")
+    group.add_argument("--progress", action="store_true",
+                       help="stream rate/ETA heartbeats to stderr (and to "
+                            "progress.jsonl under --artifacts-dir), throttled "
+                            "to >= 1s apart")
+    group.add_argument("--progress-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="minimum seconds between heartbeats (floored "
+                            "at 1)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -292,7 +322,74 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="pretty-print the obs metrics snapshot"
     )
     p_stats.add_argument("--json", action="store_true", dest="as_json",
-                         help="emit the raw snapshot as JSON")
+                         help="emit the raw snapshot as JSON "
+                              "(same as --format json)")
+    p_stats.add_argument("--format", default=None, dest="stats_format",
+                         choices=["text", "json", "prom"],
+                         help="output format: human text (default), raw "
+                              "JSON, or Prometheus textfile exposition")
+
+    p_runs = sub.add_parser(
+        "runs", help="query the cross-run sqlite index",
+        description=(
+            "Cross-run observability: ingest every artifact dialect the "
+            "library emits (obs manifests, harness journals, budget "
+            "frontiers, BENCH_*.json reports, qa findings) into one "
+            "sqlite index and query it."
+        ),
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_db_arg(rp: argparse.ArgumentParser) -> None:
+        rp.add_argument("--db", default=None, metavar="FILE",
+                        help="index database (default: $REPRO_RUNS_DB, then "
+                             "./runs_index.sqlite)")
+
+    r_index = runs_sub.add_parser(
+        "index", help="ingest run directories / artifact files"
+    )
+    r_index.add_argument("paths", nargs="+", metavar="PATH",
+                         help="run directories (walked recursively) or "
+                              "artifact files (BENCH_*.json, finding-*.json, "
+                              "manifest.json, ...)")
+    r_list = runs_sub.add_parser("list", help="list indexed runs")
+    r_list.add_argument("--kind", default=None,
+                        choices=["manifest", "harness", "frontier", "bench",
+                                 "finding"],
+                        help="only runs of this artifact kind")
+    r_show = runs_sub.add_parser("show", help="show one run in detail")
+    r_show.add_argument("run", metavar="RUN",
+                        help="run id (or unique prefix)")
+    r_gc = runs_sub.add_parser(
+        "gc", help="drop runs whose artifacts no longer exist on disk"
+    )
+    r_gc.add_argument("--keep", type=int, default=None, metavar="N",
+                      help="additionally keep only the N most recently "
+                           "indexed runs per kind")
+    r_compare = runs_sub.add_parser(
+        "compare", help="diff two runs' timer medians (exit 1 on regression)"
+    )
+    r_compare.add_argument("baseline", metavar="BASELINE",
+                           help="baseline run id (or unique prefix)")
+    r_compare.add_argument("current", metavar="CURRENT",
+                           help="current run id (or unique prefix)")
+    r_compare.add_argument("--tolerance", type=float, default=2.0,
+                           help="fail when current median > tolerance * "
+                                "baseline (default 2.0)")
+    for rp in (r_index, r_list, r_show, r_gc, r_compare):
+        _add_db_arg(rp)
+
+    p_tail = sub.add_parser(
+        "tail", help="follow a run's progress.jsonl heartbeats"
+    )
+    p_tail.add_argument("run_dir", metavar="RUN_DIR",
+                        help="run directory written with --artifacts-dir")
+    p_tail.add_argument("-f", "--follow", action="store_true",
+                        help="keep polling for new heartbeats until the "
+                             "final one (like tail -f)")
+    p_tail.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS", dest="tail_timeout",
+                        help="with --follow: give up after SECONDS")
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing + invariant oracles (qa)",
@@ -335,7 +432,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_budget_args(p_fuzz)
 
     for p in (p_list, p_run, p_sim, p_ps, p_census, p_survey, p_report,
-              p_stats, p_fuzz):
+              p_stats, p_fuzz, r_index, r_list, r_show, r_gc, r_compare,
+              p_tail):
         _add_obs_args(p)
 
     return parser
@@ -386,6 +484,20 @@ def _validate_args(args: argparse.Namespace) -> None:
                     f"--backends: unknown sweep backend {name.strip()!r} "
                     f"(choose from {', '.join(sorted(valid))})"
                 )
+    tolerance = getattr(args, "tolerance", None)
+    if tolerance is not None and tolerance <= 1.0:
+        raise SystemExit(f"--tolerance must be > 1.0, got {tolerance:g}")
+    keep = getattr(args, "keep", None)
+    if keep is not None and keep < 1:
+        raise SystemExit(f"--keep must be >= 1, got {keep}")
+    interval = getattr(args, "progress_interval", None)
+    if interval is not None and interval <= 0:
+        raise SystemExit(
+            f"--progress-interval must be positive, got {interval:g}"
+        )
+    tail_timeout = getattr(args, "tail_timeout", None)
+    if tail_timeout is not None and tail_timeout <= 0:
+        raise SystemExit(f"--timeout must be positive, got {tail_timeout:g}")
     wall = getattr(args, "budget_wall", None)
     if wall is not None and wall <= 0:
         raise SystemExit(f"--budget-wall must be positive, got {wall:g}")
@@ -433,8 +545,12 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         checkpoint=checkpoint,
         token=getattr(args, "_cancel_token", None),
     )
+    reporter = getattr(args, "_progress", None)
+    on_result = None
+    if reporter is not None:
+        on_result = lambda eid, res: reporter.update(1)  # noqa: E731
     try:
-        results = runner.run_many(ids)
+        results = runner.run_many(ids, on_result=on_result)
     finally:
         if checkpoint is not None:
             checkpoint.close()
@@ -614,6 +730,7 @@ def _cmd_survey(args: argparse.Namespace, out) -> int:
 def _cmd_stats(args: argparse.Namespace, out) -> int:
     """Pretty-print a metrics snapshot (live registry or a run directory)."""
     source = "in-process registry"
+    labels: dict[str, object] = {}
     if args.artifacts_dir:
         try:
             manifest = obs.load_manifest(args.artifacts_dir)
@@ -622,6 +739,10 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
                 f"cannot read run directory {args.artifacts_dir!r}: {err}"
             ) from err
         snapshot = manifest.get("metrics") or {}
+        labels = {
+            "run_id": manifest.get("run_id"),
+            "command": manifest.get("command") or "run",
+        }
         source = (
             f"run {manifest.get('run_id')} "
             f"(command: {manifest.get('command')}, "
@@ -631,9 +752,15 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
             source += " [NOT FINALIZED — run crashed or is still going]"
     else:
         snapshot = obs.REGISTRY.snapshot()
+    fmt = getattr(args, "stats_format", None) or "text"
     if args.as_json:
+        fmt = "json"
+    if fmt == "json":
         json.dump(snapshot, out, indent=2, default=str)
         print(file=out)
+        return 0
+    if fmt == "prom":
+        out.write(obs.render_prometheus(snapshot, labels=labels or None))
         return 0
     print(f"metrics snapshot — {source}", file=out)
     counters = snapshot.get("counters") or {}
@@ -653,13 +780,16 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
     if timers:
         print("timers:", file=out)
         print(f"  {'name':<40} {'count':>6} {'total':>12} "
-              f"{'mean':>12} {'last':>12}", file=out)
+              f"{'mean':>12} {'last':>12} {'p50':>12}", file=out)
         for name, stats in timers.items():
+            p50 = stats.get("p50_s")
+            p50_txt = f"{p50 * 1e3:>10.3f}ms" if p50 is not None else f"{'-':>12}"
             print(
                 f"  {name:<40} {stats['count']:>6} "
                 f"{stats['total_s'] * 1e3:>10.3f}ms "
                 f"{stats['mean_s'] * 1e3:>10.3f}ms "
-                f"{stats['last_s'] * 1e3:>10.3f}ms",
+                f"{stats['last_s'] * 1e3:>10.3f}ms "
+                f"{p50_txt}",
                 file=out,
             )
     return 0
@@ -738,6 +868,156 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _runs_db_path(args: argparse.Namespace) -> str:
+    return (
+        getattr(args, "db", None)
+        or os.environ.get("REPRO_RUNS_DB", "").strip()
+        or "runs_index.sqlite"
+    )
+
+
+def _cmd_runs(args: argparse.Namespace, out) -> int:
+    from repro.obs.index import RunIndex, compare_medians
+
+    db = _runs_db_path(args)
+    action = args.runs_command
+    if action != "index" and not os.path.exists(db):
+        raise SystemExit(
+            f"no run index at {db!r} — build one with 'repro runs index DIR'"
+        )
+    try:
+        idx = RunIndex(db)
+    except (OSError, RuntimeError) as err:
+        raise SystemExit(f"cannot open run index {db!r}: {err}") from err
+    with idx:
+        if action == "index":
+            ingested: list[str] = []
+            for path in args.paths:
+                try:
+                    ingested.extend(idx.index_run(path))
+                except (FileNotFoundError, ValueError) as err:
+                    raise SystemExit(f"runs index: {err}") from err
+            print(f"indexed {len(ingested)} run(s) into {db}", file=out)
+            for rid in ingested:
+                print(f"  {rid}", file=out)
+            return 0
+        if action == "list":
+            rows = idx.list_runs(kind=args.kind)
+            if not rows:
+                print("(no indexed runs)", file=out)
+                return 0
+            print(f"{'run_id':<36} {'kind':<9} {'status':<12} "
+                  f"{'started':<24} {'dur':>9}  command", file=out)
+            for r in rows:
+                dur = (
+                    f"{r['duration_s']:.2f}s"
+                    if r["duration_s"] is not None
+                    else "-"
+                )
+                print(
+                    f"{r['run_id']:<36} {r['kind']:<9} "
+                    f"{(r['status'] or '-'):<12} "
+                    f"{(r['started'] or '-'):<24} {dur:>9}  "
+                    f"{r['command'] or '-'}",
+                    file=out,
+                )
+            return 0
+        if action == "show":
+            try:
+                run = idx.resolve_run(args.run)
+            except KeyError as err:
+                raise SystemExit(str(err.args[0])) from err
+            rid = run["run_id"]
+            for key in ("run_id", "kind", "command", "status", "path",
+                        "started", "finished", "duration_s", "exit_code",
+                        "schema"):
+                if run.get(key) is not None:
+                    print(f"  {key:<12} {run[key]}", file=out)
+            if run.get("extra"):
+                print(f"  {'extra':<12} {run['extra']}", file=out)
+            counts = idx.counts(rid)
+            print(f"  {'rows':<12} metrics={counts['metrics']} "
+                  f"spans={counts['spans']} findings={counts['findings']}",
+                  file=out)
+            medians = idx.timer_medians(rid)
+            if medians:
+                print("  top timers (median):", file=out)
+                ranked = sorted(
+                    medians.items(), key=lambda kv: kv[1], reverse=True
+                )
+                for name, median in ranked[:10]:
+                    print(f"    {name:<46} {median * 1e3:>10.3f}ms", file=out)
+            for finding in idx.run_findings(rid):
+                print(f"  finding {finding['check_name']} "
+                      f"[digest {finding['digest']}]", file=out)
+            return 0
+        if action == "gc":
+            dropped = idx.gc(keep=args.keep)
+            print(f"dropped {dropped} run(s) from {db}", file=out)
+            return 0
+        if action == "compare":
+            try:
+                base_run = idx.resolve_run(args.baseline)
+                cur_run = idx.resolve_run(args.current)
+            except KeyError as err:
+                raise SystemExit(str(err.args[0])) from err
+            baseline = idx.timer_medians(base_run["run_id"])
+            current = idx.timer_medians(cur_run["run_id"])
+            if not baseline:
+                print(f"no timers indexed for baseline "
+                      f"{base_run['run_id']}", file=sys.stderr)
+                return 2
+            if not current:
+                print(f"no timers indexed for current "
+                      f"{cur_run['run_id']}", file=sys.stderr)
+                return 2
+            lines, failed = compare_medians(
+                baseline, current, args.tolerance
+            )
+            print(
+                f"run comparison ({base_run['run_id']} -> "
+                f"{cur_run['run_id']}, tolerance {args.tolerance:g}x):",
+                file=out,
+            )
+            print("\n".join(lines), file=out)
+            if failed:
+                print("FAIL: at least one timer regressed beyond tolerance",
+                      file=sys.stderr)
+                return 1
+            print("OK: no timer regressed beyond tolerance", file=out)
+            return 0
+    raise AssertionError(
+        f"unhandled runs action {action!r}"
+    )  # pragma: no cover
+
+
+def _cmd_tail(args: argparse.Namespace, out) -> int:
+    from repro.obs.progress import format_heartbeat, iter_progress
+
+    run_dir = args.run_dir
+    if not os.path.isdir(run_dir):
+        raise SystemExit(f"no such run directory: {run_dir!r}")
+    count = 0
+    for ev in iter_progress(
+        run_dir, follow=args.follow, timeout=args.tail_timeout
+    ):
+        print(format_heartbeat(ev), file=out)
+        count += 1
+    if count == 0:
+        print("(no progress heartbeats recorded — was the run started "
+              "with --progress?)", file=out)
+        try:
+            manifest = obs.load_manifest(run_dir)
+        except (OSError, json.JSONDecodeError):
+            return 0
+        status = manifest.get("status") or (
+            "complete" if manifest.get("finalized") else "in-progress"
+        )
+        print(f"manifest: command={manifest.get('command')} status={status}",
+              file=out)
+    return 0
+
+
 def _dispatch(args: argparse.Namespace, out) -> int:
     if args.command == "list":
         return _cmd_list(out)
@@ -755,6 +1035,10 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return _cmd_stats(args, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args, out)
+    if args.command == "runs":
+        return _cmd_runs(args, out)
+    if args.command == "tail":
+        return _cmd_tail(args, out)
     if args.command == "report":
         from repro.experiments.report import generate_report
 
@@ -800,6 +1084,57 @@ def _install_sigterm(token: CancelToken) -> None:
         pass  # not the main thread (embedded use) — skip the handler
 
 
+def _space_nodes(args: argparse.Namespace) -> int:
+    """Node count implied by the space flags (for progress totals)."""
+    space = getattr(args, "space", "ring")
+    if space == "grid":
+        return args.rows * args.cols
+    if space == "hypercube":
+        return 1 << args.dimension
+    return args.n
+
+
+def _progress_total(args: argparse.Namespace) -> int | None:
+    """Expected charged-states total for this invocation, or None.
+
+    Mirrors each enumerator's charging scheme so the reporter's ETA
+    means something: phase-space charges one state per explored config
+    (x n successor slots in sequential mode), census sums the ring
+    spaces, fuzz charges one state per case, run advances per
+    experiment via ``on_result``.
+    """
+    if args.command == "phase-space":
+        nodes = _space_nodes(args)
+        states = 1 << nodes
+        if getattr(args, "mode", "parallel") == "sequential":
+            return states * nodes
+        return states
+    if args.command == "census":
+        return sum(1 << k for k in range(args.min_n, args.max_n + 1))
+    if args.command == "fuzz":
+        if getattr(args, "replay", None) or getattr(args, "self_test", False):
+            return None
+        return args.cases
+    if args.command == "run":
+        ids = getattr(args, "ids", [])
+        if any(i.lower() == "all" for i in ids):
+            return len(EXPERIMENTS)
+        return len(dict.fromkeys(i.upper() for i in ids))
+    return None
+
+
+def _progress_label(args: argparse.Namespace) -> str:
+    if args.command == "phase-space":
+        return f"phase-space n={_space_nodes(args)}"
+    if args.command == "census":
+        return f"census n={args.min_n}..{args.max_n}"
+    if args.command == "fuzz":
+        return f"fuzz seed={args.seed}"
+    if args.command == "run":
+        return "run"
+    return args.command
+
+
 def _partial_location(args: argparse.Namespace) -> str:
     where = getattr(args, "artifacts_dir", None) or getattr(args, "resume", None)
     if where:
@@ -820,9 +1155,30 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     faults.install_from_env()
 
     # ``stats`` *reads* observability state; it never starts a run of its
-    # own, so it bypasses the artifact/tracing setup below.
+    # own, so it bypasses the artifact/tracing setup below (keeping only
+    # the --profile contract, which holds for every subcommand).
     if args.command == "stats":
-        return _cmd_stats(args, out)
+        profile_path = getattr(args, "profile", None)
+        if not profile_path:
+            return _cmd_stats(args, out)
+        profiler = obs.Profiler()
+        profiler.install()
+        enabled_here = not obs.is_enabled()
+        if enabled_here:
+            obs.enable()
+        try:
+            with obs.span("cli.stats"):
+                return _cmd_stats(args, out)
+        finally:
+            profiler.uninstall()
+            if enabled_here:
+                obs.disable()
+            obs.write_profile(
+                profile_path,
+                profiler.profile(),
+                fmt=getattr(args, "profile_format", "speedscope"),
+                name="repro stats",
+            )
 
     token = CancelToken()
     args._cancel_token = token
@@ -843,14 +1199,43 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             ) from err
         artifacts.activate()
         want_trace = True
+    profile_path = getattr(args, "profile", None)
+    profiler = None
+    if profile_path:
+        want_trace = True
+        profiler = obs.Profiler()
+        profiler.install()
+    progress = None
+    if getattr(args, "progress", False):
+        progress = obs.ProgressReporter(
+            _progress_label(args),
+            total=_progress_total(args),
+            interval=getattr(args, "progress_interval", 1.0),
+            path=(
+                os.path.join(artifacts_dir, PROGRESS_NAME)
+                if artifacts_dir
+                else None
+            ),
+        )
+        args._progress = progress
     enabled_here = want_trace and not obs.is_enabled()
     if enabled_here:
         obs.enable(trace_memory=bool(getattr(args, "trace_memory", False)))
     code = 1
     try:
         try:
-            with use_budget(_budget_from_args(args, token)):
-                code = _dispatch(args, out)
+            budget = _budget_from_args(args, token)
+            if progress is not None and args.command != "run":
+                # ``run`` advances per experiment via on_result; hooking
+                # its budget too would double-count experiment-internal
+                # charges against the experiment total.
+                budget.on_charge = progress.on_charge
+            with use_budget(budget):
+                if profiler is not None:
+                    with obs.span(f"cli.{args.command}"):
+                        code = _dispatch(args, out)
+                else:
+                    code = _dispatch(args, out)
         except BackendUnsupported as exc:
             # An explicit --backend that cannot run the automaton: a
             # one-line error, not a traceback (auto never raises this).
@@ -877,6 +1262,20 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 code = 143
         return code
     finally:
+        if progress is not None:
+            progress.finish()
+        if profiler is not None:
+            profiler.uninstall()
+            try:
+                obs.write_profile(
+                    profile_path,
+                    profiler.profile(),
+                    fmt=getattr(args, "profile_format", "speedscope"),
+                    name=f"repro {args.command}",
+                )
+            except OSError as err:
+                print(f"cannot write profile {profile_path!r}: {err}",
+                      file=sys.stderr)
         if enabled_here:
             obs.disable()
         if artifacts is not None:

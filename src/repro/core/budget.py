@@ -304,6 +304,7 @@ class Budget:
         "token",
         "states_used",
         "bytes_held",
+        "on_charge",
         "_t0",
         "_deadline",
         "_tripped",
@@ -328,6 +329,11 @@ class Budget:
         self.token = token if token is not None else CancelToken()
         self.states_used = 0
         self.bytes_held = 0
+        #: optional progress hook ``cb(budget, states)`` invoked on every
+        #: charge — the observability layer's tap into governed loops
+        #: (see :class:`repro.obs.progress.ProgressReporter`).  None (the
+        #: default) keeps the hot path to a single attribute check.
+        self.on_charge = None
         self._t0 = time.monotonic()
         self._deadline = None if wall_s is None else self._t0 + wall_s
         self._tripped = False
@@ -361,6 +367,9 @@ class Budget:
         """Record ``states`` enumerated units and ``bytes_`` held bytes."""
         self.states_used += states
         self.bytes_held += bytes_
+        cb = self.on_charge
+        if cb is not None:
+            cb(self, states)
 
     def release_bytes(self, nbytes: int) -> None:
         """Return ``nbytes`` of previously charged memory."""

@@ -36,6 +36,7 @@ from repro.harness import faults
 __all__ = [
     "Checkpoint",
     "read_journal",
+    "journal_summary",
     "save_frontier",
     "load_frontier",
     "JOURNAL_NAME",
@@ -74,6 +75,55 @@ def read_journal(directory: str | os.PathLike[str]) -> tuple[list[dict], int]:
             except json.JSONDecodeError:
                 skipped += 1
     return events, skipped
+
+
+def journal_summary(directory: str | os.PathLike[str]) -> dict:
+    """Digest one checkpoint directory's journal for indexing/reporting.
+
+    Returns a dict with:
+
+    * ``statuses`` — ``{exp_id: terminal status}`` (last finish wins);
+    * ``durations`` — ``{exp_id: seconds}`` where the finish recorded one;
+    * ``in_flight`` — ids with a ``start`` but no ``finish`` (a crash or
+      a run still going);
+    * ``starts`` / ``finishes`` — raw event counts;
+    * ``skipped`` — garbled journal lines tolerated by
+      :func:`read_journal`;
+    * ``first_ts`` / ``last_ts`` — epoch bounds over every event.
+    """
+    events, skipped = read_journal(directory)
+    statuses: dict[str, str | None] = {}
+    durations: dict[str, float] = {}
+    started: set[str] = set()
+    starts = finishes = 0
+    first_ts: float | None = None
+    last_ts: float | None = None
+    for ev in events:
+        ts = ev.get("ts")
+        if isinstance(ts, (int, float)):
+            first_ts = ts if first_ts is None else min(first_ts, ts)
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        eid = ev.get("id")
+        kind = ev.get("ev")
+        if kind == "start" and eid is not None:
+            starts += 1
+            started.add(eid)
+        elif kind == "finish" and eid is not None:
+            finishes += 1
+            statuses[eid] = ev.get("status")
+            dur = ev.get("duration_s")
+            if isinstance(dur, (int, float)):
+                durations[eid] = float(dur)
+    return {
+        "statuses": statuses,
+        "durations": durations,
+        "in_flight": sorted(started - set(statuses)),
+        "starts": starts,
+        "finishes": finishes,
+        "skipped": skipped,
+        "first_ts": first_ts,
+        "last_ts": last_ts,
+    }
 
 
 def save_frontier(directory: str | os.PathLike[str], partial) -> Path:
@@ -244,6 +294,7 @@ class Checkpoint:
                 "id": exp_id,
                 "status": result.get("status"),
                 "holds": result.get("holds"),
+                "duration_s": result.get("duration_s"),
                 "ts": time.time(),
             }
         )

@@ -426,7 +426,9 @@ class ExperimentRunner:
 
     # -- batches ---------------------------------------------------------------
 
-    def run_many(self, exp_ids: Iterable[str]) -> dict[str, dict[str, object]]:
+    def run_many(
+        self, exp_ids: Iterable[str], on_result=None
+    ) -> dict[str, dict[str, object]]:
         """Run a batch, skipping checkpoint-completed experiments.
 
         Returns ``{id: result}`` in input order; resumed results carry
@@ -436,6 +438,9 @@ class ExperimentRunner:
         shared token): the batch stops cleanly after the experiment that
         observed it, returning what completed — the checkpoint picks the
         rest up on resume.
+
+        ``on_result(exp_id, result)`` fires after each terminal result
+        (including resumed ones) — the progress reporter's tap.
         """
         done = self.checkpoint.completed() if self.checkpoint else {}
         results: dict[str, dict[str, object]] = {}
@@ -446,6 +451,8 @@ class ExperimentRunner:
             if key in done:
                 results[key] = {**done[key], "resumed": True}
                 obs.inc("harness.resumed")
-                continue
-            results[key] = self.run_one(key)
+            else:
+                results[key] = self.run_one(key)
+            if on_result is not None:
+                on_result(key, results[key])
         return results

@@ -1,20 +1,35 @@
-"""repro.obs — instrumentation: tracing spans, metrics, run artifacts.
+"""repro.obs — instrumentation: tracing, metrics, artifacts, cross-run.
 
-Three small layers, designed so every later performance PR can prove its
+Per-run layers, designed so every later performance PR can prove its
 win with numbers instead of anecdotes:
 
 * :mod:`repro.obs.trace` — nestable ``span("name", **attrs)`` context
   managers.  Off by default and zero-cost when off (a single branch
   returning a shared no-op object); when on, each span records its wall
-  time into the metrics registry and streams a JSON event to any
-  registered sink.
+  and self time into the metrics registry and streams a JSON event to
+  any registered sink.
 * :mod:`repro.obs.metrics` — a process-local registry of counters,
-  gauges and timers with ``snapshot()`` / ``reset()`` / JSON export,
-  plus :func:`timed` for code whose timing is part of its *result*
-  (always measured, tracing or not).
+  gauges and timers (with reservoir-sampled p50/p95/p99 quantiles),
+  ``snapshot()`` / ``reset()`` / JSON export, plus :func:`timed` for
+  code whose timing is part of its *result* (always measured, tracing
+  or not).
 * :mod:`repro.obs.artifacts` — :class:`RunArtifacts` persists one run
-  as ``manifest.json`` + ``events.jsonl`` under a directory of your
-  choosing; the CLI's ``--artifacts-dir`` flag wires it up.
+  as ``manifest.json`` + ``events.jsonl`` (+ a ``metrics.prom``
+  Prometheus textfile) under a directory of your choosing; the CLI's
+  ``--artifacts-dir`` flag wires it up.
+
+Cross-run layers built on those:
+
+* :mod:`repro.obs.progress` — throttled rate/ETA heartbeats fed by the
+  governed enumerators' budget charges (``--progress``, ``repro tail``);
+* :mod:`repro.obs.profile` — span self-time profile trees with
+  speedscope and collapsed-stack (flamegraph) exporters (``--profile``);
+* :mod:`repro.obs.export` — Prometheus textfile-collector rendering of
+  any metrics snapshot (``repro stats --format prom``);
+* :mod:`repro.obs.index` — the sqlite run index over every artifact
+  dialect (``repro runs``).  Imported lazily by the CLI, **not**
+  re-exported here: it pulls in the harness package, which itself
+  imports ``repro.obs``.
 
 Quickstart::
 
@@ -27,6 +42,7 @@ Quickstart::
 """
 
 from repro.obs.artifacts import RunArtifacts, load_manifest, read_events
+from repro.obs.export import render_prometheus, write_textfile
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
@@ -39,11 +55,25 @@ from repro.obs.metrics import (
     set_gauge,
     timed,
 )
+from repro.obs.profile import (
+    Profiler,
+    build_profile,
+    profile_from_run,
+    to_collapsed,
+    to_speedscope,
+    write_profile,
+)
+from repro.obs.progress import (
+    ProgressReporter,
+    format_heartbeat,
+    iter_progress,
+)
 from repro.obs.trace import (
     NOOP_SPAN,
     Span,
     add_sink,
     clear_sinks,
+    current_stack,
     disable,
     emit_event,
     enable,
@@ -66,6 +96,7 @@ __all__ = [
     "remove_sink",
     "clear_sinks",
     "emit_event",
+    "current_stack",
     # metrics
     "MetricsRegistry",
     "REGISTRY",
@@ -81,4 +112,18 @@ __all__ = [
     "RunArtifacts",
     "load_manifest",
     "read_events",
+    # progress
+    "ProgressReporter",
+    "iter_progress",
+    "format_heartbeat",
+    # profiling
+    "Profiler",
+    "build_profile",
+    "profile_from_run",
+    "to_speedscope",
+    "to_collapsed",
+    "write_profile",
+    # prometheus export
+    "render_prometheus",
+    "write_textfile",
 ]

@@ -16,15 +16,17 @@ too, so an untraced run leaves a valid empty stream rather than nothing.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import platform
 import time
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.obs import trace
+from repro.obs.export import PROM_NAME, write_textfile
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 
 __all__ = ["RunArtifacts", "load_manifest", "read_events"]
@@ -84,6 +86,11 @@ class RunArtifacts:
             "repro_version": _version(),
         }
         self._write_manifest()
+        # Best-effort crash marker: if the process exits without
+        # finalize() (unhandled exception past the CLI, sys.exit deep in
+        # a library), the manifest still records status="interrupted" so
+        # the run index can tell a crash from a run still in flight.
+        atexit.register(self._finalize_at_exit)
 
     # -- event stream ----------------------------------------------------------
 
@@ -119,24 +126,54 @@ class RunArtifacts:
         )
         tmp.replace(path)
 
-    def finalize(self, exit_code: int | None = None) -> dict[str, object]:
+    def finalize(
+        self, exit_code: int | None = None, status: str | None = None
+    ) -> dict[str, object]:
         """Seal the run: detach the sink, stamp timings + metrics, close.
 
-        Idempotent; returns the final manifest dict.
+        Idempotent; returns the final manifest dict.  ``status`` defaults
+        to ``"complete"``; the atexit path passes ``"interrupted"``.
+        Also writes the metrics snapshot as a Prometheus textfile
+        (``metrics.prom``) beside the manifest.
         """
         if self._finalized:
             return self.manifest
         self._finalized = True
+        atexit.unregister(self._finalize_at_exit)
         if self._active:
             trace.remove_sink(self.write_event)
             self._active = False
         self.manifest["finished"] = _utc_now()
         self.manifest["duration_s"] = time.perf_counter() - self._t0
         self.manifest["exit_code"] = exit_code
+        self.manifest["status"] = status or "complete"
         self.manifest["metrics"] = self.registry.snapshot()
         self._write_manifest()
         self._events_fh.close()
+        try:
+            write_textfile(
+                self.directory / PROM_NAME,
+                self.manifest["metrics"],
+                labels={
+                    "run_id": self.manifest.get("run_id"),
+                    "command": self.manifest.get("command") or "run",
+                },
+            )
+        except OSError:
+            pass  # the manifest is the artifact of record; .prom is extra
         return self.manifest
+
+    def _finalize_at_exit(self) -> None:
+        """Atexit hook: mark a never-finalized run as interrupted.
+
+        Strictly best-effort — the run directory may be a test tmpdir
+        that no longer exists by interpreter shutdown, so every failure
+        is swallowed.
+        """
+        try:
+            self.finalize(exit_code=None, status="interrupted")
+        except Exception:
+            pass
 
     # -- context manager -------------------------------------------------------
 
@@ -166,27 +203,32 @@ def load_manifest(directory: str | os.PathLike[str]) -> dict[str, object]:
 
 def read_events(
     directory: str | os.PathLike[str], strict: bool = False
-) -> list[dict]:
-    """Parse every event in a run directory's ``events.jsonl``, in order.
+) -> Iterator[dict]:
+    """Lazily parse a run directory's ``events.jsonl``, in order.
+
+    Returns a generator — fuzz and harness runs stream tens of thousands
+    of events, and tailing/indexing must not materialise them all; wrap
+    in ``list()`` when the full sequence is wanted.  The file opens on
+    first iteration, not at call time.
 
     A truncated final line is the *normal* state of a crashed run's
     stream, so undecodable lines are skipped (and counted on the
     ``artifacts.partial_events`` metric) rather than raised; pass
-    ``strict=True`` to get the old raising behaviour.
+    ``strict=True`` to get the raising behaviour.
     """
     from repro.obs.metrics import inc
 
     path = Path(directory) / EVENTS_NAME
-    events: list[dict] = []
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                event = json.loads(line)
             except json.JSONDecodeError:
                 if strict:
                     raise
                 inc("artifacts.partial_events")
-    return events
+                continue
+            yield event

@@ -1,0 +1,133 @@
+"""Prometheus textfile-collector rendering of metrics snapshots.
+
+The node_exporter textfile collector scrapes ``*.prom`` files from a
+spool directory; this module renders any :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>`-shaped dict into that
+exposition format so a cron-driven sweep can publish its counters and
+timer quantiles without running an HTTP endpoint.
+
+Naming follows Prometheus conventions: everything lives under the
+``repro_`` namespace, counters gain a ``_total`` suffix, timers become
+summaries in base seconds (``repro_<name>_seconds{quantile="0.5"}`` plus
+``_sum``/``_count``).  Metric and label names are sanitised to
+``[a-zA-Z0-9_]``; label values are escaped per the exposition format.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from collections.abc import Mapping
+from pathlib import Path
+
+__all__ = ["PROM_NAME", "render_prometheus", "write_textfile"]
+
+#: File name used for the per-run export written at finalize.
+PROM_NAME = "metrics.prom"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    base = _NAME_RE.sub("_", str(name))
+    if base and base[0].isdigit():
+        base = "_" + base
+    return f"repro_{base}{suffix}"
+
+
+def _escape(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(
+    labels: Mapping[str, object] | None,
+    extra: Mapping[str, object] | None = None,
+) -> str:
+    merged: dict[str, object] = dict(labels or {})
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_NAME_RE.sub("_", str(k))}="{_escape(v)}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _num(value: object) -> str:
+    # repr() keeps full float precision; integers render without ".0".
+    f = float(value)  # type: ignore[arg-type]
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, object],
+    labels: Mapping[str, object] | None = None,
+) -> str:
+    """Render one metrics snapshot as Prometheus exposition text.
+
+    ``labels`` (e.g. ``{"run_id": ..., "command": ...}``) are attached to
+    every sample so multiple runs can share a spool directory.  Timers
+    with reservoir quantiles emit the three conventional summary
+    quantiles; timers observed before the quantile feature (or merged
+    from child snapshots) still emit ``_sum``/``_count``.
+    """
+    lines: list[str] = []
+    base_labels = _render_labels(labels)
+
+    counters = snapshot.get("counters") or {}
+    for name in sorted(counters):  # type: ignore[arg-type]
+        metric = _metric_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{base_labels} {_num(counters[name])}")
+
+    gauges = snapshot.get("gauges") or {}
+    for name in sorted(gauges):  # type: ignore[arg-type]
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{base_labels} {_num(gauges[name])}")
+
+    timers = snapshot.get("timers") or {}
+    for name in sorted(timers):  # type: ignore[arg-type]
+        stats = timers[name]
+        if not isinstance(stats, Mapping):
+            continue
+        metric = _metric_name(name, "_seconds")
+        lines.append(f"# TYPE {metric} summary")
+        for q, key in (("0.5", "p50_s"), ("0.95", "p95_s"), ("0.99", "p99_s")):
+            if key in stats:
+                q_labels = _render_labels(labels, {"quantile": q})
+                lines.append(f"{metric}{q_labels} {_num(stats[key])}")
+        lines.append(
+            f"{metric}_sum{base_labels} {_num(stats.get('total_s', 0.0))}"
+        )
+        lines.append(
+            f"{metric}_count{base_labels} {_num(stats.get('count', 0))}"
+        )
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_textfile(
+    path: str | os.PathLike[str],
+    snapshot: Mapping[str, object],
+    labels: Mapping[str, object] | None = None,
+) -> Path:
+    """Atomically write the rendered snapshot to ``path``; return it.
+
+    Atomic (tmp + rename) because the textfile collector may scrape the
+    spool directory at any moment and must never see a half-written
+    file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(render_prometheus(snapshot, labels), encoding="utf-8")
+    tmp.replace(target)
+    return target

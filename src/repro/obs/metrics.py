@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import random
 import threading
+import zlib
 from contextlib import contextmanager
 from time import perf_counter
 
@@ -21,6 +24,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Timer",
+    "RESERVOIR_SIZE",
     "MetricsRegistry",
     "REGISTRY",
     "Stopwatch",
@@ -59,17 +63,44 @@ class Gauge:
         return self.value
 
 
+#: Fixed reservoir size for timer quantiles — small enough that a
+#: snapshot stays cheap, large enough that p99 of a long run is stable.
+RESERVOIR_SIZE = 512
+
+
+def _reservoir_seed(name: str) -> int:
+    """Deterministic per-timer RNG seed: crc32(name) mixed with REPRO_SEED.
+
+    Ties the sampling decisions to the run's declared seed so repeated
+    runs produce identical quantile estimates.
+    """
+    try:
+        base = int(os.environ.get("REPRO_SEED", "0") or "0")
+    except ValueError:
+        base = 0
+    return zlib.crc32(name.encode("utf-8")) ^ base
+
+
 class Timer:
-    """Accumulated duration statistics for one named operation."""
+    """Accumulated duration statistics for one named operation.
 
-    __slots__ = ("count", "total", "min", "max", "last")
+    Besides the running count/total/min/max, a bounded reservoir
+    (Algorithm R, :data:`RESERVOIR_SIZE` samples, seeded deterministically
+    from the timer name and ``REPRO_SEED``) retains a uniform sample of
+    observations so :meth:`quantile` can estimate p50/p95/p99 without
+    unbounded memory.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "min", "max", "last", "_samples", "_rng")
+
+    def __init__(self, seed: int | None = None) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = 0.0
         self.last = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(0 if seed is None else seed)
 
     def observe(self, seconds: float) -> None:
         """Fold one measured duration (in seconds) into the statistics."""
@@ -79,6 +110,29 @@ class Timer:
         self.min = min(self.min, seconds)
         self.max = max(self.max, seconds)
         self.last = seconds
+        if len(self._samples) < RESERVOIR_SIZE:
+            self._samples.append(seconds)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < RESERVOIR_SIZE:
+                self._samples[j] = seconds
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) from the reservoir sample.
+
+        Linear interpolation between closest ranks; 0.0 before the first
+        observation.
+        """
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = max(0.0, min(1.0, q)) * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     @property
     def mean(self) -> float:
@@ -90,6 +144,9 @@ class Timer:
 
         Used to merge a subprocess child's snapshot into the parent
         registry; the child's ``last`` wins (it is the more recent run).
+        The child's reservoir is not folded in (snapshots carry only
+        derived quantiles, not raw samples), so merged quantiles reflect
+        this process's own observations.
         """
         count = int(stats.get("count", 0))
         if count <= 0:
@@ -102,7 +159,7 @@ class Timer:
 
     def as_dict(self) -> dict[str, float | int]:
         """JSON-friendly statistics, all durations in seconds."""
-        return {
+        stats: dict[str, float | int] = {
             "count": self.count,
             "total_s": self.total,
             "mean_s": self.mean,
@@ -110,6 +167,11 @@ class Timer:
             "max_s": self.max,
             "last_s": self.last,
         }
+        if self._samples:
+            stats["p50_s"] = self.quantile(0.50)
+            stats["p95_s"] = self.quantile(0.95)
+            stats["p99_s"] = self.quantile(0.99)
+        return stats
 
 
 class MetricsRegistry:
@@ -139,7 +201,10 @@ class MetricsRegistry:
     def timer(self, name: str) -> Timer:
         """The timer registered under ``name`` (created if absent)."""
         with self._lock:
-            return self._timers.setdefault(name, Timer())
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = self._timers[name] = Timer(seed=_reservoir_seed(name))
+            return timer
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         """Plain-dict view of every metric, sorted by name, JSON-safe."""

@@ -1,0 +1,248 @@
+"""Span profiler: aggregate trace events into a call tree and export it.
+
+Span events (from :mod:`repro.obs.trace`) arrive in *exit* order with
+their entry depth and self time; :func:`build_profile` reconstructs the
+call tree offline with a pending-stack pass and merges repeated calls of
+the same frame under the same parent, accumulating call counts, total
+and self times.  Two export formats cover the standard tooling:
+
+* **speedscope** (``https://www.speedscope.app``): the ``evented`` JSON
+  dialect, openable directly in the web viewer;
+* **collapsed stacks** (Brendan Gregg's ``flamegraph.pl`` input):
+  ``root;child;leaf <self-microseconds>`` lines.
+
+A :class:`Profiler` is just a trace sink that retains span events for
+the post-run tree build — the CLI installs one under ``--profile``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.obs import trace
+from repro.obs.artifacts import read_events
+
+__all__ = [
+    "ProfileNode",
+    "Profiler",
+    "build_profile",
+    "profile_from_run",
+    "to_speedscope",
+    "to_collapsed",
+    "write_profile",
+]
+
+
+class ProfileNode:
+    """One frame in the aggregated profile tree."""
+
+    __slots__ = ("name", "calls", "total_s", "self_s", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.children: dict[str, ProfileNode] = {}
+
+    def add(self, total_s: float, self_s: float, calls: int = 1) -> None:
+        self.calls += calls
+        self.total_s += total_s
+        self.self_s += self_s
+
+    def merge(self, other: "ProfileNode") -> None:
+        """Fold another same-named node (and its subtree) into this one."""
+        self.add(other.total_s, other.self_s, other.calls)
+        for name, child in other.children.items():
+            mine = self.children.get(name)
+            if mine is None:
+                self.children[name] = child
+            else:
+                mine.merge(child)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly recursive view, children sorted by total time."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "children": [
+                c.as_dict()
+                for c in sorted(
+                    self.children.values(),
+                    key=lambda c: c.total_s,
+                    reverse=True,
+                )
+            ],
+        }
+
+
+class Profiler:
+    """Trace sink retaining span events for a post-run profile build."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def record(self, payload: dict) -> None:
+        if payload.get("event") == "span":
+            self.events.append(payload)
+
+    def install(self) -> None:
+        trace.add_sink(self.record)
+
+    def uninstall(self) -> None:
+        trace.remove_sink(self.record)
+
+    def profile(self) -> list[ProfileNode]:
+        """Aggregate everything recorded so far into profile roots."""
+        return build_profile(self.events)
+
+
+def build_profile(events: Iterable[dict]) -> list[ProfileNode]:
+    """Reconstruct the call tree from exit-ordered span events.
+
+    Children exit before their parent, so when an event at depth ``d``
+    arrives, every pending node deeper than ``d`` is one of its
+    children (in reverse order).  Nodes still pending at the end —
+    including orphans whose parent never exited (crashed run) — become
+    roots.  Same-named siblings merge, accumulating calls and times.
+    """
+    pending: list[tuple[int, ProfileNode]] = []
+    for ev in events:
+        if ev.get("event") not in (None, "span") or "duration_s" not in ev:
+            continue
+        depth = int(ev.get("depth", 0))
+        total = float(ev.get("duration_s", 0.0))
+        # Events written before self-time tracking get self == total.
+        self_s = float(ev.get("self_s", total))
+        node = ProfileNode(str(ev.get("name", "?")))
+        node.add(total, self_s)
+        while pending and pending[-1][0] > depth:
+            _, child = pending.pop()
+            existing = node.children.get(child.name)
+            if existing is None:
+                node.children[child.name] = child
+            else:
+                existing.merge(child)
+        pending.append((depth, node))
+    roots: dict[str, ProfileNode] = {}
+    for _, node in pending:
+        existing = roots.get(node.name)
+        if existing is None:
+            roots[node.name] = node
+        else:
+            existing.merge(node)
+    return list(roots.values())
+
+
+def profile_from_run(directory: str | os.PathLike[str]) -> list[ProfileNode]:
+    """Build a profile tree from a run directory's ``events.jsonl``."""
+    return build_profile(
+        ev for ev in read_events(directory) if ev.get("event") == "span"
+    )
+
+
+def _eff_total(node: ProfileNode) -> float:
+    """Total time clamped so children always fit inside their parent.
+
+    Float accumulation (and merged same-named frames) can make the sum
+    of child totals exceed the parent's recorded total by a hair;
+    speedscope's evented format requires strict nesting, so take the
+    max.
+    """
+    return max(node.total_s, sum(_eff_total(c) for c in node.children.values()))
+
+
+def to_speedscope(
+    roots: list[ProfileNode], name: str = "repro"
+) -> dict[str, object]:
+    """Render the profile tree as a speedscope ``evented`` document."""
+    frames: list[dict[str, str]] = []
+    frame_index: dict[str, int] = {}
+
+    def frame(frame_name: str) -> int:
+        idx = frame_index.get(frame_name)
+        if idx is None:
+            idx = frame_index[frame_name] = len(frames)
+            frames.append({"name": frame_name})
+        return idx
+
+    events: list[dict[str, object]] = []
+    cursor = 0.0
+
+    def emit(node: ProfileNode, at: float) -> float:
+        idx = frame(node.name)
+        width = _eff_total(node)
+        events.append({"type": "O", "frame": idx, "at": at})
+        child_at = at
+        for child in sorted(node.children.values(), key=lambda c: c.name):
+            child_at = emit(child, child_at)
+        events.append({"type": "C", "frame": idx, "at": at + width})
+        return at + width
+
+    for root in sorted(roots, key=lambda r: r.name):
+        cursor = emit(root, cursor)
+
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0.0,
+                "endValue": cursor,
+                "events": events,
+            }
+        ],
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro",
+    }
+
+
+def to_collapsed(roots: list[ProfileNode]) -> str:
+    """Render collapsed-stack lines (``flamegraph.pl`` input).
+
+    One line per stack with a positive self time, weighted in integer
+    microseconds (the conventional unit for wall-clock flamegraphs).
+    """
+    lines: list[str] = []
+
+    def walk(node: ProfileNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        micros = int(round(node.self_s * 1e6))
+        if micros > 0:
+            lines.append(f"{stack} {micros}")
+        for child in sorted(node.children.values(), key=lambda c: c.name):
+            walk(child, stack)
+
+    for root in sorted(roots, key=lambda r: r.name):
+        walk(root, "")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_profile(
+    path: str | os.PathLike[str],
+    roots: list[ProfileNode],
+    fmt: str = "speedscope",
+    name: str = "repro",
+) -> Path:
+    """Write the profile in ``fmt`` (``speedscope``/``collapsed``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if fmt == "speedscope":
+        target.write_text(
+            json.dumps(to_speedscope(roots, name=name)) + "\n",
+            encoding="utf-8",
+        )
+    elif fmt == "collapsed":
+        target.write_text(to_collapsed(roots), encoding="utf-8")
+    else:
+        raise ValueError(f"unknown profile format {fmt!r}")
+    return target

@@ -1,0 +1,232 @@
+"""Live progress/ETA heartbeats for governed enumerations.
+
+Every governed enumerator in the library already funnels its work
+through :meth:`Budget.charge <repro.core.budget.Budget.charge>`; a
+:class:`ProgressReporter` hooks that same call (via the budget's
+``on_charge`` slot) and turns the stream of charges into throttled
+rate/ETA heartbeats on stderr and, when a run directory is active, into
+a ``progress.jsonl`` sink that ``repro tail`` can follow.
+
+Cost discipline: the hook is a single attribute check in ``charge`` when
+no reporter is attached (``on_charge is None``), and when attached the
+reporter only reads the clock every *stride* charges — the stride adapts
+upward (doubling, capped) while heartbeats come back early, so even
+``states=1`` hot loops (census, fuzz, sequential orbits) pay a counter
+increment and an occasional clock read, not a syscall per charge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections.abc import Iterator
+from pathlib import Path
+
+__all__ = [
+    "PROGRESS_NAME",
+    "ProgressReporter",
+    "iter_progress",
+    "format_heartbeat",
+]
+
+#: File name of the heartbeat sink inside a run directory.
+PROGRESS_NAME = "progress.jsonl"
+
+#: Never re-read the clock more often than every charge, never less
+#: often than every _MAX_STRIDE charges.
+_MAX_STRIDE = 1024
+
+
+class ProgressReporter:
+    """Turns budget charges into throttled rate/ETA heartbeat events.
+
+    Parameters
+    ----------
+    label:
+        Human-readable name of the enumeration (``"phase-space n=24"``).
+    total:
+        Expected number of states/items, or ``None`` when unknown (ETA
+        is then omitted from heartbeats).
+    interval:
+        Minimum seconds between heartbeats (floored at 1.0 — the issue
+        contract is "throttled to >= 1 s").
+    stream:
+        Text stream for human-readable lines (default ``sys.stderr``).
+    path:
+        Optional ``progress.jsonl`` path; one JSON heartbeat per line.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        total: int | None = None,
+        interval: float = 1.0,
+        stream=None,
+        path: str | os.PathLike[str] | None = None,
+        clock=time.monotonic,
+    ):
+        self.label = label
+        self.total = int(total) if total is not None else None
+        self.interval = max(1.0, float(interval))
+        self.stream = sys.stderr if stream is None else stream
+        self._clock = clock
+        self.done = 0
+        self.heartbeats = 0
+        self._t0 = clock()
+        self._last_emit = self._t0
+        self._stride = 1
+        self._since_check = 0
+        self._finished = False
+        self._fh = None
+        if path is not None:
+            p = Path(path)
+            p.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(p, "a", encoding="utf-8")
+
+    # -- hot path --------------------------------------------------------------
+
+    def on_charge(self, budget, states: int) -> None:
+        """Budget ``on_charge`` hook: count work, occasionally emit.
+
+        ``states=0`` pings (e.g. the process-pool wait loop) don't add
+        work but still drive the clock check, so heartbeats keep flowing
+        while a long shard runs elsewhere.
+        """
+        self.done += states
+        self._since_check += 1
+        if self._since_check < self._stride and states:
+            return
+        self._since_check = 0
+        now = self._clock()
+        since = now - self._last_emit
+        if since >= self.interval:
+            self._emit(now)
+        elif since < self.interval * 0.25 and self._stride < _MAX_STRIDE:
+            # Checking far too early: back off the clock reads.
+            self._stride *= 2
+
+    def update(self, items: int = 1) -> None:
+        """Manual advance for non-budget work (e.g. per-experiment)."""
+        self.on_charge(None, items)
+
+    # -- emission --------------------------------------------------------------
+
+    def _heartbeat(self, now: float, final: bool = False) -> dict:
+        elapsed = max(now - self._t0, 1e-9)
+        rate = self.done / elapsed
+        ev: dict[str, object] = {
+            "event": "progress",
+            "label": self.label,
+            "done": self.done,
+            "elapsed_s": round(elapsed, 3),
+            "rate": round(rate, 3),
+            "ts": time.time(),
+        }
+        if self.total is not None:
+            ev["total"] = self.total
+            ev["frac"] = round(min(1.0, self.done / self.total), 6) if self.total else 1.0
+            if rate > 0 and not final:
+                ev["eta_s"] = round(max(0.0, self.total - self.done) / rate, 3)
+        if final:
+            ev["final"] = True
+        return ev
+
+    def _emit(self, now: float, final: bool = False) -> None:
+        ev = self._heartbeat(now, final=final)
+        self._last_emit = now
+        self.heartbeats += 1
+        try:
+            print(format_heartbeat(ev), file=self.stream, flush=True)
+        except (OSError, ValueError):
+            pass
+        if self._fh is not None:
+            try:
+                self._fh.write(json.dumps(ev) + "\n")
+                self._fh.flush()
+            except (OSError, ValueError):
+                pass
+
+    def finish(self) -> None:
+        """Emit one final heartbeat and close the jsonl sink (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._emit(self._clock(), final=True)
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def format_heartbeat(ev: dict) -> str:
+    """One human-readable line for a heartbeat event dict."""
+    label = ev.get("label", "?")
+    done = ev.get("done", 0)
+    total = ev.get("total")
+    rate = float(ev.get("rate", 0.0))
+    parts = [f"[{label}]"]
+    if total:
+        pct = 100.0 * float(ev.get("frac", 0.0))
+        parts.append(f"{done}/{total} ({pct:.1f}%)")
+    else:
+        parts.append(f"{done} done")
+    parts.append(f"{rate:,.0f}/s")
+    if "eta_s" in ev:
+        parts.append(f"ETA {_fmt_secs(float(ev['eta_s']))}")
+    if ev.get("final"):
+        parts.append(f"finished in {_fmt_secs(float(ev.get('elapsed_s', 0)))}")
+    return " ".join(parts)
+
+
+def _fmt_secs(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m" if hours else f"{minutes}m{secs:02d}s"
+
+
+def iter_progress(
+    directory: str | os.PathLike[str],
+    follow: bool = False,
+    poll_interval: float = 0.5,
+    timeout: float | None = None,
+) -> Iterator[dict]:
+    """Yield heartbeat events from a run directory's ``progress.jsonl``.
+
+    With ``follow=True`` this keeps polling for appended lines (like
+    ``tail -f``) until a ``final`` heartbeat arrives, the optional
+    ``timeout`` elapses, or the file never appears within the timeout.
+    Partial trailing lines (a writer mid-flush) are retried, not lost.
+    """
+    path = Path(directory) / PROGRESS_NAME
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while not path.exists():
+        if not follow or (deadline is not None and time.monotonic() > deadline):
+            return
+        time.sleep(poll_interval)
+    with open(path, encoding="utf-8") as fh:
+        buffer = ""
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                buffer += chunk
+                if not buffer.endswith("\n"):
+                    continue  # partial line: wait for the writer's flush
+                line, buffer = buffer.strip(), ""
+                if not line:
+                    continue
+                try:
+                    ev = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                yield ev
+                if ev.get("final"):
+                    return
+                continue
+            if not follow:
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                return
+            time.sleep(poll_interval)

@@ -41,11 +41,16 @@ __all__ = [
     "remove_sink",
     "clear_sinks",
     "emit_event",
+    "current_stack",
 ]
 
 _enabled = False
 _trace_memory = False
 _stack: list[str] = []
+#: per-open-frame accumulator of completed child wall time, parallel to
+#: ``_stack`` — this is what lets each span event carry its *self* time
+#: (duration minus traced children), the quantity profilers care about.
+_child_acc: list[float] = []
 _sinks: list[Callable[[dict], None]] = []
 
 _FALSY = {"", "0", "false", "no", "off"}
@@ -77,6 +82,18 @@ def disable() -> None:
         tracemalloc.stop()
     _trace_memory = False
     _stack.clear()
+    _child_acc.clear()
+
+
+def current_stack() -> tuple[str, ...]:
+    """Names of the currently open spans, outermost first.
+
+    Inside a sink callback (which fires from ``Span.__exit__``) this is
+    the *ancestor* path of the span being closed — the closing span has
+    already been popped — which is exactly what a live profiler needs to
+    key its call tree.
+    """
+    return tuple(_stack)
 
 
 def enable_from_env(environ: Mapping[str, str] | None = None) -> bool:
@@ -143,7 +160,17 @@ NOOP_SPAN = _NoopSpan()
 class Span:
     """A live traced region; use via :func:`span`, not directly."""
 
-    __slots__ = ("name", "attrs", "depth", "t_start", "elapsed", "_clock0", "_mem0")
+    __slots__ = (
+        "name",
+        "attrs",
+        "depth",
+        "t_start",
+        "elapsed",
+        "self_s",
+        "calls",
+        "_clock0",
+        "_mem0",
+    )
 
     def __init__(self, name: str, attrs: dict[str, object]):
         self.name = name
@@ -151,6 +178,8 @@ class Span:
         self.depth = 0
         self.t_start = 0.0
         self.elapsed = 0.0
+        self.self_s = 0.0
+        self.calls = 1
         self._clock0 = 0.0
         self._mem0 = 0
 
@@ -162,6 +191,7 @@ class Span:
     def __enter__(self) -> "Span":
         self.depth = len(_stack)
         _stack.append(self.name)
+        _child_acc.append(0.0)
         self.t_start = time.time()
         if _trace_memory:
             self._mem0 = tracemalloc.get_traced_memory()[0]
@@ -173,6 +203,11 @@ class Span:
         # Truncate, don't pop: survives nesting torn up by exceptions.
         if len(_stack) > self.depth:
             del _stack[self.depth :]
+        child = _child_acc[self.depth] if len(_child_acc) > self.depth else 0.0
+        del _child_acc[self.depth :]
+        if _child_acc:
+            _child_acc[-1] += self.elapsed
+        self.self_s = max(0.0, self.elapsed - child)
         REGISTRY.timer(self.name).observe(self.elapsed)
         payload: dict[str, object] = {
             "event": "span",
@@ -180,6 +215,7 @@ class Span:
             "depth": self.depth,
             "t_start": self.t_start,
             "duration_s": self.elapsed,
+            "self_s": self.self_s,
         }
         if self.attrs:
             payload["attrs"] = dict(self.attrs)

@@ -275,6 +275,12 @@ class ProcessBackend(SweepBackend):
                     try:
                         msg = result_q.get(timeout=_POLL_S)
                     except queue.Empty:
+                        # Zero-state ping so an attached progress reporter
+                        # keeps emitting heartbeats while shards run
+                        # elsewhere and nothing is being charged here.
+                        cb = getattr(budget, "on_charge", None)
+                        if cb is not None:
+                            cb(budget, 0)
                         if reason is None:
                             reason = budget.over()
                             if reason is not None:

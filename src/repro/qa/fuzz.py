@@ -105,6 +105,9 @@ def run_fuzz(
             break
         if len(report.findings) >= max_findings:
             break
+        # One unit of governed work per case: feeds the states cap and
+        # any attached progress reporter (rate/ETA over cases).
+        budget.charge(states=1)
         spec = sample_spec(case_seed(seed, case), budget=budget, max_n=max_n)
         with obs.span(
             "qa.case", case=case, seed=spec.seed, instance=spec.describe()

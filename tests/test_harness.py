@@ -170,11 +170,11 @@ class TestArtifactsUnderFaults:
         assert "good" in raw
         # The stream now ends in a truncated record with no newline.
         assert not raw.endswith("\n")
-        events = obs.read_events(run_dir)
+        events = list(obs.read_events(run_dir))
         assert [e["name"] for e in events] == ["good"]
         assert obs.REGISTRY.snapshot()["counters"]["artifacts.partial_events"] == 1
         with pytest.raises(json.JSONDecodeError):
-            obs.read_events(run_dir, strict=True)
+            list(obs.read_events(run_dir, strict=True))
 
     def test_unfinalized_manifest_is_flagged_not_keyerror(self, tmp_path):
         run_dir = tmp_path / "crashed"

@@ -1,0 +1,378 @@
+"""Tests for the cross-run sqlite index (repro.obs.index) and `repro runs`.
+
+The fixture below materialises one artifact of each of the five dialects
+the library emits — an obs manifest run, a harness journal (with a torn
+trailing line and an in-flight experiment), a truncated-sweep frontier,
+a ``BENCH_*.json`` report and a qa finding — and the tests round-trip
+all of them through :meth:`RunIndex.index_run` and the CLI.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sqlite3
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.index import RunIndex, bench_medians, compare_medians
+from repro.qa.findings import Finding
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.clear_sinks()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.clear_sinks()
+    obs.REGISTRY.reset()
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _write_bench(path, medians, generated="2026-01-01T00:00:00+0000"):
+    payload = {
+        "schema": "repro-bench/1",
+        "module": "bench_demo",
+        "generated": generated,
+        "exit_status": 0,
+        "environment": {"python": "3.11", "backend": "auto"},
+        "benchmarks": [
+            {
+                "name": name.rsplit("::", 1)[-1],
+                "fullname": name,
+                "stats": {
+                    "median_s": median,
+                    "mean_s": median * 1.1,
+                    "min_s": median * 0.9,
+                    "max_s": median * 1.3,
+                    "total_s": median * 5,
+                    "rounds": 5,
+                },
+            }
+            for name, median in medians.items()
+        ],
+        "metrics": {"counters": {"bench.runs": 1}},
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def five_dialects(tmp_path):
+    """One artifact tree holding every dialect, some deliberately torn."""
+    # 1. obs manifest run (traced, so it carries spans + timers)
+    obs.enable()
+    with obs.RunArtifacts(tmp_path / "run1", command="phase-space") as run:
+        with obs.span("phase_space.build", n=6):
+            with obs.span("phase_space.global_map"):
+                pass
+    obs.disable()
+    manifest_id = run.manifest["run_id"]
+    obs.REGISTRY.reset()
+
+    # 2. harness journal: one ok finish, one in-flight, one torn line
+    hdir = tmp_path / "harness1"
+    hdir.mkdir()
+    t0 = time.time()
+    (hdir / "journal.jsonl").write_text(
+        json.dumps({"ev": "start", "id": "E1", "attempt": 1, "ts": t0})
+        + "\n"
+        + json.dumps({"ev": "finish", "id": "E1", "status": "ok",
+                      "holds": True, "duration_s": 1.5, "ts": t0 + 1.5})
+        + "\n"
+        + json.dumps({"ev": "start", "id": "E2", "attempt": 1, "ts": t0 + 2})
+        + "\n"
+        + '{"ev": "finish", "id": "E2", "stat',  # torn mid-write
+        encoding="utf-8",
+    )
+    (hdir / "checkpoint.json").write_text(
+        json.dumps({"updated": t0 + 2, "results": {"E1": {"status": "ok"}}}),
+        encoding="utf-8",
+    )
+
+    # 3. budget frontier left by a truncated sweep
+    fdir = tmp_path / "frontier1"
+    fdir.mkdir()
+    (fdir / "frontier.json").write_text(
+        json.dumps({
+            "kind": "phase_space", "n": 14, "next_lo": 4096,
+            "explored": 4096, "reason": "states: 4096 >= 4096",
+            "stats": {"fixed_points": 7}, "saved_ts": t0,
+        }),
+        encoding="utf-8",
+    )
+
+    # 4. benchmark report
+    _write_bench(
+        tmp_path / "BENCH_demo.json",
+        {"benchmarks/bench_demo.py::test_sweep": 0.25},
+    )
+
+    # 5. qa finding
+    finding = Finding(
+        check="parallel_vs_backend",
+        detail={"config": 3},
+        spec={"n": 4, "seed": 9},
+        backends=["numpy"],
+        shrunk=True,
+        shrink_steps=2,
+    )
+    finding.save(tmp_path / "findings")
+
+    return tmp_path, manifest_id
+
+
+class TestIngestion:
+    def test_all_five_dialects_round_trip(self, five_dialects, tmp_path):
+        root, manifest_id = five_dialects
+        with RunIndex(tmp_path / "idx.sqlite") as idx:
+            ingested = idx.index_run(root)
+            assert len(ingested) == 5
+            kinds = {r["kind"] for r in idx.list_runs()}
+            assert kinds == {"manifest", "harness", "frontier", "bench",
+                             "finding"}
+
+            run = idx.get_run(manifest_id)
+            assert run["status"] == "complete"
+            assert run["command"] == "phase-space"
+            counts = idx.counts(manifest_id)
+            assert counts["spans"] == 2  # build + global_map
+            assert counts["metrics"] >= 2
+
+            harness = next(
+                r for r in idx.list_runs(kind="harness")
+            )
+            extra = json.loads(harness["extra"])
+            assert extra["in_flight"] == ["E2"]
+            assert extra["skipped_journal_lines"] == 1  # the torn line
+            assert harness["status"] == "in-progress"
+            # the finished experiment indexed as a 1-count timer
+            assert idx.timer_medians(harness["run_id"]) == {
+                "experiment.E1": 1.5
+            }
+
+            frontier = next(r for r in idx.list_runs(kind="frontier"))
+            assert frontier["status"] == "truncated"
+            assert json.loads(frontier["extra"])["next_lo"] == 4096
+
+            bench = next(r for r in idx.list_runs(kind="bench"))
+            assert idx.timer_medians(bench["run_id"])[
+                "benchmarks/bench_demo.py::test_sweep"
+            ] == 0.25
+
+            finding = next(r for r in idx.list_runs(kind="finding"))
+            rows = idx.run_findings(finding["run_id"])
+            assert rows[0]["check_name"] == "parallel_vs_backend"
+            assert rows[0]["shrunk"] == 1
+
+    def test_reindex_is_idempotent(self, five_dialects, tmp_path):
+        root, manifest_id = five_dialects
+        with RunIndex(tmp_path / "idx.sqlite") as idx:
+            idx.index_run(root)
+            before = idx.counts(manifest_id)
+            ids = idx.index_run(root)
+            assert len(ids) == 5
+            assert len(idx.list_runs()) == 5
+            assert idx.counts(manifest_id) == before
+
+    def test_unfinalized_manifest_indexes_in_progress(self, tmp_path):
+        obs.RunArtifacts(tmp_path / "crashed", command="doomed")
+        with RunIndex(tmp_path / "idx.sqlite") as idx:
+            [rid] = idx.index_run(tmp_path / "crashed")
+            assert idx.get_run(rid)["status"] == "in-progress"
+
+    def test_single_file_ingestion(self, tmp_path):
+        bench = _write_bench(tmp_path / "BENCH_x.json", {"t::a": 0.1})
+        with RunIndex(tmp_path / "idx.sqlite") as idx:
+            [rid] = idx.index_run(bench)
+            assert idx.get_run(rid)["kind"] == "bench"
+        with pytest.raises(FileNotFoundError):
+            with RunIndex(tmp_path / "idx2.sqlite") as idx:
+                idx.index_run(tmp_path / "absent")
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        db = tmp_path / "idx.sqlite"
+        conn = sqlite3.connect(db)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(RuntimeError, match="newer"):
+            RunIndex(db)
+
+
+class TestQueries:
+    def test_resolve_run_by_unique_prefix(self, five_dialects, tmp_path):
+        root, manifest_id = five_dialects
+        with RunIndex(tmp_path / "idx.sqlite") as idx:
+            idx.index_run(root)
+            assert idx.resolve_run(manifest_id[:10])["run_id"] == manifest_id
+            with pytest.raises(KeyError, match="no indexed run"):
+                idx.resolve_run("zzz")
+
+    def test_resolve_run_ambiguous(self, tmp_path):
+        _write_bench(tmp_path / "BENCH_a.json", {"t::x": 0.1})
+        _write_bench(tmp_path / "BENCH_b.json", {"t::y": 0.1})
+        with RunIndex(tmp_path / "idx.sqlite") as idx:
+            idx.index_run(tmp_path)
+            with pytest.raises(KeyError, match="ambiguous"):
+                idx.resolve_run("bench-demo")
+
+    def test_gc_drops_deleted_artifacts_and_keeps_n(self, tmp_path):
+        a = _write_bench(tmp_path / "BENCH_a.json", {"t::x": 0.1})
+        _write_bench(tmp_path / "BENCH_b.json", {"t::y": 0.1})
+        with RunIndex(tmp_path / "idx.sqlite") as idx:
+            idx.index_run(tmp_path)
+            assert len(idx.list_runs()) == 2
+            a.unlink()
+            assert idx.gc() == 1
+            remaining = idx.list_runs()
+            assert len(remaining) == 1
+            assert idx.gc(keep=1) == 0  # the one survivor is kept
+            assert len(idx.timer_medians(remaining[0]["run_id"])) == 1
+
+
+class TestCompareMedians:
+    def test_regression_trips_and_new_missing_do_not(self):
+        baseline = {"a": 0.1, "b": 0.1, "gone": 0.5}
+        current = {"a": 0.15, "b": 0.35, "fresh": 0.2}
+        lines, failed = compare_medians(baseline, current, 2.0)
+        assert failed
+        text = "\n".join(lines)
+        assert "REGRESSED" in text and "b:" in text
+        assert "NEW" in text and "MISSING" in text
+        lines, failed = compare_medians({"a": 0.1}, {"a": 0.19}, 2.0)
+        assert not failed
+
+    def test_bench_medians_matches_compare_bench_loader(self, tmp_path):
+        from benchmarks.compare_bench import load_medians
+
+        path = _write_bench(tmp_path / "BENCH_x.json", {"t::a": 0.125})
+        assert bench_medians(path) == load_medians(path) == {"t::a": 0.125}
+
+
+class TestRunsCli:
+    def test_index_list_show_gc(self, five_dialects, tmp_path, monkeypatch):
+        root, manifest_id = five_dialects
+        db = tmp_path / "idx.sqlite"
+        code, text = run_cli("runs", "index", str(root), "--db", str(db))
+        assert code == 0
+        assert "indexed 5 run(s)" in text
+
+        code, text = run_cli("runs", "list", "--db", str(db))
+        assert code == 0
+        for kind in ("manifest", "harness", "frontier", "bench", "finding"):
+            assert kind in text
+
+        code, text = run_cli("runs", "list", "--kind", "bench",
+                             "--db", str(db))
+        assert code == 0
+        assert "bench_demo" in text and "harness" not in text
+
+        code, text = run_cli("runs", "show", manifest_id[:10],
+                             "--db", str(db))
+        assert code == 0
+        assert "phase_space.build" in text and "spans=2" in text
+
+        code, text = run_cli("runs", "gc", "--db", str(db))
+        assert code == 0
+        assert "dropped 0 run(s)" in text
+
+        # the env var is honoured when --db is absent
+        monkeypatch.setenv("REPRO_RUNS_DB", str(db))
+        code, text = run_cli("runs", "list")
+        assert code == 0
+        assert "bench_demo" in text
+
+    def test_missing_db_is_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no run index"):
+            run_cli("runs", "list", "--db", str(tmp_path / "absent.sqlite"))
+
+    def test_compare_exits_nonzero_on_regression(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        _write_bench(tmp_path / "a" / "BENCH_demo.json", {"t::sweep": 0.1},
+                     generated="2026-01-01T00:00:00+0000")
+        (tmp_path / "b").mkdir()
+        _write_bench(tmp_path / "b" / "BENCH_demo.json", {"t::sweep": 0.45},
+                     generated="2026-01-02T00:00:00+0000")
+        db = tmp_path / "idx.sqlite"
+        code, text = run_cli("runs", "index", str(tmp_path / "a"),
+                             str(tmp_path / "b"), "--db", str(db))
+        assert code == 0
+        ids = [ln.strip() for ln in text.splitlines()[1:]]
+        assert len(ids) == 2
+        code, text = run_cli("runs", "compare", ids[0], ids[1],
+                             "--db", str(db))
+        assert code == 1  # 4.5x > the 2x tolerance
+        assert "REGRESSED" in text
+        # a wider tolerance lets the same pair pass
+        code, text = run_cli("runs", "compare", ids[0], ids[1],
+                             "--tolerance", "5.0", "--db", str(db))
+        assert code == 0
+        assert "OK" in text
+
+    def test_compare_without_timers_exits_2(self, five_dialects, tmp_path):
+        root, _ = five_dialects
+        db = tmp_path / "idx.sqlite"
+        run_cli("runs", "index", str(root), "--db", str(db))
+        with RunIndex(db) as idx:
+            finding = next(r for r in idx.list_runs(kind="finding"))
+            bench = next(r for r in idx.list_runs(kind="bench"))
+        code, _ = run_cli("runs", "compare", finding["run_id"],
+                          bench["run_id"], "--db", str(db))
+        assert code == 2
+
+    def test_tolerance_validation(self, tmp_path):
+        with pytest.raises(SystemExit, match="tolerance"):
+            run_cli("runs", "compare", "a", "b", "--tolerance", "0.5",
+                    "--db", str(tmp_path / "x.sqlite"))
+
+
+class TestProfileCli:
+    def test_profile_speedscope_accounts_for_wall_time(self, tmp_path):
+        """Acceptance: root spans cover >=90% of the measured wall time."""
+        target = tmp_path / "prof.json"
+        t0 = time.perf_counter()
+        code, _ = run_cli("phase-space", "--n", "20",
+                          "--profile", str(target))
+        wall = time.perf_counter() - t0
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        prof = doc["profiles"][0]
+        assert prof["type"] == "evented" and prof["unit"] == "seconds"
+        # the cli.* root span brackets the dispatch, so the profile's
+        # total extent must land within 10% of the wall clock we measured
+        assert prof["endValue"] == pytest.approx(wall, rel=0.10)
+        frames = {f["name"] for f in doc["shared"]["frames"]}
+        assert "cli.phase-space" in frames
+        assert "phase_space.build" in frames
+
+    def test_profile_collapsed_format(self, tmp_path):
+        target = tmp_path / "prof.collapsed"
+        code, _ = run_cli("phase-space", "--n", "8", "--profile",
+                          str(target), "--profile-format", "collapsed")
+        assert code == 0
+        lines = target.read_text().strip().splitlines()
+        assert lines
+        stacks = {ln.rsplit(" ", 1)[0] for ln in lines}
+        assert any(s.startswith("cli.phase-space;") for s in stacks)
+        assert all(int(ln.rsplit(" ", 1)[1]) > 0 for ln in lines)
+
+    def test_profile_on_stats_subcommand(self, tmp_path):
+        target = tmp_path / "prof.json"
+        code, _ = run_cli("stats", "--profile", str(target))
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert {f["name"] for f in doc["shared"]["frames"]} == {"cli.stats"}
