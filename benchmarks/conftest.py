@@ -24,8 +24,16 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.core import durable
 from repro.obs import REGISTRY
 from repro.perf import BACKEND_ENV
+
+#: schema version stamped into BENCH_*.json (validated by repro.contracts)
+BENCH_SCHEMA = "repro-bench/1"
+
+durable.register_write_site(
+    "bench.write", "atomically replace a BENCH_<module>.json report"
+)
 
 #: the session-default sweep backend (benchmarks that parametrize over
 #: backends record their own; everything else inherits this label, which
@@ -97,7 +105,7 @@ def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
     metrics = REGISTRY.snapshot()
     for name, entries in sorted(by_module.items()):
         payload = {
-            "schema": "repro-bench/1",
+            "schema": BENCH_SCHEMA,
             "module": f"bench_{name}",
             "generated": generated,
             "exit_status": int(exitstatus),
@@ -105,7 +113,12 @@ def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
             "benchmarks": sorted(entries, key=lambda e: str(e["fullname"])),
             "metrics": metrics,
         }
-        target = root / f"BENCH_{name}.json"
-        target.write_text(
-            json.dumps(payload, indent=2, default=str) + "\n", encoding="utf-8"
+        # Durable, no sidecar: the reports live at the repo root where a
+        # .sum per BENCH file would be committed clutter; the schema +
+        # contract validation covers their integrity instead.
+        durable.durable_write_json(
+            root / f"BENCH_{name}.json",
+            payload,
+            site="bench.write",
+            checksum=False,
         )

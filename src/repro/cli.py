@@ -24,6 +24,14 @@ Subcommands
     ``list``/``show`` browse, ``gc`` prunes stale rows, and ``compare``
     diffs two runs' timer medians (exit 1 on a regression beyond
     ``--tolerance``).
+``doctor RUN_DIR``
+    Crash-recovery triage: validate every artifact in a run directory
+    against its contract (:mod:`repro.contracts`), repair what is
+    mechanically repairable (torn JSONL tails, a snapshot regenerable
+    from its journal, a rebuildable sqlite index, stale sidecars) and
+    quarantine the rest under ``RUN_DIR/quarantine/``.  ``--no-repair``
+    reports only.  Exit codes: 0 consistent as found, 1 repaired (or,
+    with ``--no-repair``, repairable), 2 corruption remains.
 ``tail``
     Follow a live or finished run's ``progress.jsonl`` heartbeats.
 ``fuzz``
@@ -378,6 +386,26 @@ def build_parser() -> argparse.ArgumentParser:
                                 "baseline (default 2.0)")
     for rp in (r_index, r_list, r_show, r_gc, r_compare):
         _add_db_arg(rp)
+
+    p_doctor = sub.add_parser(
+        "doctor", help="validate, repair and quarantine a run directory",
+        description=(
+            "Classify every artifact under RUN_DIR against its versioned "
+            "contract as valid / truncated-recoverable / corrupt, repair "
+            "the recoverable (drop torn JSONL tails, regenerate "
+            "checkpoint.json from the journal, rebuild "
+            "runs_index.sqlite, refresh stale sidecars), quarantine the "
+            "corrupt, and write doctor_report.json.  Exit codes: 0 "
+            "consistent as found, 1 repaired into consistency, 2 "
+            "corruption remains."
+        ),
+    )
+    p_doctor.add_argument("run_dir", metavar="RUN_DIR",
+                          help="run directory to triage (walked recursively)")
+    p_doctor.add_argument("--no-repair", action="store_true",
+                          help="classify and report only; change nothing")
+    p_doctor.add_argument("--json", action="store_true", dest="doctor_json",
+                          help="emit the machine-readable report on stdout")
 
     p_tail = sub.add_parser(
         "tail", help="follow a run's progress.jsonl heartbeats"
@@ -876,8 +904,44 @@ def _runs_db_path(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_doctor(args: argparse.Namespace, out) -> int:
+    from repro.contracts import run_doctor
+
+    run_dir = args.run_dir
+    if not os.path.isdir(run_dir):
+        raise SystemExit(f"no such run directory: {run_dir!r}")
+    report = run_doctor(run_dir, repair=not args.no_repair)
+    if args.doctor_json:
+        json.dump(report, out, indent=2)
+        print(file=out)
+        return report["exit_code"]
+    summary = report["summary"]
+    print(
+        f"doctor {run_dir}: {summary['valid']} valid, "
+        f"{summary['truncated-recoverable']} truncated-recoverable, "
+        f"{summary['corrupt']} corrupt",
+        file=out,
+    )
+    for check in report["files"]:
+        if check["status"] == "valid" and "repair" not in check:
+            continue
+        print(f"  [{check['status']}] {check['path']}: {check['detail']}",
+              file=out)
+    for repair_rec in report["repairs"]:
+        print(f"  repaired ({repair_rec['action']}) {repair_rec['path']}: "
+              f"{repair_rec['detail']}", file=out)
+    for check in report["unresolved"]:
+        print(f"  UNRESOLVED {check['path']}: {check['detail']}",
+              file=out)
+    verdict = {0: "consistent", 1: "repaired" if not args.no_repair
+               else "repairable", 2: "corrupt"}[report["exit_code"]]
+    print(f"verdict: {verdict} (report: "
+          f"{os.path.join(run_dir, 'doctor_report.json')})", file=out)
+    return report["exit_code"]
+
+
 def _cmd_runs(args: argparse.Namespace, out) -> int:
-    from repro.obs.index import RunIndex, compare_medians
+    from repro.obs.index import compare_medians, open_with_recovery
 
     db = _runs_db_path(args)
     action = args.runs_command
@@ -885,10 +949,21 @@ def _cmd_runs(args: argparse.Namespace, out) -> int:
         raise SystemExit(
             f"no run index at {db!r} — build one with 'repro runs index DIR'"
         )
+    # A corrupt or schema-foreign database is moved aside and rebuilt
+    # (re-ingesting the paths an `index` invocation names) rather than
+    # surfacing a raw sqlite3.DatabaseError traceback.
+    rebuild_from = list(args.paths) if action == "index" else []
     try:
-        idx = RunIndex(db)
+        idx, recovery = open_with_recovery(db, rebuild_from=rebuild_from)
     except (OSError, RuntimeError) as err:
         raise SystemExit(f"cannot open run index {db!r}: {err}") from err
+    if recovery is not None:
+        print(
+            f"warning: {db}: {recovery['problem']}; moved the damaged "
+            f"database to {recovery['moved_to'][0]} and rebuilt "
+            f"({len(recovery['reindexed'])} run(s) re-ingested)",
+            file=sys.stderr,
+        )
     with idx:
         if action == "index":
             ingested: list[str] = []
@@ -1037,6 +1112,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return _cmd_fuzz(args, out)
     if args.command == "runs":
         return _cmd_runs(args, out)
+    if args.command == "doctor":
+        return _cmd_doctor(args, out)
     if args.command == "tail":
         return _cmd_tail(args, out)
     if args.command == "report":

@@ -1,0 +1,44 @@
+"""Versioned artifact contracts + the ``repro doctor`` repair engine.
+
+Every artifact dialect the library persists (obs manifests + event
+streams, harness journals + checkpoints, budget frontiers, ``BENCH_*``
+reports, qa findings) declares a versioned schema and a ``validate()``
+here; :func:`run_doctor` applies them to classify a run directory as
+valid / truncated-recoverable / corrupt, repair what it mechanically
+can, and quarantine the rest.  See :mod:`repro.contracts.base` for the
+classification semantics and :mod:`repro.contracts.doctor` for the
+repair catalogue.
+"""
+
+from repro.contracts.base import (
+    CORRUPT,
+    STATUSES,
+    TRUNCATED,
+    VALID,
+    Contract,
+    FileCheck,
+)
+from repro.contracts.dialects import DIALECTS, contract_for
+from repro.contracts.doctor import (
+    QUARANTINE_DIR,
+    REPORT_NAME,
+    REPORT_SCHEMA,
+    diagnose,
+    run_doctor,
+)
+
+__all__ = [
+    "VALID",
+    "TRUNCATED",
+    "CORRUPT",
+    "STATUSES",
+    "Contract",
+    "FileCheck",
+    "DIALECTS",
+    "contract_for",
+    "diagnose",
+    "run_doctor",
+    "REPORT_NAME",
+    "REPORT_SCHEMA",
+    "QUARANTINE_DIR",
+]

@@ -1,0 +1,144 @@
+"""Classification vocabulary shared by every artifact contract.
+
+A *contract* pairs a versioned schema identifier (``repro-<dialect>/<n>``)
+with a ``validate()`` that classifies one on-disk file as:
+
+* :data:`VALID` — complete and self-consistent; safe to read;
+* :data:`TRUNCATED` — damaged in the way a crash legitimately leaves
+  behind (a torn JSONL tail, an array newer than its metadata stamp, an
+  orphaned temp file) and mechanically repairable without guessing;
+* :data:`CORRUPT` — damaged in a way no crash of the durable write
+  protocol can produce (failed CRC mid-file, unparseable atomic JSON,
+  digest mismatch): the file must be quarantined, not trusted.
+
+The distinction is the whole point of ``repro doctor``: TRUNCATED files
+get repaired in place, CORRUPT ones get moved to ``quarantine/`` —
+nothing is ever silently deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "VALID",
+    "TRUNCATED",
+    "CORRUPT",
+    "STATUSES",
+    "FileCheck",
+    "Contract",
+    "load_json_object",
+    "check_schema",
+    "check_fields",
+]
+
+VALID = "valid"
+TRUNCATED = "truncated-recoverable"
+CORRUPT = "corrupt"
+STATUSES = (VALID, TRUNCATED, CORRUPT)
+
+
+@dataclass
+class FileCheck:
+    """The verdict one contract renders on one file."""
+
+    path: str  #: file path as given to ``validate()``
+    dialect: str  #: owning dialect, e.g. ``"obs"`` or ``"harness"``
+    status: str  #: one of :data:`STATUSES`
+    detail: str = ""  #: human-readable explanation of the verdict
+    schema: str | None = None  #: schema id found in the file, if any
+    repair: str | None = None  #: repair action id the doctor can apply
+    extra: dict = field(default_factory=dict)  #: contract-specific facts
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        if not out["extra"]:
+            del out["extra"]
+        if out["repair"] is None:
+            del out["repair"]
+        if out["schema"] is None:
+            del out["schema"]
+        return out
+
+
+class Contract:
+    """Base class: one file kind, one schema version, one ``validate``.
+
+    Subclasses set :attr:`name` (the dialect), :attr:`schema` (the
+    versioned identifier stamped into files they own) and implement
+    :meth:`validate`.
+    """
+
+    name: str = "?"
+    schema: str | None = None
+
+    def validate(self, path: str | Path) -> FileCheck:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- verdict helpers (uniform FileCheck construction) ----------------------
+
+    def ok(self, path, detail: str = "", **kw) -> FileCheck:
+        return FileCheck(str(path), self.name, VALID, detail,
+                         schema=self.schema, **kw)
+
+    def truncated(self, path, detail: str, repair: str | None = None,
+                  **kw) -> FileCheck:
+        return FileCheck(str(path), self.name, TRUNCATED, detail,
+                         schema=self.schema, repair=repair, **kw)
+
+    def corrupt(self, path, detail: str, repair: str | None = None,
+                **kw) -> FileCheck:
+        return FileCheck(str(path), self.name, CORRUPT, detail,
+                         schema=self.schema, repair=repair, **kw)
+
+
+def load_json_object(path: str | Path) -> tuple[dict | None, str | None]:
+    """Read ``path`` as one JSON object; returns ``(obj, problem)``.
+
+    Exactly one of the pair is ``None``.  ``problem`` distinguishes the
+    unreadable, the unparseable and the wrong-shaped.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        return None, f"unreadable: {exc}"
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return None, f"not parseable JSON: {exc}"
+    if not isinstance(obj, dict):
+        return None, f"expected a JSON object, got {type(obj).__name__}"
+    return obj, None
+
+
+def check_schema(obj: dict, expected: str) -> str | None:
+    """Validate ``obj``'s declared schema against ``expected``.
+
+    A missing ``schema`` key is tolerated (pre-contract artifacts are
+    grandfathered in); any *declared* schema must match exactly —
+    ``repro-checkpoint/2`` in a library that speaks ``/1`` is a refusal,
+    not a guess.
+    """
+    declared = obj.get("schema")
+    if declared is None:
+        return None
+    if declared != expected:
+        return f"declared schema {declared!r}, this library speaks {expected!r}"
+    return None
+
+
+def check_fields(obj: dict, required: dict[str, type | tuple]) -> str | None:
+    """First missing/mistyped required field as a problem string, or None."""
+    for key, types in required.items():
+        if key not in obj:
+            return f"missing required field {key!r}"
+        if not isinstance(obj[key], types):
+            want = getattr(types, "__name__", None) or "/".join(
+                t.__name__ for t in types  # type: ignore[union-attr]
+            )
+            return (
+                f"field {key!r} is {type(obj[key]).__name__}, expected {want}"
+            )
+    return None

@@ -1,0 +1,328 @@
+"""``repro doctor``: classify, repair and quarantine a run directory.
+
+:func:`diagnose` walks a run tree and applies each file's contract
+(:mod:`repro.contracts.dialects`), yielding one
+:class:`~repro.contracts.base.FileCheck` per recognised artifact plus
+checks for the things contracts don't own: orphaned ``.tmp`` files from
+interrupted durable writes, stale/orphaned ``.sum`` sidecars, and the
+``runs_index.sqlite`` database (probed via
+:func:`repro.obs.index.check_database`).
+
+:func:`run_doctor` then repairs what is mechanically repairable —
+
+* ``rewrite-valid-records`` — drop torn/corrupt JSONL lines, keeping
+  every record whose CRC (or legacy CRC-less decode) holds;
+* ``rebuild-from-journal`` — regenerate ``checkpoint.json`` from the
+  journal's finish records (results carry ``"recovered": true`` so a
+  later reader knows the full payload was lost);
+* ``rebuild-index`` — move a corrupt/foreign sqlite index aside and
+  re-ingest the surviving artifacts;
+* ``refresh-sidecar`` — recompute a sidecar that lags its (valid)
+  payload, the normal crash window of the sidecar-last protocol;
+* ``quarantine`` / ``quarantine-frontier`` — move what cannot be
+  trusted into ``<run>/quarantine/`` (nothing is ever deleted) —
+
+and writes a machine-readable ``doctor_report.json``.  Exit codes:
+**0** the tree was already consistent, **1** repairs were applied and
+the tree is now consistent, **2** corruption remains (repair disabled
+or impossible).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.contracts.base import CORRUPT, TRUNCATED, VALID, FileCheck
+from repro.contracts.dialects import contract_for
+from repro.core import durable
+
+__all__ = [
+    "REPORT_NAME",
+    "REPORT_SCHEMA",
+    "QUARANTINE_DIR",
+    "diagnose",
+    "run_doctor",
+]
+
+REPORT_NAME = "doctor_report.json"
+REPORT_SCHEMA = "repro-doctor-report/1"
+QUARANTINE_DIR = "quarantine"
+
+#: Files the walk never classifies: the doctor's own output, prometheus
+#: exports (regenerated every run, scraped by glob) and the sqlite WAL
+#: companions (owned by the database check).
+_SKIP_NAMES = {REPORT_NAME, "metrics.prom"}
+_SKIP_SUFFIXES = ("-wal", "-shm")
+
+
+def _iter_files(run_dir: Path):
+    for path in sorted(run_dir.rglob("*")):
+        if not path.is_file():
+            continue
+        if QUARANTINE_DIR in path.relative_to(run_dir).parts:
+            continue
+        if path.name in _SKIP_NAMES or path.name.endswith(_SKIP_SUFFIXES):
+            continue
+        yield path
+
+
+def diagnose(run_dir: str | Path) -> list[FileCheck]:
+    """Classify every recognised artifact under ``run_dir``."""
+    from repro.obs.index import DB_NAME, check_database
+
+    run_dir = Path(run_dir)
+    checks: list[FileCheck] = []
+    for path in _iter_files(run_dir):
+        name = path.name
+        if name.endswith(durable.TMP_SUFFIX):
+            checks.append(
+                FileCheck(
+                    str(path), "durable", TRUNCATED,
+                    "orphaned temp file from an interrupted durable write",
+                    repair="quarantine",
+                )
+            )
+            continue
+        if name == DB_NAME:
+            problem = check_database(path)
+            if problem is None:
+                checks.append(FileCheck(str(path), "index", VALID))
+            else:
+                checks.append(
+                    FileCheck(str(path), "index", TRUNCATED, problem,
+                              repair="rebuild-index")
+                )
+            continue
+        if name.endswith(durable.SIDECAR_SUFFIX):
+            payload = path.with_name(name[: -len(durable.SIDECAR_SUFFIX)])
+            if not payload.exists():
+                checks.append(
+                    FileCheck(
+                        str(path), "durable", TRUNCATED,
+                        "orphaned sidecar: its payload is gone",
+                        repair="quarantine",
+                    )
+                )
+            continue  # live sidecars are folded into their payload's check
+        contract = contract_for(path)
+        if contract is None:
+            continue
+        check = contract.validate(path)
+        if check.status == VALID and durable.sidecar_path(path).exists():
+            verdict = durable.verify_sidecar(path)
+            if verdict in ("stale", "unreadable"):
+                # The payload validated on its own merits; only the
+                # sidecar lags (crash between replace and refresh).
+                check.detail = (
+                    f"{check.detail + '; ' if check.detail else ''}"
+                    f"sidecar is {verdict}"
+                )
+                check.repair = "refresh-sidecar"
+        checks.append(check)
+    # A journal whose snapshot vanished (crash between the journal append
+    # and the snapshot replace) is recoverable even though no file is
+    # individually broken — surface it as a repairable absence.
+    journal = run_dir_journal_without_snapshot(run_dir)
+    if journal is not None:
+        checks.append(
+            FileCheck(
+                str(journal.parent / "checkpoint.json"), "harness", TRUNCATED,
+                "journal records finishes but checkpoint.json is missing",
+                repair="rebuild-from-journal",
+            )
+        )
+    return checks
+
+
+def run_dir_journal_without_snapshot(run_dir: Path) -> Path | None:
+    """First ``journal.jsonl`` with finish records but no snapshot."""
+    from repro.harness.checkpoint import read_journal
+
+    for journal in sorted(Path(run_dir).rglob("journal.jsonl")):
+        if QUARANTINE_DIR in journal.relative_to(run_dir).parts:
+            continue
+        if (journal.parent / "checkpoint.json").exists():
+            continue
+        events, _skipped = read_journal(journal.parent)
+        if any(ev.get("ev") == "finish" for ev in events):
+            return journal
+    return None
+
+
+# -- repairs -------------------------------------------------------------------
+
+
+def _quarantine(run_dir: Path, path: Path) -> str:
+    """Move ``path`` (and its sidecar, if any) into ``quarantine/``."""
+    qdir = run_dir / QUARANTINE_DIR
+    qdir.mkdir(parents=True, exist_ok=True)
+    moved = []
+    for victim in (path, durable.sidecar_path(path)):
+        if not victim.exists():
+            continue
+        rel = victim.relative_to(run_dir)
+        target = qdir / "__".join(rel.parts)
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = qdir / ("__".join(rel.parts) + f".{serial}")
+        victim.replace(target)
+        moved.append(str(target))
+    return ", ".join(moved)
+
+
+def _rewrite_valid_records(path: Path) -> tuple[int, int]:
+    """Keep only intact JSONL records; returns ``(kept, dropped)``."""
+    text = path.read_text(encoding="utf-8", errors="replace")
+    kept: list[str] = []
+    dropped = 0
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        _, status = durable.decode_jsonl_line(stripped)
+        if status in ("ok", "unchecked"):
+            kept.append(stripped)
+        else:
+            dropped += 1
+    body = "".join(ln + "\n" for ln in kept)
+    durable.durable_write_text(path, body, checksum=False)
+    return len(kept), dropped
+
+
+def _rebuild_snapshot(directory: Path) -> int:
+    """Regenerate ``checkpoint.json`` from the journal; returns #results.
+
+    Recovered results keep only what the journal knows (status, holds,
+    duration) and are marked ``"recovered": true`` — resume treats a
+    recovered ``ok`` as completed, everything else re-runs, exactly the
+    pre-crash semantics.
+    """
+    from repro.harness.checkpoint import SNAPSHOT_SCHEMA, read_journal
+
+    events, _skipped = read_journal(directory)
+    results: dict[str, dict] = {}
+    for ev in events:
+        if ev.get("ev") != "finish" or "id" not in ev:
+            continue
+        results[ev["id"]] = {
+            "status": ev.get("status"),
+            "holds": ev.get("holds"),
+            "duration_s": ev.get("duration_s"),
+            "recovered": True,
+        }
+    durable.durable_write_json(
+        directory / "checkpoint.json",
+        {
+            "schema": SNAPSHOT_SCHEMA,
+            "updated": time.time(),
+            "recovered": True,
+            "results": results,
+        },
+    )
+    return len(results)
+
+
+def _apply_repair(run_dir: Path, check: FileCheck) -> dict | None:
+    """Apply one check's repair; returns a repair record or ``None``."""
+    path = Path(check.path)
+    action = check.repair
+    if action is None:
+        return None
+    if action == "quarantine":
+        return {"action": action, "path": check.path,
+                "detail": _quarantine(run_dir, path)}
+    if action == "quarantine-frontier":
+        details = []
+        for name in ("frontier.json", "frontier_succ.npy"):
+            victim = path.with_name(name)
+            if victim.exists():
+                details.append(_quarantine(run_dir, victim))
+        return {"action": action, "path": check.path,
+                "detail": ", ".join(d for d in details if d)}
+    if action == "rewrite-valid-records":
+        kept, dropped = _rewrite_valid_records(path)
+        return {"action": action, "path": check.path,
+                "detail": f"kept {kept} records, dropped {dropped}"}
+    if action == "rebuild-from-journal":
+        if path.exists():  # corrupt snapshot: preserve the evidence
+            _quarantine(run_dir, path)
+        n = _rebuild_snapshot(path.parent)
+        return {"action": action, "path": check.path,
+                "detail": f"regenerated from journal ({n} results)"}
+    if action == "rebuild-index":
+        from repro.obs.index import open_with_recovery
+
+        index, recovery = open_with_recovery(path, rebuild_from=[run_dir])
+        index.close()
+        detail = "already healthy" if recovery is None else (
+            f"{recovery['problem']}; reindexed "
+            f"{len(recovery['reindexed'])} run(s)"
+        )
+        return {"action": action, "path": check.path, "detail": detail}
+    if action == "refresh-sidecar":
+        durable.write_sidecar(path, path.read_bytes())
+        return {"action": action, "path": check.path,
+                "detail": "recomputed from the payload"}
+    return None
+
+
+def run_doctor(run_dir: str | Path, repair: bool = True) -> dict:
+    """Diagnose (and by default repair) ``run_dir``; returns the report.
+
+    The report is also written durably to ``<run_dir>/doctor_report.json``.
+    ``report["exit_code"]``: 0 consistent as found, 1 repaired into
+    consistency, 2 corruption remains.
+    """
+    run_dir = Path(run_dir)
+    checks = diagnose(run_dir)
+    repairs: list[dict] = []
+    if repair:
+        for check in checks:
+            if check.status == VALID and check.repair is None:
+                continue
+            record = _apply_repair(run_dir, check)
+            if record is not None:
+                repairs.append(record)
+        remaining = diagnose(run_dir)
+    else:
+        remaining = checks
+    summary = {status: 0 for status in (VALID, TRUNCATED, CORRUPT)}
+    for check in checks:
+        summary[check.status] += 1
+    needs_repair = [
+        c for c in checks if c.status != VALID or c.repair is not None
+    ]
+    unresolved = [c for c in remaining if c.status != VALID]
+    if repair:
+        # 2 only if a repair pass could not restore consistency.
+        exit_code = 2 if unresolved else (1 if repairs else 0)
+    else:
+        # Report-only: 2 for untrusted data, 1 for repairable damage.
+        if any(c.status == CORRUPT for c in checks):
+            exit_code = 2
+        elif needs_repair:
+            exit_code = 1
+        else:
+            exit_code = 0
+    report = {
+        "schema": REPORT_SCHEMA,
+        "run_dir": str(run_dir),
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "repair": repair,
+        "files": [c.to_dict() for c in checks],
+        "summary": summary,
+        "repairs": repairs,
+        "unresolved": [c.to_dict() for c in unresolved],
+        "clean": not needs_repair,
+        "exit_code": exit_code,
+    }
+    try:
+        durable.durable_write_json(
+            run_dir / REPORT_NAME, report, checksum=False
+        )
+    except OSError:
+        pass  # a read-only tree still gets the in-memory report
+    return report

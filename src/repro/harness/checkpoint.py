@@ -11,11 +11,16 @@ attempt begins, ``finish`` when an experiment reaches a terminal status.
 Lines are flushed (and the file is never rewritten), so after a crash or
 SIGKILL the journal is intact up to possibly one truncated final line —
 which :func:`read_journal` tolerates and flags rather than raising.
+Every line embeds a CRC32 of its own serialisation (see
+:func:`repro.core.durable.jsonl_line`), so mid-file corruption is
+detected record by record, not just the torn tail.
 
 The **snapshot** holds the full result dicts of every *completed*
-experiment.  It is rewritten after each completion via write-to-temp +
-``os.replace``, so readers always see either the previous or the next
-complete snapshot, never a torn one.
+experiment.  It is rewritten after each completion through the durable
+write protocol (:func:`repro.core.durable.durable_write_json`: temp +
+fsync + ``os.replace`` + directory fsync + integrity sidecar), so
+readers always see either the previous or the next complete snapshot,
+never a torn one — even across a power cut.
 
 Resume semantics: an experiment counts as completed only when the
 snapshot holds a result whose status is ``ok`` — errored, timed-out,
@@ -27,10 +32,12 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
 
+from repro.core import durable
 from repro.harness import faults
 
 __all__ = [
@@ -50,13 +57,33 @@ SNAPSHOT_NAME = "checkpoint.json"
 FRONTIER_NAME = "frontier.json"
 FRONTIER_ARRAY_NAME = "frontier_succ.npy"
 
+#: schema versions stamped into the JSON artifacts (validated by
+#: :mod:`repro.contracts`)
+SNAPSHOT_SCHEMA = "repro-checkpoint/1"
+FRONTIER_SCHEMA = "repro-frontier/1"
+
+durable.register_write_site(
+    "checkpoint.journal", "append one journal.jsonl record (CRC-framed)"
+)
+durable.register_write_site(
+    "checkpoint.snapshot", "atomically replace checkpoint.json"
+)
+durable.register_write_site(
+    "checkpoint.frontier_array", "flush the frontier_succ.npy memmap prefix"
+)
+durable.register_write_site(
+    "checkpoint.frontier", "atomically replace frontier.json metadata"
+)
+
 
 def read_journal(directory: str | os.PathLike[str]) -> tuple[list[dict], int]:
     """Parse ``journal.jsonl``; returns ``(events, skipped_lines)``.
 
     A truncated or garbled line (the normal state of a crashed run's
-    final line) is skipped and counted, never raised.  A missing journal
-    reads as empty.
+    final line) is skipped and counted, never raised — as is a line
+    whose embedded CRC32 disagrees with its content (mid-file
+    corruption).  CRC-less lines from pre-durability journals are
+    trusted as before.  A missing journal reads as empty.
     """
     path = Path(directory) / JOURNAL_NAME
     events: list[dict] = []
@@ -70,9 +97,10 @@ def read_journal(directory: str | os.PathLike[str]) -> tuple[list[dict], int]:
             line = line.strip()
             if not line:
                 continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError:
+            payload, status = durable.decode_jsonl_line(line)
+            if status in ("ok", "unchecked"):
+                events.append(payload)
+            else:
                 skipped += 1
     return events, skipped
 
@@ -151,36 +179,42 @@ def save_frontier(directory: str | os.PathLike[str], partial) -> Path:
     in_place = isinstance(succ, np.memmap) and succ.filename is not None and (
         Path(succ.filename).resolve() == array_path.resolve()
     )
+    if frontier.get("kind") == "nondet":
+        rows = int(frontier["next_row"])
+    else:
+        rows = int(frontier["next_lo"])
     if in_place:
         succ.flush()
+        prefix_crc = durable.crc32_of_array_prefix(succ, rows)
     else:
         mm = np.lib.format.open_memmap(
             array_path, mode="w+", dtype=np.int64, shape=succ.shape
         )
-        if frontier.get("kind") == "nondet":
-            rows = int(frontier["next_row"])
-            mm[:rows] = succ[:rows]
-        else:
-            lo = int(frontier["next_lo"])
-            mm[:lo] = succ[:lo]
+        mm[:rows] = succ[:rows]
         mm.flush()
+        prefix_crc = durable.crc32_of_array_prefix(mm, rows)
         del mm
+    faults.inject("checkpoint.frontier_array")
 
     meta = {k: v for k, v in frontier.items() if k != "succ"}
+    meta["schema"] = FRONTIER_SCHEMA
     meta["explored"] = int(partial.explored)
     meta["reason"] = partial.reason
     meta["stats"] = partial.stats
     meta["saved_ts"] = time.time()
-    payload = json.dumps(meta, indent=2, default=str)
-    path = directory / FRONTIER_NAME
-    tmp = path.with_suffix(".json.tmp")
-    fault = faults.inject("checkpoint.frontier")
-    if fault is not None:  # partial-write: die before the rename
-        tmp.write_text(payload[: max(1, len(payload) // 2)], encoding="utf-8")
-        raise faults.FaultError("checkpoint.frontier", fault.kind)
-    tmp.write_text(payload + "\n", encoding="utf-8")
-    os.replace(tmp, path)
-    return path
+    # Torn-write stamp for the memmap: written *after* the array is
+    # flushed, so the metadata can never describe bytes that are not on
+    # disk; a crash between the two leaves old metadata whose checksum
+    # disagrees with the new array, and load_frontier falls back to
+    # re-enumeration instead of silently resuming from garbage.
+    meta["array"] = {
+        "crc32": prefix_crc,
+        "rows": rows,
+        "nbytes": os.path.getsize(array_path),
+    }
+    return durable.durable_write_json(
+        directory / FRONTIER_NAME, meta, site="checkpoint.frontier"
+    )
 
 
 def load_frontier(directory: str | os.PathLike[str]) -> dict | None:
@@ -191,19 +225,54 @@ def load_frontier(directory: str | os.PathLike[str]) -> dict | None:
     to disk and the budget charges only chunk transients — the property
     that lets a resume make progress under the very memory ceiling that
     truncated the original run.
+
+    The array is validated against the length/checksum stamp the
+    metadata carries (when present): a torn or bit-rotted
+    ``frontier_succ.npy`` — or one the metadata predates — makes this
+    return ``None`` with a :class:`UserWarning`, so the caller falls
+    back to re-enumeration instead of silently resuming from garbage.
     """
     directory = Path(directory)
     path = directory / FRONTIER_NAME
     try:
         meta = json.loads(path.read_text(encoding="utf-8"))
-    except (FileNotFoundError, json.JSONDecodeError):
+    except (OSError, json.JSONDecodeError):
         # Missing, or a torn first write that never reached os.replace.
         return None
     array_path = directory / FRONTIER_ARRAY_NAME
     try:
-        meta["succ"] = np.load(array_path, mmap_mode="r+")
+        succ = np.load(array_path, mmap_mode="r+")
     except FileNotFoundError:
         return None
+    except (OSError, ValueError) as err:
+        # A torn or garbled .npy header: not resumable, but recoverable
+        # by starting the enumeration over.
+        warnings.warn(
+            f"{array_path}: unreadable frontier array ({err}); ignoring "
+            f"the checkpoint and re-enumerating from scratch",
+            stacklevel=2,
+        )
+        return None
+    integrity = meta.get("array")
+    if isinstance(integrity, dict):
+        rows = int(integrity.get("rows", 0))
+        nbytes = integrity.get("nbytes")
+        crc = integrity.get("crc32")
+        actual_nbytes = os.path.getsize(array_path)
+        ok = (
+            rows <= succ.shape[0]
+            and (nbytes is None or int(nbytes) == actual_nbytes)
+            and (crc is None or durable.crc32_of_array_prefix(succ, rows) == crc)
+        )
+        if not ok:
+            warnings.warn(
+                f"{array_path}: frontier array does not match its metadata "
+                f"checksum (torn write or corruption); ignoring the "
+                f"checkpoint and re-enumerating from scratch",
+                stacklevel=2,
+            )
+            return None
+    meta["succ"] = succ
     return meta
 
 
@@ -271,7 +340,7 @@ class Checkpoint:
             self._journal_fh = open(
                 self.directory / JOURNAL_NAME, "a", encoding="utf-8"
             )
-        line = json.dumps(event, default=str)
+        line = durable.jsonl_line(event)
         fault = faults.inject("checkpoint.journal")
         if fault is not None:  # partial-write: crash mid-line
             self._journal_fh.write(line[: max(1, len(line) // 2)])
@@ -302,19 +371,15 @@ class Checkpoint:
         self._write_snapshot()
 
     def _write_snapshot(self) -> None:
-        path = self.directory / SNAPSHOT_NAME
-        tmp = path.with_suffix(".json.tmp")
-        payload = json.dumps(
-            {"updated": time.time(), "results": self._results},
-            indent=2,
-            default=str,
+        durable.durable_write_json(
+            self.directory / SNAPSHOT_NAME,
+            {
+                "schema": SNAPSHOT_SCHEMA,
+                "updated": time.time(),
+                "results": self._results,
+            },
+            site="checkpoint.snapshot",
         )
-        fault = faults.inject("checkpoint.snapshot")
-        if fault is not None:  # partial-write: die before the rename
-            tmp.write_text(payload[: max(1, len(payload) // 2)], encoding="utf-8")
-            raise faults.FaultError("checkpoint.snapshot", fault.kind)
-        tmp.write_text(payload + "\n", encoding="utf-8")
-        os.replace(tmp, path)
 
     def close(self) -> None:
         """Close the journal handle (idempotent)."""

@@ -18,8 +18,13 @@ Grammar
   ``REPRO_FAULT_HANG_S`` seconds, default 3600 — pair with a runner
   timeout), ``stall`` (sleep like ``hang`` but then *continue* normally —
   a slow-not-dead loop body, used to prove cooperative deadlines fire
-  before the watchdog), or ``partial-write`` (the call site truncates its
-  write mid-record, simulating a crash between ``write`` and ``\\n``).
+  before the watchdog), ``partial-write`` (the call site truncates its
+  write mid-record, simulating a crash between ``write`` and ``\\n``),
+  or ``crash`` (SIGKILL the process on the spot — no atexit hooks, no
+  ``finally`` blocks, the closest an injected fault gets to a power
+  cut; the crash-consistency matrix arms it at every registered
+  durable-write site and asserts ``repro doctor`` + ``--resume``
+  recover).
 * ``prob`` — per-hit firing probability in ``[0, 1]``.
 * ``seed`` — seeds the fault's private RNG, so a given spec fires on a
   reproducible subsequence of hits.
@@ -42,6 +47,7 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 import threading
 import time
 from collections.abc import Iterable, Mapping
@@ -59,7 +65,7 @@ __all__ = [
     "KINDS",
 ]
 
-KINDS = ("raise", "hang", "stall", "partial-write")
+KINDS = ("raise", "hang", "stall", "partial-write", "crash")
 
 ENV_VAR = "REPRO_FAULTS"
 HANG_ENV_VAR = "REPRO_FAULT_HANG_S"
@@ -217,6 +223,10 @@ def install_from_env(environ: Mapping[str, str] | None = None) -> bool:
 #: stall faults advance virtual time instead of blocking the suite
 _sleep = time.sleep
 
+#: injectable kill hook: unit tests patch this to observe a ``crash``
+#: fault without actually dying; subprocess tests leave it real
+_kill = os.kill
+
 
 def _hang_seconds() -> float:
     raw = os.environ.get(HANG_ENV_VAR, "").strip()
@@ -250,6 +260,8 @@ def inject(site: str) -> Fault | None:
     * ``stall`` — sleeps ``REPRO_FAULT_HANG_S`` seconds, then returns
       ``None`` so the call site *continues*: a governed loop that is slow
       rather than dead, which only a cooperative deadline can bound;
+    * ``crash`` — SIGKILLs the process: nothing after this line runs,
+      exactly like a power cut mid-protocol;
     * ``partial-write`` — returns the :class:`Fault` for the call site
       to interpret (truncate its own write, then raise).
     """
@@ -267,4 +279,7 @@ def inject(site: str) -> Fault | None:
     if fault.kind == "stall":
         _sleep(_hang_seconds())
         return None
+    if fault.kind == "crash":
+        _kill(os.getpid(), signal.SIGKILL)
+        raise FaultError(site, "crash")  # only reachable with a patched _kill
     return fault

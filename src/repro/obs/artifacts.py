@@ -25,6 +25,7 @@ from collections.abc import Iterator, Sequence
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.core import durable
 from repro.obs import trace
 from repro.obs.export import PROM_NAME, write_textfile
 from repro.obs.metrics import REGISTRY, MetricsRegistry
@@ -33,6 +34,16 @@ __all__ = ["RunArtifacts", "load_manifest", "read_events"]
 
 MANIFEST_NAME = "manifest.json"
 EVENTS_NAME = "events.jsonl"
+
+#: schema version stamped into the manifest (validated by repro.contracts)
+MANIFEST_SCHEMA = "repro-obs-manifest/1"
+
+durable.register_write_site(
+    "artifacts.manifest", "atomically replace manifest.json"
+)
+durable.register_write_site(
+    "artifacts.write_event", "append one events.jsonl record (CRC-framed)"
+)
 
 
 def _utc_now() -> str:
@@ -77,6 +88,7 @@ class RunArtifacts:
             self.directory / EVENTS_NAME, "a", encoding="utf-8"
         )
         self.manifest: dict[str, object] = {
+            "schema": MANIFEST_SCHEMA,
             "run_id": f"{command or 'run'}-{os.getpid()}-{time.time_ns():x}",
             "command": command,
             "argv": list(argv) if argv is not None else None,
@@ -100,7 +112,7 @@ class RunArtifacts:
         # package (and vice versa).
         from repro.harness import faults
 
-        line = json.dumps(payload, default=str)
+        line = durable.jsonl_line(payload)
         fault = faults.inject("artifacts.write_event")
         if fault is not None:  # partial-write: crash mid-record
             self._events_fh.write(line[: max(1, len(line) // 2)])
@@ -118,13 +130,11 @@ class RunArtifacts:
     # -- manifest --------------------------------------------------------------
 
     def _write_manifest(self) -> None:
-        path = self.directory / MANIFEST_NAME
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(
-            json.dumps(self.manifest, indent=2, default=str) + "\n",
-            encoding="utf-8",
+        durable.durable_write_json(
+            self.directory / MANIFEST_NAME,
+            self.manifest,
+            site="artifacts.manifest",
         )
-        tmp.replace(path)
 
     def finalize(
         self, exit_code: int | None = None, status: str | None = None
@@ -213,8 +223,10 @@ def read_events(
 
     A truncated final line is the *normal* state of a crashed run's
     stream, so undecodable lines are skipped (and counted on the
-    ``artifacts.partial_events`` metric) rather than raised; pass
-    ``strict=True`` to get the raising behaviour.
+    ``artifacts.partial_events`` metric) rather than raised, as are
+    lines whose embedded CRC32 disagrees with their content (counted on
+    ``artifacts.crc_mismatch``); pass ``strict=True`` to get the
+    raising behaviour.
     """
     from repro.obs.metrics import inc
 
@@ -224,11 +236,18 @@ def read_events(
             line = line.strip()
             if not line:
                 continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError:
+            event, status = durable.decode_jsonl_line(line)
+            if status == "garbled":
                 if strict:
-                    raise
+                    json.loads(line)  # raise the underlying JSONDecodeError
+                    raise ValueError(f"{path}: non-object events.jsonl record")
                 inc("artifacts.partial_events")
+                continue
+            if status == "mismatch":
+                if strict:
+                    raise ValueError(
+                        f"{path}: events.jsonl record failed its CRC check"
+                    )
+                inc("artifacts.crc_mismatch")
                 continue
             yield event

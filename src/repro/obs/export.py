@@ -20,10 +20,16 @@ import re
 from collections.abc import Mapping
 from pathlib import Path
 
+from repro.core import durable
+
 __all__ = ["PROM_NAME", "render_prometheus", "write_textfile"]
 
 #: File name used for the per-run export written at finalize.
 PROM_NAME = "metrics.prom"
+
+durable.register_write_site(
+    "export.prom", "atomically replace a Prometheus textfile export"
+)
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -121,13 +127,17 @@ def write_textfile(
 ) -> Path:
     """Atomically write the rendered snapshot to ``path``; return it.
 
-    Atomic (tmp + rename) because the textfile collector may scrape the
-    spool directory at any moment and must never see a half-written
-    file.
+    Goes through the durable write protocol because the textfile
+    collector may scrape the spool directory at any moment and must
+    never see a half-written file (no ``.sum`` sidecar: the spool
+    directory is scraped by glob, and a stale export is re-rendered on
+    the next run anyway).
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text(render_prometheus(snapshot, labels), encoding="utf-8")
-    tmp.replace(target)
-    return target
+    return durable.durable_write_text(
+        target,
+        render_prometheus(snapshot, labels),
+        site="export.prom",
+        checksum=False,
+    )

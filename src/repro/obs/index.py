@@ -34,16 +34,29 @@ import sqlite3
 import time
 from pathlib import Path
 
+from repro.core import durable
+
 __all__ = [
     "DB_NAME",
     "SCHEMA_VERSION",
     "RunIndex",
+    "check_database",
+    "open_with_recovery",
     "compare_medians",
     "bench_medians",
 ]
 
 DB_NAME = "runs_index.sqlite"
 SCHEMA_VERSION = 1
+
+#: Quarantine name for a corrupt/foreign database moved aside by
+#: :func:`open_with_recovery` (the previous quarantined copy, if any, is
+#: overwritten — the rebuilt index is the artifact of record).
+CORRUPT_SUFFIX = ".corrupt"
+
+durable.register_write_site(
+    "index.write", "ingest artifacts into runs_index.sqlite (WAL transactions)"
+)
 
 #: events.jsonl rows are inserted in batches of this many.
 _SPAN_BATCH = 512
@@ -155,6 +168,11 @@ class RunIndex:
         e.g. a CLI run with both a manifest and a saved frontier).
         Returns the run_ids created or refreshed.
         """
+        # Lazy import mirrors the dialect readers below: obs must stay
+        # importable without the harness package.
+        from repro.harness import faults
+
+        faults.inject("index.write")
         p = Path(path)
         if p.is_file():
             run_id = self._ingest_file(p)
@@ -633,6 +651,79 @@ class RunIndex:
                         f"DELETE FROM {table} WHERE run_id = ?", (run_id,)
                     )
         return len(doomed)
+
+
+def check_database(path: str | os.PathLike[str]) -> str | None:
+    """Probe one index database; return a problem description or ``None``.
+
+    Checks, in order: the file opens as sqlite at all, ``PRAGMA
+    quick_check`` reports ``ok``, and ``PRAGMA user_version`` is a schema
+    this library can write (0 for a fresh file, else
+    :data:`SCHEMA_VERSION`).  Never raises on a broken database — the
+    whole point is to classify them.
+    """
+    try:
+        conn = sqlite3.connect(Path(path))
+        try:
+            row = conn.execute("PRAGMA quick_check").fetchone()
+            if row is None or str(row[0]).lower() != "ok":
+                return f"integrity check failed: {row[0] if row else 'empty'}"
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version not in (0, SCHEMA_VERSION):
+                return (
+                    f"schema v{version} does not match this library's "
+                    f"v{SCHEMA_VERSION}"
+                )
+        finally:
+            conn.close()
+    except sqlite3.DatabaseError as exc:
+        return f"not a readable sqlite database: {exc}"
+    return None
+
+
+def open_with_recovery(
+    path: str | os.PathLike[str] = DB_NAME,
+    rebuild_from: list[str | os.PathLike[str]] | None = None,
+) -> tuple[RunIndex, dict | None]:
+    """Open ``path`` as a :class:`RunIndex`, healing a broken database.
+
+    On a clean open returns ``(index, None)``.  If :func:`check_database`
+    finds the file corrupt or schema-mismatched, the database (plus its
+    ``-wal``/``-shm`` companions) is moved aside to ``<name>.corrupt``, a
+    fresh index is created in its place, and every path in
+    ``rebuild_from`` is re-ingested; the second element then describes
+    the recovery (``problem``, ``moved_to``, ``reindexed``).  Callers
+    that want the hard-failure behaviour keep constructing
+    :class:`RunIndex` directly.
+    """
+    db = Path(path)
+    if not db.exists():
+        return RunIndex(db), None
+    problem = check_database(db)
+    if problem is None:
+        return RunIndex(db), None
+    moved: list[str] = []
+    quarantined = db.with_name(db.name + CORRUPT_SUFFIX)
+    os.replace(db, quarantined)
+    moved.append(str(quarantined))
+    for suffix in ("-wal", "-shm"):
+        companion = db.with_name(db.name + suffix)
+        if companion.exists():
+            target = companion.with_name(companion.name + CORRUPT_SUFFIX)
+            os.replace(companion, target)
+            moved.append(str(target))
+    index = RunIndex(db)
+    reindexed: list[str] = []
+    for root in rebuild_from or []:
+        try:
+            reindexed.extend(index.index_run(root))
+        except FileNotFoundError:
+            continue
+    return index, {
+        "problem": problem,
+        "moved_to": moved,
+        "reindexed": sorted(set(reindexed)),
+    }
 
 
 def _iso(ts: float | None) -> str | None:

@@ -17,7 +17,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["Finding", "canonical_json", "spec_digest"]
+from repro.core import durable
+
+__all__ = ["Finding", "FINDING_SCHEMA", "canonical_json", "spec_digest"]
+
+#: schema version stamped into finding.json (validated by repro.contracts)
+FINDING_SCHEMA = "repro-finding/1"
+
+durable.register_write_site(
+    "findings.save", "atomically replace a finding-*.json record"
+)
 
 
 def _jsonify(obj: Any) -> Any:
@@ -70,6 +79,7 @@ class Finding:
 
     def to_dict(self) -> dict:
         out = {
+            "schema": FINDING_SCHEMA,
             "check": self.check,
             "detail": _jsonify(self.detail),
             "spec": _jsonify(self.spec),
@@ -107,12 +117,19 @@ class Finding:
             return cls.from_dict(json.loads(fh.read().decode("utf-8")))
 
     def save(self, directory: str | Path) -> Path:
-        """Write ``<name>.json`` under ``directory``; returns the path."""
+        """Write ``<name>.json`` under ``directory``; returns the path.
+
+        Durable (temp + fsync + replace + sidecar): findings are the
+        repro evidence CI diffs across runs, so a crash mid-save must
+        never leave a torn record behind.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"{self.name}.json"
-        path.write_bytes(self.to_bytes())
-        return path
+        return durable.durable_write_bytes(
+            directory / f"{self.name}.json",
+            self.to_bytes(),
+            site="findings.save",
+        )
 
     def pytest_snippet(self) -> str:
         """A ready-to-paste regression test that replays this finding."""

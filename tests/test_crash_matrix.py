@@ -1,0 +1,265 @@
+"""Kill-at-every-write-site crash matrix.
+
+For every site in :data:`repro.core.durable.WRITE_SITES` (plus a sample
+of the ``@rename``/``@dirsync`` sub-phase windows inside the durable
+protocol), a subprocess runs a real workload with
+``REPRO_FAULTS=<site>:crash:1.0:0`` armed — the process SIGKILLs itself
+mid-write, the closest an injected fault gets to a power cut.  The test
+then asserts the contract the durability layer sells:
+
+1. the process actually died by SIGKILL at the armed site;
+2. ``repro doctor`` classifies the surviving tree as consistent or
+   repairs it into consistency (exit 0 or 1 — never 2);
+3. re-running the same command (``--resume`` where applicable) completes
+   cleanly, losing at most the record that was in flight.
+
+The companion completeness test pins the driver table to the write-site
+registry, so adding a durable write site without adding a crash driver
+fails loudly here.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.contracts import run_doctor
+from repro.core import durable
+from repro.harness import faults
+from repro.harness.checkpoint import Checkpoint
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Sub-phase crash windows worth exercising beyond the base sites: after
+#: the durable temp is synced but before the rename lands, and after the
+#: rename but before the directory fsync.
+SUBPHASE_SITES = (
+    "artifacts.manifest@rename",
+    "checkpoint.snapshot@dirsync",
+    "checkpoint.frontier@rename",
+)
+
+
+def _subprocess_env(site: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env["REPRO_FAULTS"] = f"{site}:crash:1.0:0"
+    env.pop("REPRO_TRACE", None)
+    return env
+
+
+def _crash_cli(site: str, argv: list[str], cwd: Path) -> None:
+    """Run the CLI in a subprocess with a crash armed; must die -SIGKILL."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=cwd,
+        env=_subprocess_env(site),
+        capture_output=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL at {site}, got rc={proc.returncode}\n"
+        f"stdout: {proc.stdout!r}\nstderr: {proc.stderr!r}"
+    )
+
+
+def _crash_snippet(site: str, code: str, cwd: Path) -> None:
+    """Run a library snippet in a subprocess with a crash armed."""
+    prelude = "from repro.harness import faults\nfaults.install_from_env()\n"
+    proc = subprocess.run(
+        [sys.executable, "-c", prelude + code],
+        cwd=cwd,
+        env=_subprocess_env(site),
+        capture_output=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL at {site}, got rc={proc.returncode}\n"
+        f"stderr: {proc.stderr!r}"
+    )
+
+
+def _run_clean(argv: list[str]) -> int:
+    """Run the CLI in-process with no faults armed."""
+    faults.clear_faults()
+    import io
+
+    return main(argv, out=io.StringIO())
+
+
+def _doctor_consistent(tree: Path) -> dict:
+    report = run_doctor(tree)
+    assert report["exit_code"] in (0, 1), (
+        f"doctor could not restore consistency: "
+        f"{json.dumps(report, indent=2)}"
+    )
+    return report
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    faults.clear_faults()
+    obs.disable()
+    obs.clear_sinks()
+    obs.REGISTRY.reset()
+    yield
+    faults.clear_faults()
+    obs.disable()
+    obs.clear_sinks()
+    obs.REGISTRY.reset()
+
+
+# -- drivers -------------------------------------------------------------------
+
+
+def _run_argv(tree: Path) -> list[str]:
+    return [
+        "run", "E1",
+        "--resume", str(tree / "ckpt"),
+        "--artifacts-dir", str(tree / "art"),
+        "--trace",
+    ]
+
+
+def _drive_run(site: str, tree: Path) -> None:
+    _crash_cli(site, _run_argv(tree), tree)
+    _doctor_consistent(tree)
+    assert _run_clean(_run_argv(tree)) == 0
+    cp = Checkpoint(tree / "ckpt")
+    try:
+        assert "E1" in cp.completed()
+    finally:
+        cp.close()
+
+
+def _sweep_argv(tree: Path, budget: bool) -> list[str]:
+    argv = ["phase-space", "--n", "10", "--resume", str(tree / "sweep")]
+    if budget:
+        argv += ["--budget-states", "200"]
+    return argv
+
+
+def _drive_sweep(site: str, tree: Path) -> None:
+    # The budget truncates the sweep, which is what saves a frontier —
+    # the crash lands inside save_frontier.
+    _crash_cli(site, _sweep_argv(tree, budget=True), tree)
+    _doctor_consistent(tree)
+    # The unbudgeted resume completes the enumeration (from the saved
+    # frontier when it survived, from scratch when the doctor dropped a
+    # torn one).
+    assert _run_clean(_sweep_argv(tree, budget=False)) == 0
+
+
+def _drive_findings(site: str, tree: Path) -> None:
+    code = (
+        "from repro.qa.findings import Finding\n"
+        "Finding(check='differential.step_all', detail={}, "
+        "spec={'n': 4, 'rule': 'majority'}, backends=['numpy'])"
+        f".save({str(tree / 'findings')!r})\n"
+    )
+    _crash_snippet(site, code, tree)
+    _doctor_consistent(tree)
+    faults.clear_faults()
+    from repro.qa.findings import Finding
+
+    path = Finding(
+        check="differential.step_all", detail={},
+        spec={"n": 4, "rule": "majority"}, backends=["numpy"],
+    ).save(tree / "findings")
+    assert json.loads(path.read_text())["check"] == "differential.step_all"
+
+
+def _drive_bench(site: str, tree: Path) -> None:
+    payload = {
+        "schema": "repro-bench/1", "module": "bench_demo",
+        "generated": "2026-01-01T00:00:00+0000", "exit_status": 0,
+        "environment": {}, "benchmarks": [], "metrics": {},
+    }
+    code = (
+        "from repro.core import durable\n"
+        f"durable.durable_write_json({str(tree / 'BENCH_demo.json')!r}, "
+        f"{payload!r}, site='bench.write', checksum=False)\n"
+    )
+    _crash_snippet(site, code, tree)
+    _doctor_consistent(tree)
+    faults.clear_faults()
+    durable.durable_write_json(
+        tree / "BENCH_demo.json", payload, site="bench.write", checksum=False
+    )
+    assert json.loads((tree / "BENCH_demo.json").read_text())["module"] == (
+        "bench_demo"
+    )
+
+
+def _drive_index(site: str, tree: Path) -> None:
+    # Seed an artifact so the ingestion has something to walk.
+    cp = Checkpoint(tree / "ckpt")
+    cp.record_start("E1")
+    cp.record_finish("E1", {"status": "ok", "duration_s": 0.1})
+    cp.close()
+    argv = [
+        "runs", "index", str(tree / "ckpt"),
+        "--db", str(tree / "runs_index.sqlite"),
+    ]
+    _crash_cli(site, argv, tree)
+    _doctor_consistent(tree)
+    assert _run_clean(argv) == 0
+
+
+DRIVERS = {
+    "checkpoint.journal": _drive_run,
+    "checkpoint.snapshot": _drive_run,
+    "artifacts.manifest": _drive_run,
+    "artifacts.write_event": _drive_run,
+    "export.prom": _drive_run,
+    "checkpoint.frontier_array": _drive_sweep,
+    "checkpoint.frontier": _drive_sweep,
+    "findings.save": _drive_findings,
+    "bench.write": _drive_bench,
+    "index.write": _drive_index,
+    "artifacts.manifest@rename": _drive_run,
+    "checkpoint.snapshot@dirsync": _drive_run,
+    "checkpoint.frontier@rename": _drive_sweep,
+}
+
+
+def _registered_sites() -> set[str]:
+    for mod in (
+        "repro.harness.checkpoint",
+        "repro.obs.artifacts",
+        "repro.obs.export",
+        "repro.obs.index",
+        "repro.qa.findings",
+    ):
+        importlib.import_module(mod)
+    if str(ROOT) not in sys.path:
+        sys.path.insert(0, str(ROOT))
+    importlib.import_module("benchmarks.conftest")  # registers bench.write
+    return set(durable.registered_write_sites())
+
+
+def test_matrix_covers_every_registered_site():
+    """A new durable write site must come with a crash driver."""
+    sites = _registered_sites()
+    base_drivers = {s for s in DRIVERS if "@" not in s}
+    assert sites == base_drivers, (
+        f"write-site registry and crash-matrix drivers diverge: "
+        f"only-registered={sorted(sites - base_drivers)}, "
+        f"only-drivers={sorted(base_drivers - sites)}"
+    )
+    for sub in SUBPHASE_SITES:
+        assert sub in DRIVERS
+
+
+@pytest.mark.parametrize("site", sorted(DRIVERS))
+def test_kill_then_doctor_then_resume(site, tmp_path):
+    DRIVERS[site](site, tmp_path)

@@ -1,0 +1,339 @@
+"""Tests for the durable-write layer (repro.core.durable).
+
+Covers the whole-file protocol (temp + fsync + replace + directory
+fsync + sidecar), the CRC-framed JSONL record format, the memmap prefix
+checksum, the ``crash``/``partial-write`` fault semantics at a durable
+site, and — via the recorded-syscall replay at the bottom — the
+power-cut property the protocol exists for: after a crash at *any*
+prefix of the (write, fsync, rename, dir-fsync) sequence, a reader sees
+either the old complete payload or the new complete payload, never a
+torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import durable
+from repro.harness import faults
+
+
+@pytest.fixture(autouse=True)
+def no_faults():
+    faults.clear_faults()
+    yield
+    faults.clear_faults()
+
+
+class TestDurableWrite:
+    def test_bytes_roundtrip_with_sidecar(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        payload = b'{"v": 1}\n'
+        assert durable.durable_write_bytes(target, payload) == target
+        assert target.read_bytes() == payload
+        assert durable.sidecar_path(target).exists()
+        assert durable.verify_sidecar(target) == "ok"
+        assert not target.with_name("artifact.json.tmp").exists()
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "a.txt"
+        durable.durable_write_text(target, "old")
+        durable.durable_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert durable.verify_sidecar(target) == "ok"
+
+    def test_json_writer_trailing_newline(self, tmp_path):
+        target = tmp_path / "doc.json"
+        durable.durable_write_json(target, {"n": 4, "ok": True})
+        raw = target.read_text()
+        assert raw.endswith("\n")
+        assert json.loads(raw) == {"n": 4, "ok": True}
+
+    def test_checksum_false_writes_no_sidecar(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        durable.durable_write_text(target, "repro_x 1\n", checksum=False)
+        assert not durable.sidecar_path(target).exists()
+
+    def test_fsync_false_still_atomic(self, tmp_path):
+        target = tmp_path / "fast.json"
+        durable.durable_write_json(target, {"x": 1}, fsync=False)
+        assert json.loads(target.read_text()) == {"x": 1}
+
+    def test_site_registry(self):
+        site = durable.register_write_site("test.site", "a test site")
+        try:
+            assert site == "test.site"
+            assert durable.registered_write_sites()["test.site"] == "a test site"
+        finally:
+            durable.WRITE_SITES.pop("test.site", None)
+
+    def test_real_sites_are_registered(self):
+        # Importing the writers registers their sites; the crash matrix
+        # enumerates this registry, so presence here is load-bearing.
+        import repro.harness.checkpoint  # noqa: F401
+        import repro.obs.artifacts  # noqa: F401
+        import repro.obs.export  # noqa: F401
+        import repro.obs.index  # noqa: F401
+        import repro.qa.findings  # noqa: F401
+
+        sites = durable.registered_write_sites()
+        for expected in (
+            "checkpoint.journal", "checkpoint.snapshot",
+            "checkpoint.frontier_array", "checkpoint.frontier",
+            "artifacts.manifest", "artifacts.write_event",
+            "export.prom", "findings.save", "index.write",
+        ):
+            assert expected in sites
+
+
+class TestSidecars:
+    def test_missing(self, tmp_path):
+        target = tmp_path / "x.json"
+        target.write_bytes(b"{}")
+        assert durable.verify_sidecar(target) == "missing"
+
+    def test_stale_after_payload_rewrite(self, tmp_path):
+        target = tmp_path / "x.json"
+        durable.durable_write_bytes(target, b'{"v": 1}')
+        # Simulate the crash window: payload replaced, sidecar not yet.
+        target.write_bytes(b'{"v": 2}')
+        assert durable.verify_sidecar(target) == "stale"
+
+    def test_unreadable_payload(self, tmp_path):
+        target = tmp_path / "x.json"
+        durable.durable_write_bytes(target, b"{}")
+        target.unlink()
+        assert durable.verify_sidecar(target) == "unreadable"
+
+    def test_garbled_sidecar_is_ignored(self, tmp_path):
+        target = tmp_path / "x.json"
+        durable.durable_write_bytes(target, b"{}")
+        durable.sidecar_path(target).write_text("not a sidecar at all")
+        assert durable.read_sidecar(target) is None
+        assert durable.verify_sidecar(target) == "missing"
+
+
+class TestJsonl:
+    def test_roundtrip_ok(self):
+        payload = {"ev": "finish", "id": "E1", "status": "ok", "n": 3.5}
+        line = durable.jsonl_line(payload)
+        decoded, status = durable.decode_jsonl_line(line)
+        assert status == "ok"
+        assert decoded == payload
+
+    def test_line_is_plain_json_with_trailing_crc(self):
+        line = durable.jsonl_line({"a": 1})
+        obj = json.loads(line)
+        assert list(obj)[-1] == durable.CRC_KEY
+        assert obj["a"] == 1
+
+    def test_empty_payload(self):
+        decoded, status = durable.decode_jsonl_line(durable.jsonl_line({}))
+        assert (decoded, status) == ({}, "ok")
+
+    def test_legacy_line_unchecked(self):
+        decoded, status = durable.decode_jsonl_line('{"ev": "start"}')
+        assert status == "unchecked"
+        assert decoded == {"ev": "start"}
+
+    def test_tampered_line_mismatch(self):
+        line = durable.jsonl_line({"id": "E1", "status": "ok"})
+        tampered = line.replace('"ok"', '"failed"')
+        decoded, status = durable.decode_jsonl_line(tampered)
+        assert status == "mismatch"
+        assert decoded["status"] == "failed"
+
+    def test_torn_line_garbled(self):
+        line = durable.jsonl_line({"id": "E1", "status": "ok"})
+        assert durable.decode_jsonl_line(line[: len(line) // 2]) == (
+            None, "garbled"
+        )
+
+    def test_non_object_garbled(self):
+        assert durable.decode_jsonl_line("[1, 2, 3]") == (None, "garbled")
+
+    def test_unicode_payload(self):
+        payload = {"name": "café ∧ ∨", "vals": [1, 2]}
+        decoded, status = durable.decode_jsonl_line(
+            durable.jsonl_line(payload)
+        )
+        assert status == "ok"
+        assert decoded == payload
+
+
+class TestArrayPrefixCrc:
+    def test_stable_across_chunk_sizes(self):
+        arr = np.arange(1000, dtype=np.int64)
+        full = durable.crc32_of_array_prefix(arr, 1000)
+        assert durable.crc32_of_array_prefix(arr, 1000, chunk_rows=7) == full
+
+    def test_prefix_only(self):
+        arr = np.arange(100, dtype=np.int64)
+        crc = durable.crc32_of_array_prefix(arr, 50)
+        arr[99] = -1  # outside the prefix
+        assert durable.crc32_of_array_prefix(arr, 50) == crc
+        arr[10] = -1  # inside it
+        assert durable.crc32_of_array_prefix(arr, 50) != crc
+
+
+class TestFaultsAtSites:
+    def test_partial_write_leaves_target_intact(self, tmp_path):
+        target = tmp_path / "a.json"
+        durable.durable_write_bytes(target, b'{"v": 1}', site="t.site")
+        faults.install("t.site:partial-write:1.0:0")
+        with pytest.raises(faults.FaultError):
+            durable.durable_write_bytes(target, b'{"v": 2}', site="t.site")
+        assert target.read_bytes() == b'{"v": 1}'
+        tmp = target.with_name("a.json.tmp")
+        assert tmp.exists() and len(tmp.read_bytes()) < len(b'{"v": 2}')
+
+    def test_crash_kind_sigkills(self, monkeypatch):
+        killed = []
+        monkeypatch.setattr(
+            faults, "_kill", lambda pid, sig: killed.append((pid, sig))
+        )
+        faults.install("t.site:crash:1.0:0")
+        with pytest.raises(faults.FaultError) as err:
+            faults.inject("t.site")
+        assert err.value.kind == "crash"
+        assert killed == [(os.getpid(), signal.SIGKILL)]
+
+    def test_crash_at_rename_window_keeps_old_payload(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(faults, "_kill", lambda pid, sig: None)
+        target = tmp_path / "a.json"
+        durable.durable_write_bytes(target, b'{"v": 1}', site="t.site")
+        faults.install("t.site@rename:crash:1.0:0")
+        with pytest.raises(faults.FaultError):
+            durable.durable_write_bytes(target, b'{"v": 2}', site="t.site")
+        # The replace never ran: the old payload is still what readers see.
+        assert target.read_bytes() == b'{"v": 1}'
+        assert target.with_name("a.json.tmp").read_bytes() == b'{"v": 2}'
+
+
+# -- power-cut replay ----------------------------------------------------------
+
+
+class _SyscallLog:
+    """Record the protocol's (fsync, replace) sequence with content."""
+
+    def __init__(self, real_fsync, real_replace):
+        self.ops: list[tuple] = []
+        self._fsync = real_fsync
+        self._replace = real_replace
+
+    def fsync(self, fd):
+        try:
+            path = os.readlink(f"/proc/self/fd/{fd}")
+        except OSError:
+            path = None
+        if path is not None and os.path.isfile(path):
+            self.ops.append(("fsync", path, Path(path).read_bytes()))
+        else:
+            self.ops.append(("dirsync", path, None))
+        self._fsync(fd)
+
+    def replace(self, src, dst):
+        self.ops.append(
+            ("replace", str(src), str(dst), Path(src).read_bytes())
+        )
+        self._replace(src, dst)
+
+
+def _replay(prefix, initial, apply_unsynced_renames):
+    """Crash-state simulation: the durable view after ``prefix`` ops.
+
+    ``initial`` maps path -> bytes that were durable before the write.
+    Renames are metadata updates: until the containing directory is
+    fsynced they may or may not have reached disk, so the caller replays
+    both ``apply_unsynced_renames`` branches.  File content only becomes
+    durable at its fsync (an un-fsynced temp is modelled as absent — the
+    worst case).
+    """
+    state = dict(initial)
+    synced: dict[str, bytes] = dict(initial)
+    pending_renames: list[tuple[str, str, bytes]] = []
+    for op in prefix:
+        if op[0] == "fsync":
+            synced[op[1]] = op[2]
+        elif op[0] == "dirsync":
+            for src, dst, content in pending_renames:
+                state.pop(src, None)
+                state[dst] = content
+            pending_renames = []
+        elif op[0] == "replace":
+            src, dst, content = op[1], op[2], op[3]
+            # Protocol invariant: never rename content that was not
+            # fsynced first — otherwise the crash state could be torn.
+            assert synced.get(src) == content, (
+                f"replace of un-fsynced content: {src}"
+            )
+            pending_renames.append((src, dst, content))
+    if apply_unsynced_renames:
+        for src, dst, content in pending_renames:
+            state.pop(src, None)
+            state[dst] = content
+    return state
+
+
+class TestPowerCut:
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self/fd"), reason="needs /proc fd links"
+    )
+    def test_every_crash_prefix_leaves_old_or_new(self, tmp_path, monkeypatch):
+        log = _SyscallLog(durable._fsync, durable._replace)
+        target = tmp_path / "artifact.json"
+        old, new = b'{"v": 1}\n', b'{"v": 2, "payload": "abcdef"}\n'
+        durable.durable_write_bytes(target, old)
+        initial = {
+            str(target): old,
+            str(durable.sidecar_path(target)):
+                durable.sidecar_path(target).read_bytes(),
+        }
+        monkeypatch.setattr(durable, "_fsync", log.fsync)
+        monkeypatch.setattr(durable, "_replace", log.replace)
+        durable.durable_write_bytes(target, new)
+        monkeypatch.undo()
+        assert any(op[0] == "replace" for op in log.ops)
+        assert any(op[0] == "dirsync" for op in log.ops)
+
+        for cut in range(len(log.ops) + 1):
+            for renames_land in (False, True):
+                state = _replay(log.ops[:cut], initial, renames_land)
+                content = state.get(str(target))
+                # The payload is never torn, whatever the crash point.
+                assert content in (old, new), (cut, renames_land, content)
+                # And a stale sidecar never *vouches* for a mismatched
+                # payload: rebuild the state on disk and check.
+                probe = tmp_path / f"replay-{cut}-{int(renames_land)}"
+                probe.mkdir()
+                for path, data in state.items():
+                    name = Path(path).name
+                    if name.endswith(durable.TMP_SUFFIX):
+                        continue
+                    (probe / name).write_bytes(data)
+                replayed = probe / target.name
+                if replayed.exists():
+                    verdict = durable.verify_sidecar(replayed)
+                    if verdict == "ok":
+                        side = durable.read_sidecar(replayed)
+                        assert side is not None
+                        assert len(replayed.read_bytes()) == side[2]
+                    else:
+                        assert verdict in ("missing", "stale")
+
+    def test_full_sequence_lands_new_payload(self, tmp_path, monkeypatch):
+        log = _SyscallLog(durable._fsync, durable._replace)
+        target = tmp_path / "b.json"
+        monkeypatch.setattr(durable, "_fsync", log.fsync)
+        monkeypatch.setattr(durable, "_replace", log.replace)
+        durable.durable_write_bytes(target, b'{"fresh": true}')
+        state = _replay(log.ops, {}, apply_unsynced_renames=False)
+        assert state.get(str(target)) == b'{"fresh": true}'
