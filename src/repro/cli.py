@@ -102,6 +102,7 @@ from repro.experiments import EXPERIMENTS
 from repro.experiments.registry import get_experiment
 from repro.harness import faults
 from repro.perf.base import MAX_SWEEP_N, BackendUnsupported
+from repro.perf.supervise import ShardFailed
 from repro.spaces.base import FiniteSpace
 from repro.spaces.grid import Grid2D
 from repro.spaces.hypercube import Hypercube
@@ -197,6 +198,12 @@ def _add_backend_args(p: argparse.ArgumentParser) -> None:
     group.add_argument("--workers", type=int, default=None, metavar="N",
                        help="worker processes for the process backend "
                             "(default: REPRO_WORKERS, then the CPU count)")
+    group.add_argument("--max-shard-retries", type=int, default=None,
+                       metavar="N",
+                       help="failed attempts before the process backend "
+                            "quarantines a shard as poison and recomputes "
+                            "it serially (default: "
+                            "REPRO_MAX_SHARD_RETRIES, then 2)")
 
 
 def _add_budget_args(p: argparse.ArgumentParser, resume: bool = False) -> None:
@@ -438,7 +445,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--backends", default="auto", metavar="LIST",
                         help="comma-separated sweep backends to diff "
                              "(default 'auto': every applicable serial "
-                             "kernel — numpy, table, bitplane)")
+                             "kernel — numpy, table, bitplane — plus "
+                             "process sharding on hosts with >= 2 CPUs)")
     p_fuzz.add_argument("--shrink", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="greedily minimise failing instances "
@@ -488,6 +496,35 @@ def _validate_args(args: argparse.Namespace) -> None:
     workers = getattr(args, "workers", None)
     if workers is not None and workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {workers}")
+    if workers is None and hasattr(args, "workers"):
+        # No explicit count: the backend will consult REPRO_WORKERS —
+        # reject a malformed value here as a usage error, not a traceback.
+        from repro.perf.process import default_workers
+
+        try:
+            default_workers()
+        except ValueError as err:
+            raise SystemExit(str(err)) from err
+    retries_flag = getattr(args, "max_shard_retries", None)
+    if retries_flag is not None or hasattr(args, "max_shard_retries"):
+        from repro.perf.supervise import (
+            MAX_SHARD_RETRIES_ENV,
+            default_max_shard_retries,
+        )
+
+        if retries_flag is not None:
+            if retries_flag < 1:
+                raise SystemExit(
+                    f"--max-shard-retries must be >= 1, got {retries_flag}"
+                )
+            # Threaded to the backend via the env var so every construction
+            # path (CellularAutomaton, resolve_backend, qa) sees it.
+            os.environ[MAX_SHARD_RETRIES_ENV] = str(retries_flag)
+        else:
+            try:
+                default_max_shard_retries()
+            except ValueError as err:
+                raise SystemExit(str(err)) from err
     wolfram = getattr(args, "wolfram", None)
     if wolfram is not None and not 0 <= wolfram <= 255:
         raise SystemExit(
@@ -830,6 +867,12 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
     backends = None
     if args.backends and args.backends != "auto":
         backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    elif (os.cpu_count() or 1) >= 2:
+        # 'auto' with real parallelism available: also diff the sharded
+        # fork + shared-memory merge path against the serial kernels.
+        from repro.qa.differential import AUTO_BACKENDS
+
+        backends = [*AUTO_BACKENDS, "process"]
     findings_dir = args.findings_dir
     if findings_dir is None and getattr(args, "artifacts_dir", None):
         findings_dir = os.path.join(args.artifacts_dir, "findings")
@@ -1317,6 +1360,15 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             # An explicit --backend that cannot run the automaton: a
             # one-line error, not a traceback (auto never raises this).
             raise SystemExit(str(exc)) from exc
+        except ShardFailed as exc:
+            # The process backend's typed terminal error: the shard failed
+            # every worker attempt *and* the serial fallback.  The original
+            # worker traceback beats the parent's re-raise stack.
+            tb = exc.traceback_text
+            if tb:
+                print(tb.rstrip(), file=sys.stderr)
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            code = 1
         except KeyboardInterrupt:
             # Satellite of the governance work: no traceback, one line,
             # the conventional 128+SIGINT exit code.  Artifacts/metrics

@@ -24,7 +24,16 @@ Grammar
   ``finally`` blocks, the closest an injected fault gets to a power
   cut; the crash-consistency matrix arms it at every registered
   durable-write site and asserts ``repro doctor`` + ``--resume``
-  recover).
+  recover).  Three aliases target the sharded ``process`` backend's
+  worker pool: ``worker-crash`` (= ``crash``), ``worker-hang``
+  (= ``hang``) and ``worker-poison`` (= ``raise``) — behaviourally
+  identical, but named so a chaos spec reads as what it simulates.
+  Arm them at the worker sites ``perf.worker.w{wid}.dispatch`` (shard
+  receipt), ``perf.worker.w{wid}.chunk`` (before each chunk) and
+  ``perf.worker.w{wid}.premerge`` (result shipping), where ``wid`` is
+  the worker's monotonic spawn index — ``perf.worker.w0.*`` hits only
+  the first worker, never its respawned replacement.  The parent's
+  serial fallback probes ``perf.process.fallback``.
 * ``prob`` — per-hit firing probability in ``[0, 1]``.
 * ``seed`` — seeds the fault's private RNG, so a given spec fires on a
   reproducible subsequence of hits.
@@ -65,7 +74,17 @@ __all__ = [
     "KINDS",
 ]
 
-KINDS = ("raise", "hang", "stall", "partial-write", "crash")
+KINDS = (
+    "raise",
+    "hang",
+    "stall",
+    "partial-write",
+    "crash",
+    # worker-pool aliases: same behaviour, chaos-spec readability
+    "worker-crash",  # = crash (SIGKILL mid-shard)
+    "worker-hang",  # = hang (stuck holder; lease deadline bounds it)
+    "worker-poison",  # = raise (deterministic kernel failure)
+)
 
 ENV_VAR = "REPRO_FAULTS"
 HANG_ENV_VAR = "REPRO_FAULT_HANG_S"
@@ -271,15 +290,16 @@ def inject(site: str) -> Fault | None:
     fault = plan.probe(site)
     if fault is None:
         return None
-    if fault.kind == "raise":
-        raise FaultError(site, "raise")
-    if fault.kind == "hang":
+    if fault.kind in ("raise", "worker-poison"):
+        raise FaultError(site, fault.kind)
+    if fault.kind in ("hang", "worker-hang"):
         _sleep(_hang_seconds())
-        raise FaultError(site, "hang")
+        raise FaultError(site, fault.kind)
     if fault.kind == "stall":
         _sleep(_hang_seconds())
         return None
-    if fault.kind == "crash":
+    if fault.kind in ("crash", "worker-crash"):
         _kill(os.getpid(), signal.SIGKILL)
-        raise FaultError(site, "crash")  # only reachable with a patched _kill
+        # only reachable with a patched _kill
+        raise FaultError(site, fault.kind)
     return fault

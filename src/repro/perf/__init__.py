@@ -37,6 +37,12 @@ from repro.perf.base import (
 )
 from repro.perf.bitplane import BitplaneBackend, lower_bit_kernel
 from repro.perf.process import ProcessBackend, default_workers
+from repro.perf.supervise import (
+    ShardFailed,
+    default_max_shard_retries,
+    default_max_worker_deaths,
+    default_shard_timeout_s,
+)
 from repro.perf.table import TableBackend
 
 __all__ = [
@@ -51,8 +57,12 @@ __all__ = [
     "TableBackend",
     "BitplaneBackend",
     "ProcessBackend",
+    "ShardFailed",
     "lower_bit_kernel",
     "default_workers",
+    "default_max_shard_retries",
+    "default_max_worker_deaths",
+    "default_shard_timeout_s",
     "resolve_backend",
     "resolve_serial_backend",
 ]

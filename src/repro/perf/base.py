@@ -58,7 +58,12 @@ class SweepBackend:
     name = "?"
     #: True for backends that split sweeps across worker processes; the
     #: governed builders hand those the whole range at once instead of
-    #: driving the chunk loop themselves.
+    #: driving the chunk loop themselves.  Sharded backends own their
+    #: workers' failure semantics: a worker death must never corrupt the
+    #: governed prefix — the backend either heals (re-dispatching the
+    #: lost shards, possibly serially) or raises a typed error
+    #: (``repro.perf.supervise.ShardFailed``); it never hangs and never
+    #: returns a range it did not fully compute.
     is_sharded = False
 
     def __init__(self, ca):

@@ -1,4 +1,4 @@
-"""Multiprocess sharded sweep backend.
+"""Multiprocess sharded sweep backend with a supervised, self-healing pool.
 
 Splits ``[start, 2**n)`` into contiguous shards, computes each shard in a
 worker process with a serial kernel (any of the other backends), and
@@ -6,6 +6,28 @@ merges the results into the caller's successor array through
 ``multiprocessing.shared_memory`` buffers — zero-copy on the worker side,
 one ``memcpy`` per shard on the parent side (which also works when the
 parent array is a resumed disk-backed memmap).
+
+Worker failure never changes an answer, only its latency (shards are
+order-independent and recomputable — see :mod:`repro.perf.supervise`):
+
+* every dispatched shard carries a :class:`~repro.perf.supervise.ShardLease`
+  (holder pid, attempt count, stuck deadline); workers acknowledge each
+  shard with a ``start`` message and ship per-shard metric snapshots;
+* the parent's wait loop reaps dead workers (``is_alive``/``exitcode``),
+  returns their leased shards to the pending queue, SIGKILLs holders
+  past their lease deadline, and respawns replacements up to a death
+  budget (``REPRO_MAX_WORKER_DEATHS``, default ``max(4, 2*workers)``);
+* workers catch kernel exceptions and ship structured
+  ``("error", sid, ...)`` results instead of dying; a shard that fails
+  ``max_shard_retries`` times (default 2, ``REPRO_MAX_SHARD_RETRIES``)
+  across distinct workers is classified *poison* — the parent computes
+  it inline with the serial inner backend, and if that also raises it
+  surfaces a typed :class:`~repro.perf.supervise.ShardFailed` (never a
+  hang, never a bare ``RuntimeError``);
+* when the pool collapses (death budget exhausted) the sweep degrades
+  gracefully: the remaining range is finished serially with a warning
+  and a ``perf.process.degraded`` gauge, preserving exact
+  governed-prefix accounting and ``next_lo`` resume semantics.
 
 Governance stays honest across the process boundary:
 
@@ -17,13 +39,20 @@ Governance stays honest across the process boundary:
 * a shared :class:`multiprocessing.Event` cancel flag is polled by every
   worker between chunks, so Ctrl-C / deadline trips wind the pool down
   cooperatively instead of leaving orphans (workers also ignore SIGINT —
-  the parent owns the signal);
-* each worker resets its forked copy of the obs metrics registry on
-  startup and ships a final snapshot back on shutdown; the parent folds
-  those into its own registry via ``REGISTRY.merge_snapshot``.
+  the parent owns the signal); a hung worker that never polls is bounded
+  by the wind-down grace and then killed, so a deadline trip returns
+  promptly even under ``worker-hang`` faults.
 
 Workers are forked, so arbitrary rule objects (closures included) need no
 pickling; the backend is unsupported where ``fork`` is unavailable.
+
+Fault sites (:mod:`repro.harness.faults`): each worker probes
+``perf.worker.w{wid}.dispatch`` on shard receipt,
+``perf.worker.w{wid}.chunk`` before each chunk and
+``perf.worker.w{wid}.premerge`` before shipping the result — arm them
+with the ``worker-crash`` / ``worker-hang`` / ``worker-poison`` kinds to
+chaos-test the pool.  The parent probes ``perf.process.fallback`` inside
+the poison/degraded serial path.
 """
 
 from __future__ import annotations
@@ -32,15 +61,28 @@ import multiprocessing as mp
 import os
 import queue
 import signal
+import time
+import traceback
+import warnings
 from collections import deque
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro import obs
+from repro.harness import faults
 from repro.perf.base import CHUNK, BackendUnsupported, SweepBackend
+from repro.perf.supervise import (
+    ShardFailed,
+    ShardLease,
+    Supervisor,
+    WorkerHandle,
+    default_max_shard_retries,
+    default_max_worker_deaths,
+    default_shard_timeout_s,
+)
 
-__all__ = ["ProcessBackend", "DEFAULT_WORKERS_ENV"]
+__all__ = ["ProcessBackend", "DEFAULT_WORKERS_ENV", "default_workers"]
 
 #: env var overriding the worker count (``CellularAutomaton(workers=...)``
 #: and the CLI ``--workers`` flag take precedence)
@@ -49,56 +91,108 @@ DEFAULT_WORKERS_ENV = "REPRO_WORKERS"
 #: seconds between budget/liveness checks while waiting on worker results
 _POLL_S = 0.1
 
+#: seconds a cancel/deadline wind-down waits for in-flight shards before
+#: abandoning them (a hung worker never acknowledges the cancel Event;
+#: this bounds "never hangs past the budget deadline")
+_WINDDOWN_GRACE_S = 5.0
+
+#: seconds the shutdown path waits per worker before SIGKILLing it
+_SHUTDOWN_GRACE_S = 5.0
+
 
 def default_workers() -> int:
-    """Worker count: ``REPRO_WORKERS`` if set, else the CPU count."""
+    """Worker count: ``REPRO_WORKERS`` if set, else the CPU count.
+
+    A non-numeric or ``< 1`` value raises a one-line ``ValueError`` (the
+    CLI renders it as a usage error instead of an ``int()`` traceback).
+    """
     env = os.environ.get(DEFAULT_WORKERS_ENV, "").strip()
     if env:
-        return max(1, int(env))
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{DEFAULT_WORKERS_ENV} must be a positive integer, "
+                f"got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"{DEFAULT_WORKERS_ENV} must be >= 1, got {value}"
+            )
+        return value
     return max(1, os.cpu_count() or 1)
 
 
-def _worker_main(inner, task_q, result_q, cancel) -> None:
-    """Worker loop: shards in, per-shard completions + a final metrics out.
+def _flush_snapshot() -> dict:
+    """This worker's metric increments since the last flush."""
+    snapshot = obs.REGISTRY.snapshot()
+    obs.REGISTRY.reset()
+    return snapshot
+
+
+def _worker_main(wid, inner, task_q, result_q, cancel) -> None:
+    """Worker loop: shards in, per-shard completions + metric deltas out.
 
     ``inner`` is the parent's fully constructed serial backend, inherited
-    by fork (rules never cross a pickle boundary).
+    by fork (rules never cross a pickle boundary).  Kernel exceptions are
+    caught and shipped as structured ``error`` results — a worker only
+    dies from the outside (SIGKILL, OOM) or from a ``worker-crash``
+    fault.  Metrics are flushed alongside every shard completion, so an
+    abnormal death loses at most the in-flight shard's increments.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     # The forked registry starts as a copy of the parent's counts; reset so
-    # the final snapshot holds only this worker's own increments.
+    # snapshots hold only this worker's own increments.
     obs.REGISTRY.reset()
     while True:
         task = task_q.get()
         if task is None:
-            result_q.put(("metrics", os.getpid(), obs.REGISTRY.snapshot()))
+            result_q.put(("metrics", os.getpid(), _flush_snapshot()))
             return
         sid, mode, node, lo, hi, shm_name = task
-        # Forked workers share the parent's resource tracker, so attaching
-        # here neither duplicates nor steals ownership of the block.
-        shm = shared_memory.SharedMemory(name=shm_name)
+        pid = os.getpid()
+        result_q.put(("start", sid, pid))
         try:
-            out = np.ndarray(hi - lo, dtype=np.int64, buffer=shm.buf)
-            ok = True
-            for clo in range(lo, hi, CHUNK):
-                if cancel.is_set():
-                    ok = False
-                    break
-                chi = min(clo + CHUNK, hi)
-                if mode == "step":
-                    out[clo - lo : chi - lo] = inner.step_all_range(clo, chi)
-                else:
-                    out[clo - lo : chi - lo] = inner.node_successors_range(
-                        node, clo, chi
-                    )
-            del out
-        finally:
-            shm.close()
-        result_q.put(("done", sid, ok))
+            faults.inject(f"perf.worker.w{wid}.dispatch")
+            # Forked workers share the parent's resource tracker, so
+            # attaching here neither duplicates nor steals ownership.
+            shm = shared_memory.SharedMemory(name=shm_name)
+            try:
+                out = np.ndarray(hi - lo, dtype=np.int64, buffer=shm.buf)
+                ok = True
+                for clo in range(lo, hi, CHUNK):
+                    if cancel.is_set():
+                        ok = False
+                        break
+                    faults.inject(f"perf.worker.w{wid}.chunk")
+                    chi = min(clo + CHUNK, hi)
+                    if mode == "step":
+                        out[clo - lo : chi - lo] = inner.step_all_range(clo, chi)
+                    else:
+                        out[clo - lo : chi - lo] = inner.node_successors_range(
+                            node, clo, chi
+                        )
+                del out
+            finally:
+                shm.close()
+            faults.inject(f"perf.worker.w{wid}.premerge")
+        except Exception as exc:
+            result_q.put(
+                (
+                    "error",
+                    sid,
+                    pid,
+                    repr(exc),
+                    traceback.format_exc(),
+                    _flush_snapshot(),
+                )
+            )
+            continue
+        result_q.put(("done", sid, pid, ok, _flush_snapshot()))
 
 
 class ProcessBackend(SweepBackend):
-    """Shard whole-space sweeps across forked worker processes."""
+    """Shard whole-space sweeps across supervised forked worker processes."""
 
     name = "process"
     is_sharded = True
@@ -109,7 +203,16 @@ class ProcessBackend(SweepBackend):
             return "requires the fork start method (POSIX hosts)"
         return None
 
-    def __init__(self, ca, inner: str = "auto", workers: int | None = None):
+    def __init__(
+        self,
+        ca,
+        inner: str = "auto",
+        workers: int | None = None,
+        *,
+        max_shard_retries: int | None = None,
+        max_worker_deaths: int | None = None,
+        shard_timeout_s: float | None = None,
+    ):
         super().__init__(ca)
         reason = self.supports(ca)
         if reason is not None:  # pragma: no cover - POSIX-only container
@@ -122,6 +225,25 @@ class ProcessBackend(SweepBackend):
         self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        self.max_shard_retries = (
+            max_shard_retries
+            if max_shard_retries is not None
+            else default_max_shard_retries()
+        )
+        if self.max_shard_retries < 1:
+            raise ValueError(
+                f"max_shard_retries must be >= 1, got {max_shard_retries}"
+            )
+        self.max_worker_deaths = (
+            max_worker_deaths
+            if max_worker_deaths is not None
+            else default_max_worker_deaths(self.workers)
+        )
+        self.shard_timeout_s = (
+            shard_timeout_s
+            if shard_timeout_s is not None
+            else default_shard_timeout_s()
+        )
 
     def describe(self) -> str:
         return f"process[{self._inner.name} x{self.workers}]"
@@ -165,13 +287,16 @@ class ProcessBackend(SweepBackend):
         node: int | None = None,
         on_prefix=None,
     ) -> tuple[int, str | None]:
-        """Fill ``out[start:]`` by sharding across the worker pool.
+        """Fill ``out[start:]`` by sharding across the supervised pool.
 
         Returns ``(next_lo, reason)``: ``reason`` is None when the sweep
         completed, else the budget trip reason and ``next_lo`` the end of
         the contiguous completed-and-charged prefix — the honest resume
         point.  ``on_prefix(lo, hi)`` fires in order as the prefix grows
         (the phase-space builder streams fixed-point counts through it).
+
+        Raises :class:`~repro.perf.supervise.ShardFailed` only when a
+        poison shard *also* fails the serial inline fallback.
         """
         total = int(out.size)
         if start >= total:
@@ -195,18 +320,30 @@ class ProcessBackend(SweepBackend):
             pass
 
         ctx = mp.get_context("fork")
-        task_q: mp.Queue = ctx.Queue()
         result_q: mp.Queue = ctx.Queue()
         cancel = ctx.Event()
         nworkers = min(self.workers, len(shards))
-        procs = [
-            ctx.Process(
+
+        def _spawn(wid: int) -> WorkerHandle:
+            task_q = ctx.SimpleQueue()
+            proc = ctx.Process(
                 target=_worker_main,
-                args=(self._inner, task_q, result_q, cancel),
+                args=(wid, self._inner, task_q, result_q, cancel),
                 daemon=True,
             )
-            for _ in range(nworkers)
-        ]
+            proc.start()
+            return WorkerHandle(wid, proc, task_q)
+
+        supervisor = Supervisor(
+            _spawn,
+            workers=nworkers,
+            max_worker_deaths=self.max_worker_deaths,
+            lease_timeout_s=self.shard_timeout_s,
+        )
+        leases = {
+            sid: ShardLease(sid, lo, hi) for sid, (lo, hi) in enumerate(shards)
+        }
+
         with obs.span(
             "perf.process.sweep",
             mode=mode,
@@ -216,15 +353,16 @@ class ProcessBackend(SweepBackend):
             workers=nworkers,
             inner=self._inner.name,
         ) as sweep_span:
-            for p in procs:
-                p.start()
+            supervisor.start()
 
             pending: deque[int] = deque(range(len(shards)))
             inflight: dict[int, shared_memory.SharedMemory] = {}
             status: dict[int, bool] = {}
             next_merge = 0  # first shard not yet folded into the prefix
-            uncharged = 0  # dispatched states not yet charged to the budget
+            uncharged = 0  # admitted states not yet charged to the budget
             reason: str | None = None
+            degraded = False
+            winddown_at: float | None = None
 
             def _advance_prefix() -> None:
                 nonlocal next_merge, uncharged
@@ -236,31 +374,194 @@ class ProcessBackend(SweepBackend):
                         on_prefix(lo, hi)
                     next_merge += 1
 
+            def _cleanup_shm(sid: int) -> None:
+                shm = inflight.pop(sid, None)
+                if shm is not None:
+                    shm.close()
+                    shm.unlink()
+                    leases[sid].shm_name = None
+
+            def _serial_shard(sid: int) -> None:
+                """Compute shard ``sid`` inline with the serial inner backend.
+
+                The last line of defence: raises :class:`ShardFailed` when
+                the serial kernel fails too (with the full attempt history).
+                """
+                lo, hi = shards[sid]
+                lease = leases[sid]
+                with obs.span(
+                    "perf.process.fallback", **lease.span_attrs()
+                ):
+                    try:
+                        faults.inject("perf.process.fallback")
+                        if mode == "step":
+                            out[lo:hi] = self._inner.step_all_range(lo, hi)
+                        else:
+                            out[lo:hi] = self._inner.node_successors_range(
+                                node, lo, hi
+                            )
+                    except Exception as exc:
+                        lease.fail(None, repr(exc), traceback.format_exc())
+                        raise ShardFailed(
+                            lo, hi, lease.attempt + 1, lease.errors
+                        ) from exc
+                status[sid] = True
+                _cleanup_shm(sid)
+                _advance_prefix()
+
+            def _settle_admitted(sid: int) -> None:
+                """Resolve an admitted shard that lost its worker post-trip.
+
+                Memory/state trips let admitted shards *finish* (the serial
+                chunk loop would have completed them), so the parent
+                computes them inline — keeping the frontier identical to
+                the serial backend's.  Cancellation and deadline trips
+                abandon them: they sit beyond the charged prefix, so the
+                frontier stays honest either way.
+                """
+                if status.get(sid) is not None:
+                    return
+                if reason.startswith(("cancelled", "deadline")):
+                    status[sid] = False
+                    _cleanup_shm(sid)
+                else:
+                    _serial_shard(sid)
+
+            def _fail_shard(sid: int, pid: int | None, error: str, tb: str) -> None:
+                """One failed attempt: re-dispatch, or quarantine as poison."""
+                if status.get(sid):
+                    return  # a duplicate completion already landed the data
+                lease = leases[sid]
+                lease.fail(pid, error, tb)
+                if reason is not None:
+                    _settle_admitted(sid)
+                    return
+                if lease.failures >= self.max_shard_retries:
+                    obs.inc("perf.process.poison_shards")
+                    with obs.span(
+                        "perf.process.poison", **lease.span_attrs()
+                    ):
+                        _serial_shard(sid)
+                else:
+                    obs.inc("perf.process.redispatches")
+                    if sid not in pending:
+                        pending.appendleft(sid)
+
+            last_supervise = 0.0
+
+            def _supervise() -> None:
+                """Reap the dead, heal their shards, respawn, or degrade."""
+                nonlocal degraded, last_supervise
+                now = time.monotonic()
+                if now - last_supervise < _POLL_S:
+                    return
+                last_supervise = now
+                supervisor.kill_stuck(leases)
+                orphans = supervisor.reap()
+                delta = supervisor.deaths - deaths_seen[0]
+                if delta:
+                    obs.inc("perf.process.worker_deaths", delta)
+                deaths_seen[0] = supervisor.deaths
+                for sid, started in orphans:
+                    if status.get(sid):
+                        continue
+                    if started:
+                        lease = leases[sid]
+                        _fail_shard(
+                            sid,
+                            lease.pid,
+                            "worker died holding the lease",
+                            "",
+                        )
+                    elif reason is None:
+                        obs.inc("perf.process.redispatches")
+                        if sid not in pending:
+                            pending.appendleft(sid)
+                    else:
+                        _settle_admitted(sid)
+                if reason is not None:
+                    return
+                remaining = len(pending) + len(
+                    [s for s in inflight if not status.get(s)]
+                )
+                if remaining and not supervisor.collapsed:
+                    spawned = supervisor.maybe_respawn(remaining)
+                    if spawned:
+                        obs.inc("perf.process.respawns", spawned)
+                elif supervisor.collapsed and not degraded:
+                    degraded = True
+                    obs.set_gauge("perf.process.degraded", 1)
+                    warnings.warn(
+                        f"process backend: worker death budget exhausted "
+                        f"({supervisor.deaths} deaths > "
+                        f"{supervisor.max_worker_deaths}); finishing the "
+                        f"remaining {remaining} shard(s) serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    cancel.set()  # stop any survivor mid-shard promptly
+
+            deaths_seen = [0]
+
             try:
                 while pending or inflight:
+                    _supervise()
+
+                    if degraded and reason is None:
+                        # Pool collapsed: finish the pending range serially,
+                        # with the same per-shard budget projection the
+                        # dispatch path applies.
+                        while pending and reason is None:
+                            sid = pending[0]
+                            lo, hi = shards[sid]
+                            if sid not in inflight:
+                                reason = budget.over(
+                                    pending_bytes=transient
+                                    + per_state * (uncharged + hi - lo),
+                                    pending_states=uncharged,
+                                )
+                                if reason is not None:
+                                    break
+                                uncharged += hi - lo
+                            pending.popleft()
+                            _serial_shard(sid)
+
                     while (
-                        pending and reason is None and len(inflight) < 2 * nworkers
+                        not degraded
+                        and pending
+                        and reason is None
+                        and supervisor.has_capacity()
                     ):
                         sid = pending[0]
                         lo, hi = shards[sid]
-                        # Project every dispatched-but-uncharged shard too,
-                        # so dispatch-ahead trips at the same accounted
-                        # footprint the serial chunk loop would (which
-                        # checks with all prior chunks already charged).
-                        reason = budget.over(
-                            pending_bytes=transient
-                            + per_state * (uncharged + hi - lo),
-                            pending_states=uncharged,
-                        )
-                        if reason is not None:
+                        lease = leases[sid]
+                        if lease.shm_name is None:
+                            # First dispatch: admit against the budget,
+                            # projecting every admitted-but-uncharged shard
+                            # too, so dispatch-ahead trips at the same
+                            # accounted footprint the serial chunk loop
+                            # would (which checks with all prior chunks
+                            # already charged).  Re-dispatches reuse the
+                            # original admission and buffer.
+                            reason = budget.over(
+                                pending_bytes=transient
+                                + per_state * (uncharged + hi - lo),
+                                pending_states=uncharged,
+                            )
+                            if reason is not None:
+                                break
+                            shm = shared_memory.SharedMemory(
+                                create=True, size=(hi - lo) * 8
+                            )
+                            inflight[sid] = shm
+                            lease.shm_name = shm.name
+                            uncharged += hi - lo
+                        if not supervisor.assign(
+                            lease, (sid, mode, node, lo, hi, lease.shm_name)
+                        ):  # pragma: no cover - capacity raced a death
                             break
-                        shm = shared_memory.SharedMemory(
-                            create=True, size=(hi - lo) * 8
-                        )
-                        inflight[sid] = shm
                         pending.popleft()
-                        uncharged += hi - lo
-                        task_q.put((sid, mode, node, lo, hi, shm.name))
+
                     if reason is not None:
                         # Memory/state trips only stop *dispatch* — shards
                         # already in flight were admitted by the projection
@@ -269,9 +570,27 @@ class ProcessBackend(SweepBackend):
                         # and deadline trips interrupt the workers.
                         if reason.startswith(("cancelled", "deadline")):
                             cancel.set()
+                            if winddown_at is None:
+                                winddown_at = time.monotonic()
                         pending.clear()
+                        owned = set(supervisor.outstanding())
+                        for sid in list(inflight):
+                            if sid not in owned and status.get(sid) is None:
+                                # Admitted but no live holder: nothing else
+                                # will ever complete it — settle it now.
+                                _settle_admitted(sid)
                         if not inflight:
                             break
+                        if (
+                            winddown_at is not None
+                            and time.monotonic() - winddown_at
+                            > _WINDDOWN_GRACE_S
+                        ):
+                            # Hung workers never acknowledge the cancel:
+                            # abandon their shards (beyond the charged
+                            # prefix) so the trip returns promptly.
+                            break
+
                     try:
                         msg = result_q.get(timeout=_POLL_S)
                     except queue.Empty:
@@ -283,39 +602,73 @@ class ProcessBackend(SweepBackend):
                             cb(budget, 0)
                         if reason is None:
                             reason = budget.over()
-                            if reason is not None:
-                                continue
-                        if not any(p.is_alive() for p in procs) and inflight:
-                            raise RuntimeError(
-                                "process backend: all workers died with "
-                                f"{len(inflight)} shard(s) outstanding"
+                        continue
+
+                    kind = msg[0]
+                    if kind == "start":
+                        _, sid, pid = msg
+                        supervisor.note_started(leases[sid], pid)
+                    elif kind == "done":
+                        _, sid, pid, ok, snapshot = msg
+                        obs.REGISTRY.merge_snapshot(snapshot)
+                        supervisor.release(sid)
+                        if status.get(sid):
+                            continue  # duplicate completion after a re-dispatch
+                        if sid in pending:
+                            # A presumed-dead worker finished after all:
+                            # accept the data (it is byte-identical by
+                            # construction) instead of recomputing.
+                            pending.remove(sid)
+                        shm = inflight.get(sid)
+                        if shm is None:
+                            continue  # already cleaned up past a trip
+                        lo, hi = shards[sid]
+                        if ok:
+                            # Merge even past a trip: the data is correct,
+                            # and a memmap-backed resume benefits from it;
+                            # only prefix shards are *charged* and counted
+                            # in the frontier.
+                            out[lo:hi] = np.ndarray(
+                                hi - lo, dtype=np.int64, buffer=shm.buf
                             )
-                        continue
-                    kind, sid, ok = msg
-                    if kind != "done":  # pragma: no cover - metrics come later
-                        continue
-                    shm = inflight.pop(sid)
-                    lo, hi = shards[sid]
-                    if ok:
-                        # Merge even past a trip: the data is correct, and a
-                        # memmap-backed resume benefits from it; only prefix
-                        # shards are *charged* and counted in the frontier.
-                        out[lo:hi] = np.ndarray(
-                            hi - lo, dtype=np.int64, buffer=shm.buf
-                        )
-                    status[sid] = ok
-                    shm.close()
-                    shm.unlink()
-                    if ok:
-                        _advance_prefix()
+                            status[sid] = True
+                            _cleanup_shm(sid)
+                            _advance_prefix()
+                        elif reason is None:
+                            # The worker stopped at the cooperative cancel
+                            # poll (pool-collapse wind-down): the shard is
+                            # still owed — hand it back for completion.
+                            if sid not in pending:
+                                pending.append(sid)
+                        else:
+                            status[sid] = False
+                            _cleanup_shm(sid)
+                    elif kind == "error":
+                        _, sid, pid, exc_repr, tb, snapshot = msg
+                        obs.REGISTRY.merge_snapshot(snapshot)
+                        supervisor.release(sid)
+                        obs.inc("perf.process.shard_errors")
+                        _fail_shard(sid, pid, exc_repr, tb)
+                    elif kind == "metrics":
+                        obs.REGISTRY.merge_snapshot(msg[2])
             finally:
                 if reason is not None:
                     cancel.set()
-                for _ in procs:
-                    task_q.put(None)
-                for p in procs:
-                    p.join(timeout=5.0)
-                # Fold each worker's metrics into the parent registry.
+                # Dead workers took their unflushed in-flight increments
+                # with them; anything still alive after the shutdown grace
+                # is killed and loses its final flush the same way.
+                stuck = [
+                    h
+                    for h in supervisor.handles
+                    if h.is_alive() and supervisor.load(h) > 0
+                ]
+                supervisor.shutdown(grace_s=_SHUTDOWN_GRACE_S)
+                lost = supervisor.deaths + sum(
+                    1 for h in stuck if h.process.exitcode != 0
+                )
+                if lost:
+                    obs.inc("perf.process.snapshots_lost", lost)
+                # Fold the final (and any straggler) snapshots in.
                 while True:
                     try:
                         msg = result_q.get_nowait()
@@ -323,15 +676,21 @@ class ProcessBackend(SweepBackend):
                         break
                     if msg[0] == "metrics":
                         obs.REGISTRY.merge_snapshot(msg[2])
-                for p in procs:  # pragma: no cover - stuck-worker safety net
-                    if p.is_alive():
-                        p.terminate()
-                        p.join(timeout=1.0)
-                for shm in inflight.values():  # pragma: no cover - trip races
+                    elif msg[0] == "done":
+                        obs.REGISTRY.merge_snapshot(msg[4])
+                    elif msg[0] == "error":
+                        obs.REGISTRY.merge_snapshot(msg[5])
+                for shm in inflight.values():
                     shm.close()
                     shm.unlink()
             next_lo = shards[next_merge][0] if next_merge < len(shards) else total
-            sweep_span.set(next_lo=next_lo, truncated=reason)
+            sweep_span.set(
+                next_lo=next_lo,
+                truncated=reason,
+                worker_deaths=supervisor.deaths,
+                respawns=supervisor.respawns,
+                degraded=degraded,
+            )
             obs.inc("perf.process.sweeps")
             obs.inc("perf.process.shards_done", next_merge)
             return next_lo, reason

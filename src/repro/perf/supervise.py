@@ -1,0 +1,410 @@
+"""Worker supervision for the sharded ``process`` backend.
+
+The paper's order-independence results (Macauley–McCammond; PAPERS.md)
+license a strong operational guarantee: shards of a whole-space sweep
+may be recomputed and merged in *any* order by *any* worker and the
+result is byte-identical.  Worker failure therefore must never change an
+answer — only its latency.  This module holds the mechanism that turns
+that license into behaviour:
+
+* every dispatched shard carries a :class:`ShardLease` — which worker
+  holds it (pid), how many times it has been attempted, which workers
+  already failed it, and a deadline after which the holder is presumed
+  stuck;
+* a :class:`Supervisor` owns the worker pool: it assigns leases to the
+  least-loaded live worker (avoiding workers that already failed the
+  shard), watches liveness via ``Process.is_alive()``/``exitcode``,
+  reaps dead workers, SIGKILLs past-deadline holders, and respawns
+  replacements up to a configurable *death budget*;
+* a shard that keeps failing is classified **poison** and quarantined:
+  the parent recomputes it inline with the serial inner backend, and if
+  that also raises, surfaces a typed :class:`ShardFailed` — never a
+  hang, never a bare ``RuntimeError``.
+
+The dispatch policy (budgets, prefix charging, merging) stays in
+:mod:`repro.perf.process`; this module is pure pool mechanics so later
+scale-out layers (streaming Monte-Carlo, atlas fill) can reuse it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DEFAULT_MAX_SHARD_RETRIES",
+    "DEFAULT_SHARD_TIMEOUT_S",
+    "MAX_SHARD_RETRIES_ENV",
+    "MAX_WORKER_DEATHS_ENV",
+    "SHARD_TIMEOUT_ENV",
+    "ShardFailed",
+    "ShardLease",
+    "WorkerHandle",
+    "Supervisor",
+    "default_max_shard_retries",
+    "default_max_worker_deaths",
+    "default_shard_timeout_s",
+]
+
+#: a shard that fails this many attempts (across distinct workers when
+#: possible) is classified poison and recomputed inline by the parent
+DEFAULT_MAX_SHARD_RETRIES = 2
+
+#: seconds a worker may hold one shard lease before the parent presumes
+#: it stuck and SIGKILLs it (the shard is then re-dispatched)
+DEFAULT_SHARD_TIMEOUT_S = 300.0
+
+MAX_SHARD_RETRIES_ENV = "REPRO_MAX_SHARD_RETRIES"
+MAX_WORKER_DEATHS_ENV = "REPRO_MAX_WORKER_DEATHS"
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT_S"
+
+
+def _env_positive_int(var: str, fallback: int) -> int:
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return fallback
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{var} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{var} must be >= 1, got {value}")
+    return value
+
+
+def default_max_shard_retries() -> int:
+    """Failed attempts before a shard is poison: env var, else 2."""
+    return _env_positive_int(MAX_SHARD_RETRIES_ENV, DEFAULT_MAX_SHARD_RETRIES)
+
+
+def default_max_worker_deaths(workers: int) -> int:
+    """Death budget for one sweep: env var, else ``max(4, 2 * workers)``.
+
+    Past this many reaped workers the pool is considered collapsed and
+    the sweep degrades to serial completion instead of respawning.
+    """
+    return _env_positive_int(MAX_WORKER_DEATHS_ENV, max(4, 2 * workers))
+
+
+def default_shard_timeout_s() -> float:
+    """Lease deadline in seconds: env var, else 300 (``0`` disables)."""
+    raw = os.environ.get(SHARD_TIMEOUT_ENV, "").strip()
+    if not raw:
+        return DEFAULT_SHARD_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SHARD_TIMEOUT_ENV} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{SHARD_TIMEOUT_ENV} must be >= 0, got {value:g}")
+    return value
+
+
+class ShardFailed(RuntimeError):
+    """A shard failed every worker attempt *and* the serial fallback.
+
+    Carries the shard range, the attempt history and the original
+    traceback so the failure is actionable without re-running — the
+    typed terminal error of the self-healing layer (a sweep either
+    completes, returns an honest budget-truncated prefix, or raises
+    this; it never hangs and never loses the failure context).
+    """
+
+    def __init__(
+        self,
+        lo: int,
+        hi: int,
+        attempts: int,
+        errors: list[tuple[str, str]] | None = None,
+    ):
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.attempts = int(attempts)
+        self.errors = list(errors or [])
+        last = self.errors[-1][0] if self.errors else "worker died"
+        super().__init__(
+            f"shard [{lo}, {hi}) failed {attempts} attempt(s) and the "
+            f"serial fallback; last error: {last}"
+        )
+
+    @property
+    def traceback_text(self) -> str:
+        """The original (first) failure's traceback, if one was captured."""
+        for _, tb in self.errors:
+            if tb:
+                return tb
+        return ""
+
+
+@dataclass
+class ShardLease:
+    """One shard's dispatch state: holder, attempts, deadline, history."""
+
+    sid: int
+    lo: int
+    hi: int
+    shm_name: str | None = None  #: created on first dispatch, then reused
+    pid: int | None = None  #: current holder (None until its ``start`` ack)
+    attempt: int = 0  #: dispatches so far (includes the in-flight one)
+    failures: int = 0  #: failed attempts (kernel error or holder death)
+    tried_pids: set = field(default_factory=set)  #: workers that failed it
+    started_at: float | None = None
+    deadline: float | None = None
+    errors: list = field(default_factory=list)  #: (exc_repr, traceback) per failure
+
+    def start(self, pid: int, now: float, timeout_s: float) -> None:
+        """Stamp the holder and (re)arm the stuck-worker deadline."""
+        self.pid = int(pid)
+        self.started_at = now
+        self.deadline = now + timeout_s if timeout_s > 0 else None
+
+    def fail(self, pid: int | None, error: str, tb: str = "") -> None:
+        """Record one failed attempt and release the holder."""
+        self.failures += 1
+        if pid is not None:
+            self.tried_pids.add(int(pid))
+        self.errors.append((error, tb))
+        self.pid = None
+        self.started_at = None
+        self.deadline = None
+
+    def span_attrs(self) -> dict:
+        """Lease fields worth annotating on obs spans/events."""
+        return {
+            "sid": self.sid,
+            "lo": self.lo,
+            "hi": self.hi,
+            "attempt": self.attempt,
+            "failures": self.failures,
+            "pid": self.pid,
+        }
+
+
+@dataclass
+class WorkerHandle:
+    """One pool worker: its process, private task queue, and identity.
+
+    ``wid`` is a monotonically increasing spawn index — replacement
+    workers get fresh wids, which is what lets a fault plan target "the
+    first worker" (``perf.worker.w0.*``) without also hitting the
+    respawned replacement.
+    """
+
+    wid: int
+    process: object  #: multiprocessing.Process
+    task_q: object  #: per-worker SimpleQueue (parent -> this worker only)
+    sentinel_sent: bool = False
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class Supervisor:
+    """Owns the worker pool: assignment, liveness, reaping, respawn.
+
+    ``spawn`` is a callable ``spawn(wid) -> WorkerHandle`` returning a
+    *started* worker.  The supervisor never touches shared memory or the
+    budget — it only knows which worker holds which shard and whether
+    each worker is alive.
+    """
+
+    def __init__(
+        self,
+        spawn,
+        *,
+        workers: int,
+        max_worker_deaths: int,
+        lease_timeout_s: float = DEFAULT_SHARD_TIMEOUT_S,
+        clock=time.monotonic,
+        kill=os.kill,
+    ):
+        self._spawn = spawn
+        self.target = int(workers)
+        self.max_worker_deaths = int(max_worker_deaths)
+        self.lease_timeout_s = float(lease_timeout_s)
+        self._clock = clock
+        self._kill = kill
+        self.handles: list[WorkerHandle] = []
+        self._owner: dict[int, WorkerHandle] = {}  # sid -> holding worker
+        self._next_wid = 0
+        self.deaths = 0
+        self.respawns = 0
+
+    # -- pool lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the initial pool of ``target`` workers."""
+        for _ in range(self.target):
+            self._spawn_one()
+
+    def _spawn_one(self) -> WorkerHandle:
+        handle = self._spawn(self._next_wid)
+        self._next_wid += 1
+        self.handles.append(handle)
+        return handle
+
+    @property
+    def collapsed(self) -> bool:
+        """True once the death budget is exhausted (stop respawning)."""
+        return self.deaths > self.max_worker_deaths
+
+    def live_handles(self) -> list[WorkerHandle]:
+        return [h for h in self.handles if h.is_alive()]
+
+    # -- lease assignment ------------------------------------------------------
+
+    def load(self, handle: WorkerHandle) -> int:
+        """Shards currently owned by ``handle``."""
+        return sum(1 for h in self._owner.values() if h is handle)
+
+    def has_capacity(self, depth: int = 2) -> bool:
+        """True when some live worker can take another shard (< depth)."""
+        return any(self.load(h) < depth for h in self.live_handles())
+
+    def assign(self, lease: ShardLease, task, depth: int = 2) -> bool:
+        """Queue ``task`` on the best live worker; False if none can take it.
+
+        Best = fewest owned shards, preferring workers that have not
+        already failed this shard (``lease.tried_pids``) so retries land
+        on *distinct* workers whenever the pool allows it.
+        """
+        candidates = [h for h in self.live_handles() if self.load(h) < depth]
+        if not candidates:
+            return False
+        candidates.sort(
+            key=lambda h: (h.pid in lease.tried_pids, self.load(h), h.wid)
+        )
+        handle = candidates[0]
+        lease.attempt += 1
+        self._owner[lease.sid] = handle
+        handle.task_q.put(task)
+        return True
+
+    def note_started(self, lease: ShardLease, pid: int) -> None:
+        """A worker acknowledged picking the shard up: arm its deadline."""
+        lease.start(pid, self._clock(), self.lease_timeout_s)
+
+    def release(self, sid: int) -> None:
+        """The shard reached a terminal message (done/error): drop ownership."""
+        self._owner.pop(sid, None)
+
+    def owner_pid(self, sid: int) -> int | None:
+        handle = self._owner.get(sid)
+        return handle.pid if handle is not None else None
+
+    def outstanding(self) -> list[int]:
+        """Shard ids currently owned by live workers."""
+        return [
+            sid for sid, h in self._owner.items() if h.is_alive()
+        ]
+
+    # -- supervision -----------------------------------------------------------
+
+    def kill_stuck(self, leases: dict[int, ShardLease]) -> list[int]:
+        """SIGKILL workers holding a lease past its deadline.
+
+        Returns the wids killed; the dead workers are collected by the
+        next :meth:`reap` pass, which re-queues their shards.
+        """
+        now = self._clock()
+        killed: list[int] = []
+        for sid, handle in list(self._owner.items()):
+            lease = leases.get(sid)
+            if lease is None or lease.deadline is None:
+                continue
+            if now < lease.deadline or not handle.is_alive():
+                continue
+            try:
+                self._kill(handle.process.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):  # pragma: no cover
+                pass  # already gone — reap will pick it up
+            killed.append(handle.wid)
+        return killed
+
+    def reap(self) -> list[tuple[int, bool]]:
+        """Collect dead workers; return their orphaned ``(sid, started)``.
+
+        ``started`` is True when the worker had acknowledged the shard
+        (it died mid-compute — that counts as a failed attempt); False
+        when the shard was still queued behind it (re-dispatch without
+        blame).  Each reaped worker increments the death count toward
+        the budget.
+        """
+        orphans: list[tuple[int, bool]] = []
+        for handle in list(self.handles):
+            if handle.is_alive() or handle.sentinel_sent:
+                continue
+            handle.process.join(timeout=0)
+            self.handles.remove(handle)
+            self.deaths += 1
+            # Tasks still buffered in its private queue were never started —
+            # drain first so assigned-but-unconsumed shards are reported
+            # exactly once, blamelessly.
+            drained = {t[0] for t in self._drain_queue(handle.task_q)}
+            for sid, h in list(self._owner.items()):
+                if h is handle:
+                    del self._owner[sid]
+                    if sid not in drained:
+                        orphans.append((sid, True))
+            for sid in sorted(drained):
+                orphans.append((sid, False))
+        return orphans
+
+    @staticmethod
+    def _drain_queue(task_q) -> list:
+        tasks = []
+        try:
+            while not task_q.empty():
+                tasks.append(task_q.get())
+        except (OSError, EOFError):  # pragma: no cover - queue torn by death
+            pass
+        return [t for t in tasks if t is not None]
+
+    def maybe_respawn(self, wanted: int) -> int:
+        """Top the pool back up to ``min(target, wanted)`` live workers.
+
+        Respawning stops once the death budget is exhausted; returns the
+        number of workers spawned.
+        """
+        if self.collapsed:
+            return 0
+        spawned = 0
+        while len(self.live_handles()) < min(self.target, wanted):
+            self._spawn_one()
+            self.respawns += 1
+            spawned += 1
+        return spawned
+
+    # -- shutdown --------------------------------------------------------------
+
+    def shutdown(self, grace_s: float = 5.0) -> None:
+        """Wind the pool down: sentinels, a bounded join, then SIGKILL.
+
+        Safe against stuck workers — anything still alive after the
+        grace period is killed outright (its metrics snapshot is lost,
+        which the caller accounts for before calling this).
+        """
+        for handle in self.handles:
+            if handle.is_alive() and not handle.sentinel_sent:
+                try:
+                    handle.task_q.put(None)
+                    handle.sentinel_sent = True
+                except (OSError, ValueError):  # pragma: no cover - torn pipe
+                    pass
+        for handle in self.handles:
+            handle.process.join(timeout=grace_s)
+        for handle in self.handles:
+            if handle.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+        self._owner.clear()

@@ -42,7 +42,8 @@ __all__ = [
 
 #: serial backends eligible for auto-selection in the harness (the
 #: ``process`` shard layer forks per sweep — include it explicitly via
-#: ``backends=[..., "process"]`` when that cost is wanted)
+#: ``backends=[..., "process"]`` when that cost is wanted; the fuzz CLI
+#: does so automatically on hosts with >= 2 CPUs)
 AUTO_BACKENDS = ("numpy", "table", "bitplane")
 
 #: how many mismatching codes a violation records (enough to eyeball,
