@@ -1,0 +1,74 @@
+"""Attractor-direct census vs materialized classification.
+
+The tentpole series: the SWAR Brent kernel over dihedral orbit
+representatives (:func:`repro.analysis.census.build_attractor_census`)
+against the classical path — materialize the full successor array, peel
+the functional graph, read the cycle counts off the decomposition.  Both
+ends assert the same counts in-loop, so the timing claim is also the
+equivalence claim.
+
+Acceptance bar (enforced in CI from ``BENCH_attractor_census.json``):
+the direct path beats the materialized path by >= 5x at n=20.  The
+materialized series stops at n=20 — the graph peel alone makes n=24 a
+minutes-scale run, which is exactly the wall the direct kernel removes
+(n=24 lands in about a second; n=32 is CI-stress territory).
+"""
+
+import pytest
+
+from repro.analysis.census import build_attractor_census
+from repro.analysis.cycles import FunctionalGraph, cycle_length_counts
+from repro.core.automaton import CellularAutomaton
+from repro.core.rules import MajorityRule
+from repro.spaces.line import Ring
+
+#: fixed-point count of the n=24 MAJORITY-with-memory ring (OEIS A005207
+#: trajectory already pinned by the stress-budget CI job)
+_N24_FIXED_POINTS = 103684
+
+_EXPECTED = {}
+
+
+def _ca(n):
+    return CellularAutomaton(Ring(n), MajorityRule(), memory=True)
+
+
+def _expected(n):
+    if n not in _EXPECTED:
+        _EXPECTED[n] = cycle_length_counts(FunctionalGraph(_ca(n).step_all()))
+    return _EXPECTED[n]
+
+
+@pytest.mark.parametrize("n", [16, 20, 24])
+def test_attractor_census_direct(benchmark, n):
+    """Exact census with no materialized phase space (dihedral quotient)."""
+    ca = _ca(n)
+
+    def run():
+        partial = build_attractor_census(ca)
+        assert partial.complete, partial.reason
+        return partial.value
+
+    if n >= 24:
+        row = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert row.fixed_points == _N24_FIXED_POINTS
+    else:
+        row = benchmark(run)
+        expected = _expected(n)
+        assert row.fixed_points == expected["fixed_points"]
+        assert row.cycle_configs == expected["cycle_configs"]
+        assert row.two_cycle_configs == expected["two_cycle_configs"]
+        assert row.max_cycle_len == expected["max_cycle_len"]
+    assert row.configurations == 1 << n
+
+
+@pytest.mark.parametrize("n", [16, 20])
+def test_census_materialized(benchmark, n):
+    """The classical baseline: full successor array + graph peel."""
+    ca = _ca(n)
+
+    def run():
+        return cycle_length_counts(FunctionalGraph(ca.step_all()))
+
+    counts = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert counts == _expected(n)

@@ -28,8 +28,12 @@ from fractions import Fraction
 import numpy as np
 
 from repro.core.automaton import CellularAutomaton
+from repro.core.budget import Budget, BudgetExceeded, Partial, resolve_budget
 from repro.core.phase_space import PhaseSpace
 from repro.core.rules import MajorityRule
+from repro.obs import span
+from repro.perf.base import CHUNK as _CHUNK
+from repro.perf.base import MAX_ATTRACTOR_N
 from repro.spaces.line import Ring
 from repro.util.bitops import int_to_bits
 
@@ -39,7 +43,11 @@ __all__ = [
     "find_linear_recurrence",
     "CensusRow",
     "majority_ring_census",
+    "AttractorCensusRow",
+    "build_attractor_census",
+    "attractor_ring_census",
 ]
+
 
 
 def run_lengths_cyclic(state: np.ndarray) -> list[int]:
@@ -132,6 +140,221 @@ class CensusRow:
     def garden_fraction(self) -> float:
         """Fraction of configurations that are unreachable."""
         return self.gardens_of_eden / self.configurations
+
+
+@dataclass(frozen=True)
+class AttractorCensusRow:
+    """Attractor census of one automaton, computed without a phase space.
+
+    The attractor-direct counterpart of :class:`CensusRow`: everything
+    Brent classification over symmetry-orbit representatives can answer
+    exactly — which excludes the reachability columns (Gardens of Eden,
+    transient depths) that genuinely need the materialized global map.
+    """
+
+    n: int
+    configurations: int
+    orbit_reps: int
+    fixed_points: int
+    cycle_configs: int
+    two_cycle_configs: int
+    max_cycle_len: int
+    quotient: str
+
+    def summary(self) -> dict[str, int | str]:
+        return {
+            "configurations": self.configurations,
+            "orbit_reps": self.orbit_reps,
+            "fixed_points": self.fixed_points,
+            "cycle_configs": self.cycle_configs,
+            "two_cycle_configs": self.two_cycle_configs,
+            "max_cycle_len": self.max_cycle_len,
+            "quotient": self.quotient,
+        }
+
+
+def build_attractor_census(
+    ca: CellularAutomaton,
+    budget: Budget | None = None,
+    frontier: dict[str, object] | None = None,
+    kernel=None,
+) -> Partial[AttractorCensusRow]:
+    """Governed attractor-direct census: exact, or truncated + resumable.
+
+    Scans the configuration-code range in bounded chunks through an
+    :class:`~repro.perf.attractor.AttractorKernel` — no ``2**n`` array is
+    ever held, so the budget charges only the bounded trajectory-lane
+    scratch (``kernel.transient_bytes()``) per chunk rather than bytes
+    per stored state; the state ledger still counts scanned codes so
+    ``--budget-states`` and progress totals keep their meaning.
+
+    On a trip the :class:`~repro.core.budget.Partial` carries a tiny
+    pure-JSON frontier (the next unscanned code plus the counts folded so
+    far); resuming completes the census byte-identically because counts
+    of disjoint code ranges merge exactly
+    (:func:`~repro.perf.attractor.merge_counts`).
+    """
+    from repro.perf.attractor import (
+        ATTRACTOR_CHUNK,
+        AttractorKernel,
+        K_COUNTS,
+        merge_counts,
+        zero_counts,
+    )
+
+    budget = resolve_budget(budget)
+    n = ca.n
+    if n > MAX_ATTRACTOR_N:
+        raise ValueError(
+            f"attractor census over 2**{n} configurations is too large"
+        )
+    if kernel is None:
+        kernel = AttractorKernel(ca)
+    total = 1 << n
+    from repro.harness import faults
+
+    counts = zero_counts()
+    start = 0
+    if frontier is not None:
+        if (
+            frontier.get("kind") != "attractor_census"
+            or int(frontier.get("n", -1)) != n
+        ):
+            raise ValueError(
+                f"frontier is not an attractor-census frontier for n={n}: "
+                f"{ {k: frontier[k] for k in ('kind', 'n') if k in frontier} }"
+            )
+        start = int(frontier["next_lo"])
+        prior = np.asarray(frontier.get("counts", []), dtype=np.int64)
+        if prior.size != K_COUNTS:
+            raise ValueError(
+                f"attractor-census frontier has {prior.size} count slots, "
+                f"expected {K_COUNTS}"
+            )
+        counts[:] = prior
+    transient = kernel.transient_bytes()
+    # Small spaces keep the sweeps' fine chunk (honest budget-trip
+    # granularity); big spaces use ranges wide enough to fill lane blocks.
+    step = _CHUNK if total <= ATTRACTOR_CHUNK else ATTRACTOR_CHUNK
+
+    def _frontier(next_lo: int) -> dict[str, object]:
+        return {
+            "kind": "attractor_census",
+            "n": n,
+            "automaton": ca.describe(),
+            "total": total,
+            "next_lo": next_lo,
+            "counts": [int(v) for v in counts],
+        }
+
+    def _row() -> AttractorCensusRow:
+        return AttractorCensusRow(
+            n=n,
+            configurations=int(counts[2]),
+            orbit_reps=int(counts[1]),
+            fixed_points=int(counts[3]),
+            cycle_configs=int(counts[4]),
+            two_cycle_configs=int(counts[5]),
+            max_cycle_len=int(counts[6]),
+            quotient=kernel.quotient.mode,
+        )
+
+    def _stats() -> dict[str, int]:
+        return {
+            "orbit_reps_so_far": int(counts[1]),
+            "fixed_points_so_far": int(counts[3]),
+        }
+
+    with span(
+        "census.attractor",
+        n=n,
+        configs=total,
+        quotient=kernel.quotient.mode,
+        budget=budget.describe(),
+    ) as census_span:
+        backend = ca.backend
+        if backend.is_sharded:
+            next_lo, reason = backend.governed_sweep(
+                counts,
+                budget,
+                start=start,
+                per_state=0,
+                mode="attractor",
+                kernel=kernel,
+            )
+            if reason is not None:
+                census_span.set(truncated=reason, explored=next_lo)
+                return Partial.truncated(
+                    reason,
+                    explored=next_lo,
+                    total=total,
+                    stats=_stats(),
+                    frontier=_frontier(next_lo),
+                )
+        else:
+            lo = start
+            while lo < total:
+                hi = min(lo + step, total)
+                reason = budget.over(
+                    pending_bytes=transient, pending_states=hi - lo
+                )
+                if reason is not None:
+                    census_span.set(truncated=reason, explored=lo)
+                    return Partial.truncated(
+                        reason,
+                        explored=lo,
+                        total=total,
+                        stats=_stats(),
+                        frontier=_frontier(lo),
+                    )
+                faults.inject("census.chunk")
+                merge_counts(counts, kernel.census_range(lo, hi))
+                budget.charge(states=hi - lo, bytes_=0)
+                lo = hi
+        if int(counts[2]) != total:
+            # The coverage identity (orbit weights sum to 2**n) failed —
+            # a quotient bug; never report a wrong census as exact.
+            census_span.set(coverage=int(counts[2]))
+            return Partial.truncated(
+                f"quotient covered {int(counts[2])} of {total} "
+                f"configurations",
+                explored=total,
+                total=total,
+                stats=_stats(),
+                frontier=None,
+            )
+        census_span.set(
+            fixed_points=int(counts[3]), orbit_reps=int(counts[1])
+        )
+        return Partial.done(
+            _row(), explored=total, total=total, stats=_stats()
+        )
+
+
+def attractor_ring_census(
+    sizes: Iterable[int],
+    backend: str | None = None,
+    workers: int | None = None,
+) -> list[AttractorCensusRow]:
+    """Attractor-direct census of MAJORITY-with-memory rings.
+
+    The same automata as :func:`majority_ring_census`, classified without
+    materializing phase spaces — which is what lets the exact census
+    climb past ``MAX_SWEEP_N``.  Raises
+    :class:`~repro.core.budget.BudgetExceeded` on truncation (use
+    :func:`build_attractor_census` for the resumable form).
+    """
+    rows = []
+    for n in sorted(set(int(m) for m in sizes)):
+        ca = CellularAutomaton(
+            Ring(n), MajorityRule(), memory=True, backend=backend,
+            workers=workers,
+        )
+        partial = build_attractor_census(ca)
+        if not partial.complete:
+            raise BudgetExceeded(partial.reason, partial=partial)
+        rows.append(partial.value)
+    return rows
 
 
 def majority_ring_census(

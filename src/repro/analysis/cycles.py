@@ -22,6 +22,7 @@ from scipy.sparse import csgraph
 
 __all__ = [
     "FunctionalGraph",
+    "cycle_length_counts",
     "strongly_connected_sizes",
     "scc_labels",
     "scc_labels_python",
@@ -173,6 +174,34 @@ class FunctionalGraph:
     def max_transient(self) -> int:
         """Length of the longest transient tail."""
         return int(self.steps_to_cycle.max())
+
+
+def cycle_length_counts(graph: FunctionalGraph) -> dict[str, int]:
+    """Attractor census of a materialized functional graph.
+
+    The comparator for the attractor-direct kernel
+    (:mod:`repro.perf.attractor`): the same four counts — fixed points,
+    configurations on proper cycles, configurations on two-cycles, and
+    the longest cycle length — computed the classical way from a stored
+    successor array, so the two paths can be diffed byte for byte.
+    """
+    fixed_points = int(graph.fixed_points.size)
+    cycle_configs = 0
+    two_cycle_configs = 0
+    max_cycle_len = 0
+    for cycle in graph.cycles:
+        length = len(cycle)
+        max_cycle_len = max(max_cycle_len, length)
+        if length >= 2:
+            cycle_configs += length
+            if length == 2:
+                two_cycle_configs += length
+    return {
+        "fixed_points": fixed_points,
+        "cycle_configs": cycle_configs,
+        "two_cycle_configs": two_cycle_configs,
+        "max_cycle_len": max_cycle_len,
+    }
 
 
 def scc_labels(

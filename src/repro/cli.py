@@ -314,8 +314,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_census.add_argument("--min-n", type=int, default=3)
     p_census.add_argument("--max-n", type=int, default=12)
+    p_census.add_argument("--n", type=int, default=None,
+                          help="census a single ring size (attractor-direct "
+                               "by default: no materialized phase space, so "
+                               "n may exceed the full-table ceiling)")
+    p_census.add_argument("--mode", default="auto",
+                          choices=["auto", "full", "attractor"],
+                          help="'full' materializes each phase space (GoE / "
+                               "transient columns, n <= 18); 'attractor' "
+                               "counts fixed points and cycles directly via "
+                               "the SWAR kernel over the dihedral quotient; "
+                               "'auto' picks attractor when --n is given")
     _add_backend_args(p_census)
-    _add_budget_args(p_census)
+    _add_budget_args(p_census, resume=True)
 
     p_survey = sub.add_parser(
         "survey", help="classify all 256 elementary rules (E21)"
@@ -743,11 +754,90 @@ def _cmd_phase_space(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _census_attractor(args: argparse.Namespace, out) -> int:
+    """Attractor-direct census: exact counts with no materialized space."""
+    from repro.analysis.census import build_attractor_census
+    from repro.harness.checkpoint import load_frontier, save_frontier
+    from repro.perf.base import MAX_ATTRACTOR_N
+
+    if args.n is not None:
+        sizes = [args.n]
+    else:
+        sizes = list(range(args.min_n, args.max_n + 1))
+    if not sizes or min(sizes) < 3:
+        raise SystemExit("census needs ring sizes >= 3")
+    if max(sizes) > MAX_ATTRACTOR_N:
+        raise SystemExit(
+            f"attractor census supports n up to {MAX_ATTRACTOR_N}, "
+            f"got {max(sizes)}"
+        )
+    resume_dir = getattr(args, "resume", None)
+    if resume_dir and len(sizes) != 1:
+        raise SystemExit("census --resume needs a single size (--n N)")
+    frontier = None
+    if resume_dir:
+        frontier = load_frontier(resume_dir)
+        if frontier is not None:
+            print(
+                f"resuming from {resume_dir} "
+                f"(previously scanned {frontier.get('next_lo', 0)} codes)",
+                file=out,
+            )
+    print(f"{'n':>3} {'configs':>12} {'reps':>10} {'FPs':>8} "
+          f"{'CCs':>5} {'2CCs':>5} {'maxLen':>6}  quotient", file=out)
+    for n in sizes:
+        ca = CellularAutomaton(
+            Ring(n),
+            MajorityRule(),
+            memory=True,
+            backend=args.backend,
+            workers=args.workers,
+        )
+        partial = build_attractor_census(ca, frontier=frontier)
+        frontier = None
+        if not partial.complete:
+            print(f"  {partial.describe()}", file=out)
+            for key, value in (partial.stats or {}).items():
+                print(f"  {key} (so far): {value}", file=out)
+            if partial.frontier is not None and resume_dir:
+                save_frontier(resume_dir, partial)
+                print(
+                    f"  frontier saved — rerun with --resume {resume_dir} "
+                    f"to continue",
+                    file=out,
+                )
+            elif partial.frontier is not None:
+                print(
+                    "  (pass --resume DIR to checkpoint the frontier "
+                    "for later)",
+                    file=out,
+                )
+            return 3
+        r = partial.value
+        print(
+            f"{r.n:>3} {r.configurations:>12} {r.orbit_reps:>10} "
+            f"{r.fixed_points:>8} {r.cycle_configs:>5} "
+            f"{r.two_cycle_configs:>5} {r.max_cycle_len:>6}  {r.quotient}",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_census(args: argparse.Namespace, out) -> int:
     from repro.analysis.census import find_linear_recurrence, majority_ring_census
 
+    mode = args.mode
+    if mode == "auto":
+        mode = "attractor" if args.n is not None else "full"
+    if mode == "attractor":
+        return _census_attractor(args, out)
+    if args.n is not None:
+        args.min_n = args.max_n = args.n
     if not 3 <= args.min_n <= args.max_n <= 18:
-        raise SystemExit("census needs 3 <= min-n <= max-n <= 18")
+        raise SystemExit(
+            "census --mode full needs 3 <= min-n <= max-n <= 18 "
+            "(attractor-direct mode reaches larger rings)"
+        )
     rows = majority_ring_census(
         range(args.min_n, args.max_n + 1),
         backend=args.backend,
@@ -1230,6 +1320,8 @@ def _progress_total(args: argparse.Namespace) -> int | None:
             return states * nodes
         return states
     if args.command == "census":
+        if getattr(args, "n", None) is not None:
+            return 1 << args.n
         return sum(1 << k for k in range(args.min_n, args.max_n + 1))
     if args.command == "fuzz":
         if getattr(args, "replay", None) or getattr(args, "self_test", False):
@@ -1247,6 +1339,8 @@ def _progress_label(args: argparse.Namespace) -> str:
     if args.command == "phase-space":
         return f"phase-space n={_space_nodes(args)}"
     if args.command == "census":
+        if getattr(args, "n", None) is not None:
+            return f"census n={args.n}"
         return f"census n={args.min_n}..{args.max_n}"
     if args.command == "fuzz":
         return f"fuzz seed={args.seed}"

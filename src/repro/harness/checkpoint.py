@@ -174,6 +174,19 @@ def save_frontier(directory: str | os.PathLike[str], partial) -> Path:
         raise ValueError("partial result has no frontier to save")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    if "succ" not in frontier:
+        # Array-less frontier (attractor census): the counts vector rides
+        # in the JSON itself, so the whole checkpoint is one durable
+        # metadata write — no memmap, no torn-array stamp to validate.
+        meta = dict(frontier)
+        meta["schema"] = FRONTIER_SCHEMA
+        meta["explored"] = int(partial.explored)
+        meta["reason"] = partial.reason
+        meta["stats"] = partial.stats
+        meta["saved_ts"] = time.time()
+        return durable.durable_write_json(
+            directory / FRONTIER_NAME, meta, site="checkpoint.frontier"
+        )
     succ = frontier["succ"]
     array_path = directory / FRONTIER_ARRAY_NAME
     in_place = isinstance(succ, np.memmap) and succ.filename is not None and (
@@ -239,6 +252,9 @@ def load_frontier(directory: str | os.PathLike[str]) -> dict | None:
     except (OSError, json.JSONDecodeError):
         # Missing, or a torn first write that never reached os.replace.
         return None
+    if meta.get("kind") == "attractor_census":
+        # Array-less frontier: the metadata is the whole checkpoint.
+        return meta
     array_path = directory / FRONTIER_ARRAY_NAME
     try:
         succ = np.load(array_path, mmap_mode="r+")

@@ -22,6 +22,7 @@ import numpy as np
 __all__ = [
     "CHUNK",
     "MAX_SWEEP_N",
+    "MAX_ATTRACTOR_N",
     "BackendUnsupported",
     "SweepBackend",
     "NumpyBackend",
@@ -31,10 +32,17 @@ __all__ = [
 #: intermediate scratch of every backend in the tens of megabytes at most)
 CHUNK = 1 << 16
 
-#: hard ceiling on exact whole-space sweeps: 2**28 successor entries are
-#: 2 GB of int64, the most a governed single-host build can usefully hold
-#: (disk-backed frontiers included).  Above this, sample — don't enumerate.
+#: hard ceiling on exact *materialized* whole-space sweeps: 2**28
+#: successor entries are 2 GB of int64, the most a governed single-host
+#: build can usefully hold (disk-backed frontiers included).  Above this,
+#: go attractor-direct — or sample.
 MAX_SWEEP_N = 28
+
+#: hard ceiling on exact *attractor-direct* sweeps
+#: (:mod:`repro.perf.attractor`).  No per-configuration array is ever
+#: held — the census streams orbit representatives through bounded lane
+#: batches — so this ceiling is set by scan time, not memory.
+MAX_ATTRACTOR_N = 34
 
 
 class BackendUnsupported(ValueError):

@@ -30,7 +30,12 @@ import numpy as np
 
 from repro.perf.base import CHUNK, BackendUnsupported, SweepBackend
 
-__all__ = ["BitplaneBackend", "lower_bit_kernel", "MAX_SOP_WIDTH"]
+__all__ = [
+    "BitplaneBackend",
+    "lower_bit_kernel",
+    "eval_bit_kernel",
+    "MAX_SOP_WIDTH",
+]
 
 #: widest window lowered as a raw truth-table sum-of-products (2**6 = 64
 #: minterms; beyond that the kernel would be slower than the LUT gather)
@@ -69,6 +74,54 @@ def lower_bit_kernel(rule, width: int):
         except ValueError:
             return None
     return None
+
+
+def _minterm_or(
+    selected: np.ndarray,
+    planes: list[np.ndarray],
+    nwords: int,
+    nbits: int,
+) -> np.ndarray:
+    """OR of the minterms ``selected`` over ``nbits`` of ``planes``."""
+    out = np.zeros(nwords, dtype=np.uint64)
+    for code in selected.tolist():
+        term = np.full(nwords, _ONES, dtype=np.uint64)
+        for b in range(nbits):
+            term &= planes[b] if (code >> b) & 1 else ~planes[b]
+        out |= term
+    return out
+
+
+def eval_bit_kernel(
+    kernel: tuple, inputs: list[np.ndarray], nwords: int
+) -> np.ndarray:
+    """Evaluate a lowered bitwise kernel over arbitrary input planes.
+
+    ``inputs`` need not come from consecutive-code generation — the
+    attractor kernel feeds *trajectory* planes through the very same
+    lowering the sweep backend compiled, so both paths share one
+    arithmetic implementation.
+    """
+    kind, data = kernel
+    if kind == "parity":
+        out = np.zeros(nwords, dtype=np.uint64)
+        for plane in inputs:
+            out ^= plane
+        return out
+    if kind == "profile":
+        sums = _popcount_planes(inputs, nwords)
+        ones = np.flatnonzero(data)
+        # Evaluate whichever side of the profile has fewer minterms.
+        if ones.size * 2 > data.size:
+            zeros = np.flatnonzero(data == 0)
+            return ~_minterm_or(zeros, sums, nwords, len(sums))
+        return _minterm_or(ones, sums, nwords, len(sums))
+    # kind == "table": sum-of-products over the raw input planes.
+    ones = np.flatnonzero(data)
+    if ones.size * 2 > data.size:
+        zeros = np.flatnonzero(data == 0)
+        return ~_minterm_or(zeros, inputs, nwords, len(inputs))
+    return _minterm_or(ones, inputs, nwords, len(inputs))
 
 
 def _popcount_planes(planes: list[np.ndarray], nwords: int) -> list[np.ndarray]:
@@ -160,53 +213,13 @@ class BitplaneBackend(SweepBackend):
 
     # -- kernels ---------------------------------------------------------------
 
-    def _minterm_or(
-        self,
-        selected: np.ndarray,
-        planes: list[np.ndarray],
-        nwords: int,
-        nbits: int,
-    ) -> np.ndarray:
-        """OR of the minterms ``selected`` over ``nbits`` of ``planes``."""
-        out = np.zeros(nwords, dtype=np.uint64)
-        for code in selected.tolist():
-            term = np.full(nwords, _ONES, dtype=np.uint64)
-            for b in range(nbits):
-                term &= planes[b] if (code >> b) & 1 else ~planes[b]
-            out |= term
-        return out
-
-    def _eval_kernel(
-        self, kernel: tuple, inputs: list[np.ndarray], nwords: int
-    ) -> np.ndarray:
-        kind, data = kernel
-        if kind == "parity":
-            out = np.zeros(nwords, dtype=np.uint64)
-            for plane in inputs:
-                out ^= plane
-            return out
-        if kind == "profile":
-            sums = _popcount_planes(inputs, nwords)
-            ones = np.flatnonzero(data)
-            # Evaluate whichever side of the profile has fewer minterms.
-            if ones.size * 2 > data.size:
-                zeros = np.flatnonzero(data == 0)
-                return ~self._minterm_or(zeros, sums, nwords, len(sums))
-            return self._minterm_or(ones, sums, nwords, len(sums))
-        # kind == "table": sum-of-products over the raw input planes.
-        ones = np.flatnonzero(data)
-        if ones.size * 2 > data.size:
-            zeros = np.flatnonzero(data == 0)
-            return ~self._minterm_or(zeros, inputs, nwords, len(inputs))
-        return self._minterm_or(ones, inputs, nwords, len(inputs))
-
     def _out_plane(
         self, i: int, lo: int, nwords: int, cache: dict[int, np.ndarray]
     ) -> np.ndarray:
         inputs = [
             self._plane(int(src), lo, nwords, cache) for src in self._windows[i]
         ]
-        return self._eval_kernel(self._kernels[i], inputs, nwords)
+        return eval_bit_kernel(self._kernels[i], inputs, nwords)
 
     # -- packing ---------------------------------------------------------------
 

@@ -130,15 +130,17 @@ def _flush_snapshot() -> dict:
     return snapshot
 
 
-def _worker_main(wid, inner, task_q, result_q, cancel) -> None:
+def _worker_main(wid, inner, task_q, result_q, cancel, kernel=None) -> None:
     """Worker loop: shards in, per-shard completions + metric deltas out.
 
     ``inner`` is the parent's fully constructed serial backend, inherited
-    by fork (rules never cross a pickle boundary).  Kernel exceptions are
-    caught and shipped as structured ``error`` results — a worker only
-    dies from the outside (SIGKILL, OOM) or from a ``worker-crash``
-    fault.  Metrics are flushed alongside every shard completion, so an
-    abnormal death loses at most the in-flight shard's increments.
+    by fork (rules never cross a pickle boundary); ``kernel`` is the
+    attractor kernel for ``mode == "attractor"`` shards, inherited the
+    same way.  Kernel exceptions are caught and shipped as structured
+    ``error`` results — a worker only dies from the outside (SIGKILL,
+    OOM) or from a ``worker-crash`` fault.  Metrics are flushed alongside
+    every shard completion, so an abnormal death loses at most the
+    in-flight shard's increments.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     # The forked registry starts as a copy of the parent's counts; reset so
@@ -158,20 +160,42 @@ def _worker_main(wid, inner, task_q, result_q, cancel) -> None:
             # attaching here neither duplicates nor steals ownership.
             shm = shared_memory.SharedMemory(name=shm_name)
             try:
-                out = np.ndarray(hi - lo, dtype=np.int64, buffer=shm.buf)
                 ok = True
-                for clo in range(lo, hi, CHUNK):
-                    if cancel.is_set():
-                        ok = False
-                        break
-                    faults.inject(f"perf.worker.w{wid}.chunk")
-                    chi = min(clo + CHUNK, hi)
-                    if mode == "step":
-                        out[clo - lo : chi - lo] = inner.step_all_range(clo, chi)
-                    else:
-                        out[clo - lo : chi - lo] = inner.node_successors_range(
-                            node, clo, chi
-                        )
+                if mode == "attractor":
+                    from repro.perf.attractor import (
+                        ATTRACTOR_CHUNK,
+                        K_COUNTS,
+                        merge_counts,
+                    )
+
+                    out = np.ndarray(K_COUNTS, dtype=np.int64, buffer=shm.buf)
+                    # A re-dispatched shard reuses its original buffer:
+                    # zero it so a dead worker's partial fold never
+                    # double-counts.
+                    out[:] = 0
+                    for clo in range(lo, hi, ATTRACTOR_CHUNK):
+                        if cancel.is_set():
+                            ok = False
+                            break
+                        faults.inject(f"perf.worker.w{wid}.chunk")
+                        chi = min(clo + ATTRACTOR_CHUNK, hi)
+                        merge_counts(out, kernel.census_range(clo, chi))
+                else:
+                    out = np.ndarray(hi - lo, dtype=np.int64, buffer=shm.buf)
+                    for clo in range(lo, hi, CHUNK):
+                        if cancel.is_set():
+                            ok = False
+                            break
+                        faults.inject(f"perf.worker.w{wid}.chunk")
+                        chi = min(clo + CHUNK, hi)
+                        if mode == "step":
+                            out[clo - lo : chi - lo] = inner.step_all_range(
+                                clo, chi
+                            )
+                        else:
+                            out[clo - lo : chi - lo] = (
+                                inner.node_successors_range(node, clo, chi)
+                            )
                 del out
             finally:
                 shm.close()
@@ -269,11 +293,11 @@ class ProcessBackend(SweepBackend):
 
     # -- sharded governed sweep ------------------------------------------------
 
-    def _shard_len(self, span: int | None = None) -> int:
+    def _shard_len(self, span: int | None = None, parts_per_worker: int = 4) -> int:
         """Shard size: ~4 shards per worker for load balance, CHUNK-aligned."""
         if span is None:
             span = 1 << self.ca.n
-        per = span // (self.workers * 4) or span
+        per = span // (self.workers * parts_per_worker) or span
         return max(CHUNK, (per // CHUNK) * CHUNK)
 
     def governed_sweep(
@@ -286,6 +310,7 @@ class ProcessBackend(SweepBackend):
         mode: str = "step",
         node: int | None = None,
         on_prefix=None,
+        kernel=None,
     ) -> tuple[int, str | None]:
         """Fill ``out[start:]`` by sharding across the supervised pool.
 
@@ -295,18 +320,42 @@ class ProcessBackend(SweepBackend):
         point.  ``on_prefix(lo, hi)`` fires in order as the prefix grows
         (the phase-space builder streams fixed-point counts through it).
 
+        ``mode == "attractor"`` shards the whole ``2**n`` code range of
+        ``kernel`` (an :class:`~repro.perf.attractor.AttractorKernel`):
+        ``out`` is then the K-slot counts accumulator, each shard ships a
+        counts vector instead of a successor block, and shards are folded
+        in shard order as the contiguous prefix advances — so ``next_lo``
+        keeps exactly the serial builders' resume semantics.
+
         Raises :class:`~repro.perf.supervise.ShardFailed` only when a
         poison shard *also* fails the serial inline fallback.
         """
-        total = int(out.size)
+        attractor = mode == "attractor"
+        if attractor:
+            from repro.perf.attractor import K_COUNTS, merge_counts
+
+            total = 1 << self.ca.n
+        else:
+            total = int(out.size)
         if start >= total:
             return total, None
-        shard_len = self._shard_len(total - start)
+        # Attractor shards are pure compute with a fixed-size result, so
+        # slice finer: better load balance and a fraction of the lease
+        # deadline per shard even at the n=32 scale.
+        shard_len = self._shard_len(
+            total - start, parts_per_worker=16 if attractor else 4
+        )
         shards = [
             (lo, min(lo + shard_len, total))
             for lo in range(start, total, shard_len)
         ]
-        transient = self._inner.transient_bytes()
+        transient = (
+            self.workers * kernel.transient_bytes()
+            if attractor
+            else self._inner.transient_bytes()
+        )
+        #: per-shard counts vectors not yet folded into the prefix
+        shard_counts: dict[int, np.ndarray] = {}
 
         # Start the shared-memory resource tracker *before* forking, so the
         # workers inherit it: their attaches then register as no-op
@@ -328,7 +377,7 @@ class ProcessBackend(SweepBackend):
             task_q = ctx.SimpleQueue()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(wid, self._inner, task_q, result_q, cancel),
+                args=(wid, self._inner, task_q, result_q, cancel, kernel),
                 daemon=True,
             )
             proc.start()
@@ -370,6 +419,11 @@ class ProcessBackend(SweepBackend):
                     lo, hi = shards[next_merge]
                     budget.charge(states=hi - lo, bytes_=per_state * (hi - lo))
                     uncharged -= hi - lo
+                    if attractor:
+                        # Fold counts only as the charged prefix advances,
+                        # so a truncated accumulator matches what a serial
+                        # resume from ``next_lo`` would rebuild exactly.
+                        merge_counts(out, shard_counts.pop(next_merge))
                     if on_prefix is not None:
                         on_prefix(lo, hi)
                     next_merge += 1
@@ -394,7 +448,9 @@ class ProcessBackend(SweepBackend):
                 ):
                     try:
                         faults.inject("perf.process.fallback")
-                        if mode == "step":
+                        if attractor:
+                            shard_counts[sid] = kernel.census_range(lo, hi)
+                        elif mode == "step":
                             out[lo:hi] = self._inner.step_all_range(lo, hi)
                         else:
                             out[lo:hi] = self._inner.node_successors_range(
@@ -551,7 +607,8 @@ class ProcessBackend(SweepBackend):
                             if reason is not None:
                                 break
                             shm = shared_memory.SharedMemory(
-                                create=True, size=(hi - lo) * 8
+                                create=True,
+                                size=K_COUNTS * 8 if attractor else (hi - lo) * 8,
                             )
                             inflight[sid] = shm
                             lease.shm_name = shm.name
@@ -628,9 +685,15 @@ class ProcessBackend(SweepBackend):
                             # and a memmap-backed resume benefits from it;
                             # only prefix shards are *charged* and counted
                             # in the frontier.
-                            out[lo:hi] = np.ndarray(
-                                hi - lo, dtype=np.int64, buffer=shm.buf
-                            )
+                            if attractor:
+                                # Copy before the shm segment is unlinked.
+                                shard_counts[sid] = np.array(
+                                    np.ndarray(K_COUNTS, dtype=np.int64, buffer=shm.buf)
+                                )
+                            else:
+                                out[lo:hi] = np.ndarray(
+                                    hi - lo, dtype=np.int64, buffer=shm.buf
+                                )
                             status[sid] = True
                             _cleanup_shm(sid)
                             _advance_prefix()

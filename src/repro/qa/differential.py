@@ -263,6 +263,48 @@ def check_schedule_step(inst: Instance):
     return None
 
 
+def check_attractor_census(inst: Instance):
+    """Attractor-direct census vs the materialized functional graph.
+
+    Runs the SWAR Brent kernel (dihedral/cyclic/trivial quotient as the
+    instance admits) and diffs its weighted counts against
+    :func:`~repro.analysis.cycles.cycle_length_counts` of the scalar
+    oracle's successor array — the two ends of the tentpole equivalence.
+    A coverage-identity failure surfaces here as a truncated census, so
+    quotient bugs (the ``quotient-reflection-drop`` mutant) are findings,
+    not crashes.
+    """
+    from repro.analysis.census import build_attractor_census
+    from repro.analysis.cycles import FunctionalGraph, cycle_length_counts
+    from repro.qa.generators import attractor_applicable
+
+    if attractor_applicable(inst.spec) is not None:
+        return None  # instance does not lower to bitwise kernels
+    partial = build_attractor_census(inst.ca, budget=Budget())
+    expected = cycle_length_counts(FunctionalGraph(inst.oracle_succ))
+    if not partial.complete:
+        return {
+            "vs": "cycle_length_counts",
+            "error": f"attractor census not exact: {partial.reason}",
+            "expected": expected,
+        }
+    row = partial.value
+    got = {
+        "fixed_points": row.fixed_points,
+        "cycle_configs": row.cycle_configs,
+        "two_cycle_configs": row.two_cycle_configs,
+        "max_cycle_len": row.max_cycle_len,
+    }
+    if got != expected:
+        return {
+            "vs": "cycle_length_counts",
+            "quotient": row.quotient,
+            "expected": expected,
+            "got": got,
+        }
+    return None
+
+
 from repro.qa.oracles import ORACLE_CHECKS  # noqa: E402  (registry assembly)
 
 DIFFERENTIAL_CHECKS = {
@@ -271,6 +313,7 @@ DIFFERENTIAL_CHECKS = {
     "differential.phase_digest": check_phase_digest,
     "differential.trip_resume": check_trip_resume,
     "differential.schedule_step": check_schedule_step,
+    "differential.attractor_census": check_attractor_census,
 }
 
 #: full registry, in deterministic execution order

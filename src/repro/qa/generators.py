@@ -44,6 +44,7 @@ __all__ = [
     "build_automaton",
     "sample_spec",
     "max_feasible_n",
+    "attractor_applicable",
     "MIN_N",
     "DEFAULT_MAX_N",
 ]
@@ -167,6 +168,19 @@ def build_automaton(spec: InstanceSpec, backend: str | None = None):
             cache[key] = build_rule(rspec, width)
         rules.append(cache[key])
     return HeterogeneousCA(space, rules, memory=spec.memory, backend=backend)
+
+
+def attractor_applicable(spec: InstanceSpec) -> str | None:
+    """``None`` when the attractor kernel can classify this instance.
+
+    The spec-level gate for the ``differential.attractor_census`` check:
+    every sampled rule kind lowers to a bitwise kernel, so in practice
+    only exotic hosts (big-endian) or oversized widths opt out — the
+    attractor check mode runs on essentially every fuzz case.
+    """
+    from repro.perf.attractor import AttractorKernel
+
+    return AttractorKernel.supports(build_automaton(spec))
 
 
 # -- sampling ------------------------------------------------------------------

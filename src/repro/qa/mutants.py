@@ -14,7 +14,9 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.perf.bitplane import BitplaneBackend
+import repro.analysis.quotient as quotient
+import repro.perf.attractor as attractor
+import repro.perf.bitplane as bitplane
 from repro.perf.table import TableBackend
 
 __all__ = ["MUTANTS", "active_mutant"]
@@ -65,27 +67,55 @@ def _mutant_table_stale_bit(cls=TableBackend):
     ]
 
 
-def _mutant_bitplane_parity_drop(cls=BitplaneBackend):
-    """Bit-plane parity kernel forgets the last input plane."""
-    original = cls._eval_kernel
+def _mutant_bitplane_parity_drop():
+    """Bit-plane parity kernel forgets the last input plane.
 
-    def _eval_kernel(self, kernel, inputs, nwords):
+    Patches the shared module-level evaluator in *both* namespaces that
+    bind it (:mod:`repro.perf.bitplane` and the attractor kernel's
+    imported reference), as a bad edit to the shared lowering would hit
+    both the sweep backend and the attractor-direct path.
+    """
+    original = bitplane.eval_bit_kernel
+
+    def eval_bit_kernel(kernel, inputs, nwords):
         kind, _ = kernel
         if kind == "parity" and len(inputs) > 1:
             out = np.zeros(nwords, dtype=np.uint64)
             for plane in inputs[:-1]:  # BUG: one plane short
                 out ^= plane
             return out
-        return original(self, kernel, inputs, nwords)
+        return original(kernel, inputs, nwords)
 
-    return [(cls, "_eval_kernel", _eval_kernel)]
+    return [
+        (bitplane, "eval_bit_kernel", eval_bit_kernel),
+        (attractor, "eval_bit_kernel", eval_bit_kernel),
+    ]
 
 
-#: name -> patch factory returning [(class, attribute, replacement), ...]
+def _mutant_quotient_reflection_drop():
+    """Dihedral quotient forgets to minimize over reflections.
+
+    Keeps both partners of every chiral necklace pair as "orbit
+    representatives" while :func:`~repro.analysis.quotient.orbit_weights`
+    still assigns full dihedral weights — so the census overcounts
+    exactly where reflection symmetry mattered.  The smallest chiral
+    binary necklace pair lives at ``n = 6`` (e.g. ``001011``/``001101``),
+    which is what lets the self-test shrink this below the n <= 6 bar.
+    """
+
+    def _reflection_filter(reps, n):
+        return reps  # BUG: chiral partners both survive as reps
+
+    return [(quotient, "_reflection_filter", _reflection_filter)]
+
+
+#: name -> patch factory returning [(class-or-module, attribute,
+#: replacement), ...]
 MUTANTS = {
     "table-wrap-rotation": _mutant_table_wrap,
     "table-stale-bit": _mutant_table_stale_bit,
     "bitplane-parity-drop": _mutant_bitplane_parity_drop,
+    "quotient-reflection-drop": _mutant_quotient_reflection_drop,
 }
 
 

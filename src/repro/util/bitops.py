@@ -26,7 +26,10 @@ __all__ = [
     "popcount",
     "popcount_array",
     "rotate_bits",
+    "rotate_bits_array",
     "reverse_bits",
+    "reverse_bits_array",
+    "canonical_ring_form",
     "config_str",
     "parse_config",
 ]
@@ -129,6 +132,63 @@ def reverse_bits(value: int, n: int) -> int:
         if (value >> i) & 1:
             out |= 1 << (n - 1 - i)
     return out
+
+
+#: reversed-byte lookup: _BYTE_REV[b] is b with its 8 bits mirrored
+_BYTE_REV = np.array(
+    [int(f"{b:08b}"[::-1], 2) for b in range(256)], dtype=np.uint64
+)
+
+
+def rotate_bits_array(codes: np.ndarray, n: int, shift: int) -> np.ndarray:
+    """Vectorized :func:`rotate_bits` over a ``uint64`` code array."""
+    if n <= 0 or n > 64:
+        raise ValueError(f"bit width must be in 1..64, got {n}")
+    shift %= n
+    v = codes.astype(np.uint64, copy=False)
+    if shift == 0:
+        return v.copy()
+    mask = np.uint64((1 << n) - 1) if n < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    return ((v << np.uint64(shift)) | (v >> np.uint64(n - shift))) & mask
+
+
+def reverse_bits_array(codes: np.ndarray, n: int) -> np.ndarray:
+    """Vectorized :func:`reverse_bits` over a ``uint64`` code array.
+
+    Mirrors each whole 64-bit word via the byte-reversal table, then
+    shifts the result down so the low ``n`` bits land back at bit 0.
+    """
+    if n <= 0 or n > 64:
+        raise ValueError(f"bit width must be in 1..64, got {n}")
+    v = codes.astype(np.uint64, copy=False)
+    out = np.zeros_like(v)
+    for byte in range(8):
+        part = _BYTE_REV[((v >> np.uint64(8 * byte)) & np.uint64(0xFF)).astype(np.int64)]
+        out |= part << np.uint64(8 * (7 - byte))
+    if n < 64:
+        out >>= np.uint64(64 - n)
+    return out
+
+
+def canonical_ring_form(
+    codes: np.ndarray, n: int, reflections: bool = True
+) -> np.ndarray:
+    """Least code in each configuration's dihedral (or cyclic) orbit.
+
+    The vectorized counterpart of
+    :func:`repro.analysis.symmetry.canonical_code`: ``2n`` rotate/min
+    passes over the whole array instead of a Python loop per code.
+    """
+    v = codes.astype(np.uint64, copy=False)
+    best = v.copy()
+    refl = reverse_bits_array(v, n) if reflections else None
+    if refl is not None:
+        np.minimum(best, refl, out=best)
+    for shift in range(1, n):
+        np.minimum(best, rotate_bits_array(v, n, shift), out=best)
+        if refl is not None:
+            np.minimum(best, rotate_bits_array(refl, n, shift), out=best)
+    return best
 
 
 def config_str(value: int, n: int) -> str:

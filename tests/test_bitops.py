@@ -8,13 +8,16 @@ from hypothesis import strategies as st
 from repro.util.bitops import (
     all_configurations,
     bits_to_int,
+    canonical_ring_form,
     config_str,
     int_to_bits,
     parse_config,
     popcount,
     popcount_array,
     reverse_bits,
+    reverse_bits_array,
     rotate_bits,
+    rotate_bits_array,
 )
 
 
@@ -123,6 +126,99 @@ class TestReverseBits:
     @given(st.integers(min_value=0, max_value=1023))
     def test_involution(self, value):
         assert reverse_bits(reverse_bits(value, 10), 10) == value
+
+
+#: a spread of ring widths: tiny, byte-straddling, word-edge
+_WIDTHS = st.sampled_from([1, 3, 7, 8, 9, 16, 23, 33, 63, 64])
+
+
+def _codes_for(n, data):
+    count = data.draw(st.integers(min_value=1, max_value=32))
+    draw_code = st.integers(min_value=0, max_value=(1 << n) - 1)
+    return np.array(
+        [data.draw(draw_code) for _ in range(count)], dtype=np.uint64
+    )
+
+
+class TestRotateBitsArray:
+    def test_matches_scalar(self):
+        codes = np.arange(16, dtype=np.uint64)
+        got = rotate_bits_array(codes, 4, 1)
+        expected = [rotate_bits(int(c), 4, 1) for c in codes]
+        assert got.tolist() == expected
+
+    @given(_WIDTHS, st.integers(min_value=-70, max_value=70), st.data())
+    def test_property_vs_scalar(self, n, shift, data):
+        codes = _codes_for(n, data)
+        got = rotate_bits_array(codes, n, shift)
+        expected = [rotate_bits(int(c), n, shift) for c in codes]
+        assert got.tolist() == expected
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            rotate_bits_array(np.zeros(1, dtype=np.uint64), 0, 1)
+        with pytest.raises(ValueError):
+            rotate_bits_array(np.zeros(1, dtype=np.uint64), 65, 1)
+
+
+class TestReverseBitsArray:
+    def test_matches_scalar(self):
+        codes = np.arange(32, dtype=np.uint64)
+        got = reverse_bits_array(codes, 5)
+        expected = [reverse_bits(int(c), 5) for c in codes]
+        assert got.tolist() == expected
+
+    @given(_WIDTHS, st.data())
+    def test_property_vs_scalar(self, n, data):
+        codes = _codes_for(n, data)
+        got = reverse_bits_array(codes, n)
+        expected = [reverse_bits(int(c), n) for c in codes]
+        assert got.tolist() == expected
+
+    @given(_WIDTHS, st.data())
+    def test_involution(self, n, data):
+        codes = _codes_for(n, data)
+        np.testing.assert_array_equal(
+            reverse_bits_array(reverse_bits_array(codes, n), n), codes
+        )
+
+
+class TestCanonicalRingForm:
+    @staticmethod
+    def _scalar(code, n, reflections):
+        best = min(
+            rotate_bits(code, n, s) for s in range(n)
+        )
+        if reflections:
+            refl = reverse_bits(code, n)
+            best = min(
+                best, min(rotate_bits(refl, n, s) for s in range(n))
+            )
+        return best
+
+    @given(_WIDTHS.filter(lambda n: n <= 23), st.booleans(), st.data())
+    def test_property_vs_scalar(self, n, reflections, data):
+        codes = _codes_for(n, data)
+        got = canonical_ring_form(codes, n, reflections=reflections)
+        expected = [
+            self._scalar(int(c), n, reflections) for c in codes
+        ]
+        assert got.tolist() == expected
+
+    def test_idempotent(self):
+        codes = np.arange(1 << 8, dtype=np.uint64)
+        canon = canonical_ring_form(codes, 8)
+        np.testing.assert_array_equal(canonical_ring_form(canon, 8), canon)
+
+    def test_invariant_under_group_action(self):
+        codes = np.arange(1 << 7, dtype=np.uint64)
+        canon = canonical_ring_form(codes, 7)
+        np.testing.assert_array_equal(
+            canonical_ring_form(rotate_bits_array(codes, 7, 3), 7), canon
+        )
+        np.testing.assert_array_equal(
+            canonical_ring_form(reverse_bits_array(codes, 7), 7), canon
+        )
 
 
 class TestConfigStr:

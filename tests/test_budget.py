@@ -440,3 +440,89 @@ class TestBudgetCLI:
                           "--resume", str(tmp_path / "ck"))
         assert code == 130
         assert f"partial artifacts in {tmp_path / 'ck'}" in capsys.readouterr().err
+
+
+class TestGovernedAttractorCensus:
+    """The attractor-direct census under the same governance contract."""
+
+    @staticmethod
+    def _ca(n, **kw):
+        return CellularAutomaton(Ring(n), MajorityRule(), memory=True, **kw)
+
+    def test_states_trip_mid_sweep_then_resume_is_byte_identical(self):
+        from repro.analysis.census import build_attractor_census
+
+        ca = self._ca(17)  # two serial chunks: the trip lands mid-sweep
+        reference = build_attractor_census(ca)
+        assert reference.complete
+
+        tripped = build_attractor_census(ca, budget=Budget(max_states=70_000))
+        assert not tripped.complete
+        assert "states" in tripped.reason
+        frontier = tripped.frontier
+        assert frontier["kind"] == "attractor_census"
+        assert 0 < frontier["next_lo"] < 1 << 17
+        # the frontier is pure JSON: counts ride inline, no array
+        assert "succ" not in frontier
+        assert frontier["counts"][0] == frontier["next_lo"]  # codes scanned
+
+        resumed = build_attractor_census(self._ca(17), frontier=frontier)
+        assert resumed.complete
+        assert resumed.value == reference.value
+
+    def test_memory_trip_is_honest(self):
+        from repro.analysis.census import build_attractor_census
+        from repro.perf.attractor import AttractorKernel
+
+        ca = self._ca(12)
+        scratch = AttractorKernel(ca).transient_bytes()
+        partial = build_attractor_census(
+            ca, budget=Budget(mem_bytes=scratch // 2)
+        )
+        assert not partial.complete
+        assert "memory" in partial.reason
+        assert partial.frontier["next_lo"] == 0
+
+    def test_frontier_checkpoint_roundtrip(self, tmp_path):
+        from repro.analysis.census import build_attractor_census
+
+        tripped = build_attractor_census(
+            self._ca(17), budget=Budget(max_states=70_000)
+        )
+        save_frontier(tmp_path, tripped)
+        assert (tmp_path / "frontier.json").exists()
+        assert not (tmp_path / "frontier_succ.npy").exists()
+        loaded = load_frontier(tmp_path)
+        assert loaded["kind"] == "attractor_census"
+        assert loaded["next_lo"] == tripped.frontier["next_lo"]
+        resumed = build_attractor_census(self._ca(17), frontier=loaded)
+        assert resumed.complete
+
+    def test_mismatched_frontier_rejected(self):
+        from repro.analysis.census import build_attractor_census
+
+        tripped = build_attractor_census(
+            self._ca(17), budget=Budget(max_states=70_000)
+        )
+        with pytest.raises(ValueError, match="frontier"):
+            build_attractor_census(self._ca(12), frontier=tripped.frontier)
+
+    def test_cli_trip_exits_3_then_resume_completes(self, tmp_path):
+        plain_code, plain_text = run_cli("census", "--n", "17")
+        assert plain_code == 0
+
+        args = ("census", "--n", "17", "--budget-states", "70000",
+                "--resume", str(tmp_path))
+        code, text = run_cli(*args)
+        assert code == 3
+        assert "truncated: states" in text
+        assert "frontier saved" in text
+        assert (tmp_path / "frontier.json").exists()
+        assert not (tmp_path / "frontier_succ.npy").exists()
+
+        code2, text2 = run_cli("census", "--n", "17",
+                               "--resume", str(tmp_path))
+        assert code2 == 0
+        assert "resuming from" in text2
+        # the resumed row is identical to the uninterrupted one
+        assert plain_text.splitlines()[-1] == text2.splitlines()[-1]
