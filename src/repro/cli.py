@@ -14,6 +14,11 @@ Subcommands
 ``phase-space``
     Summarise (and optionally export as Graphviz DOT) the parallel or
     sequential phase space of a small automaton.
+``mc``
+    Streaming Monte-Carlo estimation of fixed-point / 2-cycle incidence,
+    convergence time and energy descent for rings far beyond exact
+    enumeration (n up to 10**6), with Wilson/Welford confidence
+    intervals and a contract-validated ``repro-mc/1`` artifact.
 ``stats``
     Pretty-print the obs metrics snapshot (in-process, or from a run
     directory written via ``--artifacts-dir``); ``--format prom`` emits
@@ -328,6 +333,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_args(p_census)
     _add_budget_args(p_census, resume=True)
 
+    p_mc = sub.add_parser(
+        "mc", help="streaming Monte-Carlo estimation (n up to 10**6)",
+        description=(
+            "Seeded streaming Monte-Carlo over homogeneous ring automata: "
+            "configurations are sampled in 64-lane SWAR batches, each "
+            "trajectory is classified as fixed point / 2-cycle / "
+            "undecided, and incidence rates carry Wilson intervals "
+            "(convergence time and energy descent carry exact-moment "
+            "means).  Exit codes: 0 done (artifact validated when "
+            "--artifact is given), 3 budget-truncated partial (frontier "
+            "saved under --resume)."
+        ),
+    )
+    p_mc.add_argument("--n", type=int, default=1000, help="ring size")
+    p_mc.add_argument("--radius", type=int, default=1)
+    p_mc.add_argument("--rule", default="majority",
+                      choices=["majority", "xor", "threshold", "wolfram"])
+    p_mc.add_argument("--threshold", type=int, default=None)
+    p_mc.add_argument("--wolfram", type=int, default=None)
+    p_mc.add_argument("--memoryless", action="store_true",
+                      help="exclude the node's own state from its window")
+    p_mc.add_argument("--schedule", default="parallel",
+                      choices=["parallel", "sweep"],
+                      help="synchronous macro steps, or one full "
+                           "identity-order sequential sweep per macro step")
+    p_mc.add_argument("--samples", type=int, default=1024,
+                      help="sampled configurations (rounded up to whole "
+                           "SWAR batches)")
+    p_mc.add_argument("--horizon", type=int, default=None, metavar="STEPS",
+                      help="macro-step cap per trajectory before a lane "
+                           "counts as undecided (default 4n + 64)")
+    p_mc.add_argument("--family", default="uniform",
+                      choices=["uniform", "density", "perturb"],
+                      help="sampling family: iid uniform bits, iid "
+                           "Bernoulli(--density) bits, or --flips random "
+                           "flips of the single-seed configuration")
+    p_mc.add_argument("--density", type=float, default=0.5,
+                      help="ones density for --family density")
+    p_mc.add_argument("--flips", type=int, default=1,
+                      help="random flips for --family perturb")
+    p_mc.add_argument("--seed", type=int, default=0,
+                      help="sample-stream seed (the same stream on every "
+                           "machine, serial or sharded)")
+    p_mc.add_argument("--artifact", default=None, metavar="FILE",
+                      help="durably write the repro-mc/1 estimate artifact "
+                           "to FILE and validate it against its contract")
+    _add_backend_args(p_mc)
+    _add_budget_args(p_mc, resume=True)
+
     p_survey = sub.add_parser(
         "survey", help="classify all 256 elementary rules (E21)"
     )
@@ -478,9 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "still fails")
     _add_budget_args(p_fuzz)
 
-    for p in (p_list, p_run, p_sim, p_ps, p_census, p_survey, p_report,
-              p_stats, p_fuzz, r_index, r_list, r_show, r_gc, r_compare,
-              p_tail):
+    for p in (p_list, p_run, p_sim, p_ps, p_census, p_mc, p_survey,
+              p_report, p_stats, p_fuzz, r_index, r_list, r_show, r_gc,
+              r_compare, p_tail):
         _add_obs_args(p)
 
     return parser
@@ -548,6 +602,20 @@ def _validate_args(args: argparse.Namespace) -> None:
     cases = getattr(args, "cases", None)
     if cases is not None and cases < 1:
         raise SystemExit(f"--cases must be >= 1, got {cases}")
+    samples = getattr(args, "samples", None)
+    if samples is not None and samples < 1:
+        raise SystemExit(f"--samples must be >= 1, got {samples}")
+    horizon = getattr(args, "horizon", None)
+    if horizon is not None and horizon < 1:
+        raise SystemExit(f"--horizon must be >= 1, got {horizon}")
+    density = getattr(args, "density", None)
+    if density is not None and not 0.0 < density < 1.0:
+        raise SystemExit(
+            f"--density must be strictly between 0 and 1, got {density:g}"
+        )
+    flips = getattr(args, "flips", None)
+    if flips is not None and flips < 0:
+        raise SystemExit(f"--flips must be >= 0, got {flips}")
     max_findings = getattr(args, "max_findings", None)
     if max_findings is not None and max_findings < 1:
         raise SystemExit(f"--max-findings must be >= 1, got {max_findings}")
@@ -858,6 +926,133 @@ def _cmd_census(args: argparse.Namespace, out) -> int:
             f"{c}*a(n-{k + 1})" for k, c in enumerate(rec[1]) if c != 0
         )
         print(f"fixed-point recurrence: a(n) = {terms}", file=out)
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace, out) -> int:
+    """Streaming Monte-Carlo estimation over a seeded sample stream."""
+    from repro.contracts.dialects import McContract
+    from repro.harness.checkpoint import load_frontier, save_frontier
+    from repro.mc import McKernel, build_mc_estimate, write_mc_artifact
+
+    if args.n < 2 * args.radius + 1:
+        raise SystemExit(
+            f"--n must be >= 2*radius + 1 = {2 * args.radius + 1}, "
+            f"got {args.n}"
+        )
+    rule = _make_rule(args)
+    kernel_kwargs = dict(
+        schedule=args.schedule,
+        family=args.family,
+        seed=args.seed,
+        horizon=args.horizon,
+        density=args.density,
+        flips=args.flips,
+    )
+    backend = None
+    if args.backend == "process":
+        # Explicit process sharding splits the sample stream over the
+        # supervised worker pool.  Every other backend choice runs the
+        # kernel's serial loop — it is already 64-way SWAR-parallel, so
+        # no automaton (or backend) is constructed at all.
+        ca = CellularAutomaton(
+            Ring(args.n, radius=args.radius),
+            rule,
+            memory=not args.memoryless,
+            backend="process",
+            workers=args.workers,
+        )
+        kernel = McKernel.from_automaton(ca, **kernel_kwargs)
+        backend = ca.backend
+    else:
+        kernel = McKernel(
+            rule,
+            args.n,
+            radius=args.radius,
+            memory=not args.memoryless,
+            **kernel_kwargs,
+        )
+    resume_dir = getattr(args, "resume", None)
+    frontier = None
+    if resume_dir:
+        frontier = load_frontier(resume_dir)
+        if frontier is not None:
+            print(
+                f"resuming from {resume_dir} "
+                f"(previously sampled {frontier.get('next_lo', 0)} configs)",
+                file=out,
+            )
+    print(kernel.describe(), file=out)
+    try:
+        partial = build_mc_estimate(
+            kernel, args.samples, frontier=frontier, backend=backend
+        )
+    except ValueError as err:  # frontier/run mismatch
+        raise SystemExit(str(err)) from err
+    if not partial.complete:
+        print(f"  {partial.describe()}", file=out)
+        for key, value in (partial.stats or {}).items():
+            print(f"  {key}: {value}", file=out)
+        if partial.frontier is not None and resume_dir:
+            save_frontier(resume_dir, partial)
+            print(
+                f"  frontier saved — rerun with --resume {resume_dir} "
+                f"to continue",
+                file=out,
+            )
+        elif partial.frontier is not None:
+            print(
+                "  (pass --resume DIR to checkpoint the frontier for later)",
+                file=out,
+            )
+        return 3
+    payload = partial.value
+    est = payload["estimates"]
+    print(
+        f"  samples: {payload['samples']} (lanes={payload['lanes']}, "
+        f"family={payload['family']}, seed={payload['seed']}, "
+        f"horizon={payload['horizon']})",
+        file=out,
+    )
+    for label, key in (
+        ("fixed-point", "fixed_point"),
+        ("2-cycle", "two_cycle"),
+        ("undecided", "undecided"),
+    ):
+        e = est[key]
+        lo99, hi99 = e["ci99"]
+        print(
+            f"  {label:<12} rate {e['rate']:.6f}  "
+            f"ci99 [{lo99:.6f}, {hi99:.6f}]  ({e['count']} samples)",
+            file=out,
+        )
+    conv = est["convergence_time"]
+    if conv["count"]:
+        clo, chi = conv["ci95"]
+        print(
+            f"  convergence time: mean {conv['mean']:.3f} steps  "
+            f"ci95 [{clo:.3f}, {chi:.3f}]  max {conv['max']}",
+            file=out,
+        )
+    energy = est.get("energy_descent")
+    if energy is not None and energy["count"]:
+        elo, ehi = energy["ci95"]
+        print(
+            f"  energy descent: mean {energy['mean']:.3f}  "
+            f"ci95 [{elo:.3f}, {ehi:.3f}]",
+            file=out,
+        )
+    if args.artifact:
+        write_mc_artifact(args.artifact, payload)
+        check = McContract().validate(args.artifact)
+        if check.status != "valid":
+            print(
+                f"artifact {args.artifact} failed its contract: "
+                f"{check.detail}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"wrote {args.artifact} (repro-mc/1, contract-valid)", file=out)
     return 0
 
 
@@ -1237,6 +1432,8 @@ def _dispatch(args: argparse.Namespace, out) -> int:
         return _cmd_phase_space(args, out)
     if args.command == "census":
         return _cmd_census(args, out)
+    if args.command == "mc":
+        return _cmd_mc(args, out)
     if args.command == "survey":
         return _cmd_survey(args, out)
     if args.command == "stats":
@@ -1323,6 +1520,10 @@ def _progress_total(args: argparse.Namespace) -> int | None:
         if getattr(args, "n", None) is not None:
             return 1 << args.n
         return sum(1 << k for k in range(args.min_n, args.max_n + 1))
+    if args.command == "mc":
+        from repro.mc import lanes_for, round_samples
+
+        return round_samples(args.samples, lanes_for(args.n))
     if args.command == "fuzz":
         if getattr(args, "replay", None) or getattr(args, "self_test", False):
             return None
@@ -1342,6 +1543,8 @@ def _progress_label(args: argparse.Namespace) -> str:
         if getattr(args, "n", None) is not None:
             return f"census n={args.n}"
         return f"census n={args.min_n}..{args.max_n}"
+    if args.command == "mc":
+        return f"mc n={args.n}"
     if args.command == "fuzz":
         return f"fuzz seed={args.seed}"
     if args.command == "run":

@@ -1,4 +1,4 @@
-"""Versioned contracts for the five artifact dialects the library emits.
+"""Versioned contracts for the six artifact dialects the library emits.
 
 ========================  ==========================  =====================
 dialect                   files                       schema
@@ -11,6 +11,7 @@ dialect                   files                       schema
                           frontier_succ.npy
 ``bench``                 BENCH_*.json                ``repro-bench/1``
 ``finding``               finding-*.json              ``repro-finding/1``
+``mc``                    mc.json, mc-*.json          ``repro-mc/1``
 ========================  ==========================  =====================
 
 Each contract's ``validate()`` classifies one file as valid /
@@ -42,6 +43,7 @@ __all__ = [
     "FrontierArrayContract",
     "BenchContract",
     "FindingContract",
+    "McContract",
     "DIALECTS",
     "contract_for",
 ]
@@ -241,6 +243,38 @@ class BenchContract(JsonContract):
     required = {"module": str, "benchmarks": list}
 
 
+class McContract(JsonContract):
+    """``mc.json`` — a streaming Monte-Carlo estimate (``repro-mc/1``).
+
+    Beyond the shape, cross-checks the counts ledger: classified lanes
+    must partition into fixed-point / 2-cycle / undecided exactly, so a
+    truncated-then-hand-edited artifact cannot masquerade as complete.
+    """
+
+    name = "mc"
+    schema = "repro-mc/1"
+    required = {"n": int, "samples": int, "counts": dict, "estimates": dict}
+
+    def finish(self, path: str | Path, obj: dict) -> FileCheck:
+        counts = obj["counts"]
+        parts = ("fixed_point", "two_cycle", "undecided")
+        try:
+            classified = sum(int(counts[k]) for k in parts)
+            total = int(counts["samples"])
+        except (KeyError, TypeError, ValueError) as exc:
+            return self.corrupt(
+                path, f"counts ledger unreadable: {exc!r}", repair="quarantine"
+            )
+        if classified != total:
+            return self.corrupt(
+                path,
+                f"counts ledger does not balance: "
+                f"{classified} classified != {total} samples",
+                repair="quarantine",
+            )
+        return self.ok(path)
+
+
 class FindingContract(JsonContract):
     name = "finding"
     schema = "repro-finding/1"
@@ -261,13 +295,14 @@ class FindingContract(JsonContract):
         return self.ok(path)
 
 
-#: The five dialects and every contract each one comprises.
+#: The six dialects and every contract each one comprises.
 DIALECTS: dict[str, list[Contract]] = {
     "obs": [ObsManifestContract(), ObsEventsContract()],
     "harness": [JournalContract(), CheckpointContract()],
     "frontier": [FrontierMetaContract(), FrontierArrayContract()],
     "bench": [BenchContract()],
     "finding": [FindingContract()],
+    "mc": [McContract()],
 }
 
 _BY_NAME: dict[str, Contract] = {
@@ -277,6 +312,7 @@ _BY_NAME: dict[str, Contract] = {
     "checkpoint.json": DIALECTS["harness"][1],
     "frontier.json": DIALECTS["frontier"][0],
     "frontier_succ.npy": DIALECTS["frontier"][1],
+    "mc.json": DIALECTS["mc"][0],
 }
 
 
@@ -290,4 +326,6 @@ def contract_for(path: str | Path) -> Contract | None:
         return DIALECTS["bench"][0]
     if name.startswith("finding") and name.endswith(".json"):
         return DIALECTS["finding"][0]
+    if name.startswith("mc-") and name.endswith(".json"):
+        return DIALECTS["mc"][0]
     return None

@@ -175,8 +175,8 @@ def save_frontier(directory: str | os.PathLike[str], partial) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     if "succ" not in frontier:
-        # Array-less frontier (attractor census): the counts vector rides
-        # in the JSON itself, so the whole checkpoint is one durable
+        # Array-less frontier (attractor census, mc): the counts vector
+        # rides in the JSON itself, so the whole checkpoint is one durable
         # metadata write — no memmap, no torn-array stamp to validate.
         meta = dict(frontier)
         meta["schema"] = FRONTIER_SCHEMA
@@ -252,7 +252,7 @@ def load_frontier(directory: str | os.PathLike[str]) -> dict | None:
     except (OSError, json.JSONDecodeError):
         # Missing, or a torn first write that never reached os.replace.
         return None
-    if meta.get("kind") == "attractor_census":
+    if meta.get("kind") in ("attractor_census", "mc"):
         # Array-less frontier: the metadata is the whole checkpoint.
         return meta
     array_path = directory / FRONTIER_ARRAY_NAME

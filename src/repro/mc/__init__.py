@@ -1,0 +1,37 @@
+"""Streaming Monte-Carlo engine for rings far beyond the exact ceiling.
+
+Exact sweeps end near n=34 (``analysis.census``); the paper's results
+become *scaling laws* only when measured statistically on huge rings.
+This package samples seeded initial conditions in 64-configuration SWAR
+batches (one trajectory per uint64 bit lane), drives them through the
+bitplane step kernels chunked over nodes so n=10^6 stays in cache-sized
+tiles, and streams fixed-point/2-cycle incidence (Wilson intervals),
+convergence time and energy descent (exact-integer mergeable moments)
+into governed, resumable, contract-validated ``repro-mc/1`` artifacts.
+"""
+
+from repro.mc.engine import build_mc_estimate, round_samples, write_mc_artifact
+from repro.mc.estimators import (
+    K_MC_COUNTS,
+    MC_COUNT_FIELDS,
+    mc_estimates,
+    merge_mc_counts,
+    zero_mc_counts,
+)
+from repro.mc.kernel import McKernel
+from repro.mc.sampler import FAMILIES, lanes_for, sample_planes
+
+__all__ = [
+    "McKernel",
+    "build_mc_estimate",
+    "round_samples",
+    "write_mc_artifact",
+    "mc_estimates",
+    "merge_mc_counts",
+    "zero_mc_counts",
+    "MC_COUNT_FIELDS",
+    "K_MC_COUNTS",
+    "FAMILIES",
+    "lanes_for",
+    "sample_planes",
+]

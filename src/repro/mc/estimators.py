@@ -1,0 +1,128 @@
+"""Streaming estimator state for the Monte-Carlo engine.
+
+All per-batch statistics reduce to one flat int64 counts vector — the
+same shape-contract the attractor census uses — so the ``process`` shard
+layer, budget frontiers, and resume all move a single small array around.
+Every slot is an exact integer (counts and power sums), which is what
+makes ``merge_mc_counts`` associative and the whole pipeline
+byte-deterministic across serial / sharded / resumed runs.
+
+Slots::
+
+    samples         lanes classified (decided or horizon-expired)
+    fixed_point     lanes whose trajectory reached a fixed point
+    two_cycle       lanes whose trajectory entered a proper 2-cycle
+    undecided       lanes still in transient at the step horizon
+    conv_count/_sum/_sumsq/_max
+                    moments of convergence time over decided lanes
+    energy_count/_sum2/_sumsq4
+                    moments of energy descent over fixed-point lanes,
+                    in *doubled* units: E2(x,x) = 2 E_seq(x) is integer
+                    (descent mean = sum2 / (2 count), variance = .../4)
+    steps           total macro steps executed (throughput accounting)
+
+The descent estimator covers fixed-point lanes only: a 2-cycle's state
+energy alternates with its phase, so "final energy" is ill-defined there
+(the pair energy E2(x, F(x)) is the quantity Proposition 1 bounds, not a
+per-state one).  Fixed-point lanes keep their settled state under further
+steps, so reading the final plane after the batch loop is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.statistics import Z95, Z99, StreamingMoments, wilson_interval
+
+__all__ = [
+    "MC_COUNT_FIELDS",
+    "K_MC_COUNTS",
+    "zero_mc_counts",
+    "merge_mc_counts",
+    "mc_estimates",
+]
+
+MC_COUNT_FIELDS = (
+    "samples",
+    "fixed_point",
+    "two_cycle",
+    "undecided",
+    "conv_count",
+    "conv_sum",
+    "conv_sumsq",
+    "conv_max",
+    "energy_count",
+    "energy_sum2",
+    "energy_sumsq4",
+    "steps",
+)
+
+K_MC_COUNTS = len(MC_COUNT_FIELDS)
+
+IDX = {name: i for i, name in enumerate(MC_COUNT_FIELDS)}
+
+_CONV_MAX_IDX = IDX["conv_max"]
+
+
+def zero_mc_counts() -> np.ndarray:
+    """A fresh all-zero counts vector."""
+    return np.zeros(K_MC_COUNTS, dtype=np.int64)
+
+
+def merge_mc_counts(acc: np.ndarray, delta: np.ndarray) -> np.ndarray:
+    """Fold ``delta`` into ``acc`` in place (sum slots, max-merge the max)."""
+    keep = acc[_CONV_MAX_IDX]
+    acc += delta
+    acc[_CONV_MAX_IDX] = max(int(keep), int(delta[_CONV_MAX_IDX]))
+    return acc
+
+
+def _moments(counts: np.ndarray, prefix: str, *, sum_slot: str, sq_slot: str):
+    m = StreamingMoments()
+    m.count = int(counts[IDX[prefix + "_count"]])
+    m.total = int(counts[IDX[sum_slot]])
+    m.total_sq = int(counts[IDX[sq_slot]])
+    return m
+
+
+def mc_estimates(counts: np.ndarray, *, energy_enabled: bool = True) -> dict:
+    """Human/JSON-facing estimates from one counts vector.
+
+    Incidence rates carry Wilson 99% intervals (the acceptance gate the
+    exact census oracle is checked against); convergence time and energy
+    descent carry exact-moment means with normal 95% intervals.
+    """
+    samples = int(counts[IDX["samples"]])
+    est: dict = {"samples": samples}
+    for key in ("fixed_point", "two_cycle", "undecided"):
+        hits = int(counts[IDX[key]])
+        lo, hi = wilson_interval(hits, samples, Z99)
+        est[key] = {
+            "count": hits,
+            "rate": hits / samples if samples else 0.0,
+            "ci99": [lo, hi],
+        }
+    conv = _moments(counts, "conv", sum_slot="conv_sum", sq_slot="conv_sumsq")
+    conv.maximum = int(counts[_CONV_MAX_IDX])
+    clo, chi = conv.ci(Z95)
+    est["convergence_time"] = {
+        "count": conv.count,
+        "mean": conv.mean,
+        "variance": conv.variance,
+        "ci95": [clo, chi],
+        "max": conv.maximum,
+    }
+    if energy_enabled:
+        e2 = _moments(
+            counts, "energy", sum_slot="energy_sum2", sq_slot="energy_sumsq4"
+        )
+        elo, ehi = e2.ci(Z95)
+        est["energy_descent"] = {
+            "count": e2.count,
+            "mean": e2.mean / 2.0,
+            "variance": e2.variance / 4.0,
+            "ci95": [elo / 2.0, ehi / 2.0],
+        }
+    else:
+        est["energy_descent"] = None
+    return est

@@ -1,0 +1,111 @@
+"""Seeded initial-condition samplers in lane-packed bitplane form.
+
+A batch of ``lanes`` sampled ring configurations is stored as an
+``(n, lanes // 64)`` uint64 array — node-major bitplanes, one sampled
+configuration per bit lane, the same little-endian lane order the
+bitplane sweep kernels use.  Three families:
+
+* ``uniform`` — every configuration equiprobable (one raw-words draw);
+* ``density`` — i.i.d. Bernoulli(``density``) cells, the biased regime
+  where MAJORITY basin structure actually moves;
+* ``perturb`` — the single-seed family: one centre cell on, then
+  ``flips`` uniformly-random cell toggles per lane (damage-spreading
+  style probes of the all-zeros basin boundary).
+
+Determinism contract: the stream is keyed by ``(seed, batch_lo)`` via
+``SeedSequence`` — batch ``lo`` draws the same planes no matter which
+worker, shard, or resumed run asks for it.  That is what makes serial,
+``process``-sharded, and budget-trip + ``--resume`` runs byte-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FAMILIES", "MIN_LANES", "MAX_LANES", "lanes_for", "sample_planes"]
+
+FAMILIES = ("uniform", "density", "perturb")
+
+#: lanes per batch: always a multiple of 64 (whole uint64 words)
+MIN_LANES = 64
+MAX_LANES = 1 << 14
+
+#: per-batch state-plane budget that :func:`lanes_for` targets (~8 MiB);
+#: at n=10^6 this lands on the 64-lane minimum — one word per node.
+_BATCH_BYTES = 8 << 20
+
+#: float scratch budget of the density family's row tiles (counts floats)
+_DENSITY_TILE_FLOATS = 1 << 21
+
+_U64_MAX = np.iinfo(np.uint64).max
+
+
+def lanes_for(n: int) -> int:
+    """Batch width for an ``n``-node ring: the largest power-of-two lane
+    count (multiple of 64, clamped to ``[MIN_LANES, MAX_LANES]``) whose
+    ``(n, lanes/64)`` state plane stays under the ~8 MiB batch budget."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    lanes = MAX_LANES
+    while lanes > MIN_LANES and n * (lanes // 8) > _BATCH_BYTES:
+        lanes //= 2
+    return lanes
+
+
+def _batch_rng(seed: int, batch_lo: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed), int(batch_lo)])
+    )
+
+
+def sample_planes(
+    family: str,
+    n: int,
+    lanes: int,
+    seed: int,
+    batch_lo: int,
+    *,
+    density: float = 0.5,
+    flips: int = 1,
+) -> np.ndarray:
+    """Draw batch ``[batch_lo, batch_lo + lanes)`` of the sample stream.
+
+    Returns an ``(n, lanes // 64)`` uint64 bitplane array; lane ``j``
+    holds sampled configuration ``batch_lo + j``.
+    """
+    if family not in FAMILIES:
+        raise ValueError(f"unknown sampler family {family!r} (want {FAMILIES})")
+    if lanes < 64 or lanes % 64:
+        raise ValueError(f"lanes must be a positive multiple of 64, got {lanes}")
+    nwords = lanes // 64
+    rng = _batch_rng(seed, batch_lo)
+
+    if family == "uniform":
+        return rng.integers(
+            0, _U64_MAX, size=(n, nwords), dtype=np.uint64, endpoint=True
+        )
+
+    if family == "density":
+        if not 0.0 < density < 1.0:
+            raise ValueError(f"density must be in (0, 1), got {density}")
+        planes = np.empty((n, nwords), dtype=np.uint64)
+        tile = max(1, _DENSITY_TILE_FLOATS // lanes)
+        for lo in range(0, n, tile):
+            hi = min(lo + tile, n)
+            bits = (rng.random((hi - lo, lanes)) < density).astype(np.uint8)
+            planes[lo:hi] = np.packbits(
+                bits, axis=1, bitorder="little"
+            ).view(np.uint64)
+        return planes
+
+    # perturb: centre cell on everywhere, then `flips` random toggles/lane
+    if flips < 0:
+        raise ValueError(f"flips must be >= 0, got {flips}")
+    planes = np.zeros((n, nwords), dtype=np.uint64)
+    planes[n // 2] = _U64_MAX
+    word = np.arange(lanes) >> 6
+    mask = np.uint64(1) << (np.arange(lanes, dtype=np.uint64) & np.uint64(63))
+    for _ in range(int(flips)):
+        rows = rng.integers(0, n, size=lanes)
+        np.bitwise_xor.at(planes, (rows, word), mask)
+    return planes

@@ -135,8 +135,8 @@ def _worker_main(wid, inner, task_q, result_q, cancel, kernel=None) -> None:
 
     ``inner`` is the parent's fully constructed serial backend, inherited
     by fork (rules never cross a pickle boundary); ``kernel`` is the
-    attractor kernel for ``mode == "attractor"`` shards, inherited the
-    same way.  Kernel exceptions are caught and shipped as structured
+    attractor or Monte-Carlo kernel for ``mode == "attractor"`` /
+    ``"mc"`` shards, inherited the same way.  Kernel exceptions are caught and shipped as structured
     ``error`` results — a worker only dies from the outside (SIGKILL,
     OOM) or from a ``worker-crash`` fault.  Metrics are flushed alongside
     every shard completion, so an abnormal death loses at most the
@@ -180,6 +180,22 @@ def _worker_main(wid, inner, task_q, result_q, cancel, kernel=None) -> None:
                         faults.inject(f"perf.worker.w{wid}.chunk")
                         chi = min(clo + ATTRACTOR_CHUNK, hi)
                         merge_counts(out, kernel.census_range(clo, chi))
+                elif mode == "mc":
+                    # Monte-Carlo shards speak the same counts-vector
+                    # protocol as attractor shards, with the kernel
+                    # supplying its own slot count, merge, and batch-
+                    # aligned cancel-poll granularity.
+                    out = np.ndarray(
+                        kernel.counts_slots, dtype=np.int64, buffer=shm.buf
+                    )
+                    out[:] = 0
+                    for clo in range(lo, hi, kernel.poll_chunk):
+                        if cancel.is_set():
+                            ok = False
+                            break
+                        faults.inject(f"perf.worker.w{wid}.chunk")
+                        chi = min(clo + kernel.poll_chunk, hi)
+                        kernel.merge(out, kernel.census_range(clo, chi))
                 else:
                     out = np.ndarray(hi - lo, dtype=np.int64, buffer=shm.buf)
                     for clo in range(lo, hi, CHUNK):
@@ -293,12 +309,17 @@ class ProcessBackend(SweepBackend):
 
     # -- sharded governed sweep ------------------------------------------------
 
-    def _shard_len(self, span: int | None = None, parts_per_worker: int = 4) -> int:
-        """Shard size: ~4 shards per worker for load balance, CHUNK-aligned."""
+    def _shard_len(
+        self,
+        span: int | None = None,
+        parts_per_worker: int = 4,
+        align: int = CHUNK,
+    ) -> int:
+        """Shard size: ~4 shards per worker for load balance, ``align``-ed."""
         if span is None:
             span = 1 << self.ca.n
         per = span // (self.workers * parts_per_worker) or span
-        return max(CHUNK, (per // CHUNK) * CHUNK)
+        return max(align, (per // align) * align)
 
     def governed_sweep(
         self,
@@ -326,15 +347,28 @@ class ProcessBackend(SweepBackend):
         counts vector instead of a successor block, and shards are folded
         in shard order as the contiguous prefix advances — so ``next_lo``
         keeps exactly the serial builders' resume semantics.
+        ``mode == "mc"`` does the same over the sample range
+        ``[0, kernel.sweep_total)`` of a Monte-Carlo kernel, with shards
+        aligned to whole sample batches (``kernel.shard_align``).
 
         Raises :class:`~repro.perf.supervise.ShardFailed` only when a
         poison shard *also* fails the serial inline fallback.
         """
+        # "Direct" modes (attractor, mc) reduce each shard to a fixed-size
+        # counts vector instead of a successor block; the kernel supplies
+        # the slot count, the merge, and (for mc) the shard alignment.
         attractor = mode == "attractor"
+        direct = attractor or mode == "mc"
+        align = CHUNK
         if attractor:
             from repro.perf.attractor import K_COUNTS, merge_counts
 
+            k_slots, k_merge = K_COUNTS, merge_counts
             total = 1 << self.ca.n
+        elif mode == "mc":
+            k_slots, k_merge = kernel.counts_slots, kernel.merge
+            align = kernel.shard_align
+            total = int(kernel.sweep_total)
         else:
             total = int(out.size)
         if start >= total:
@@ -343,7 +377,9 @@ class ProcessBackend(SweepBackend):
         # slice finer: better load balance and a fraction of the lease
         # deadline per shard even at the n=32 scale.
         shard_len = self._shard_len(
-            total - start, parts_per_worker=16 if attractor else 4
+            total - start,
+            parts_per_worker=16 if attractor else 4,
+            align=align,
         )
         shards = [
             (lo, min(lo + shard_len, total))
@@ -351,7 +387,7 @@ class ProcessBackend(SweepBackend):
         ]
         transient = (
             self.workers * kernel.transient_bytes()
-            if attractor
+            if direct
             else self._inner.transient_bytes()
         )
         #: per-shard counts vectors not yet folded into the prefix
@@ -419,11 +455,11 @@ class ProcessBackend(SweepBackend):
                     lo, hi = shards[next_merge]
                     budget.charge(states=hi - lo, bytes_=per_state * (hi - lo))
                     uncharged -= hi - lo
-                    if attractor:
+                    if direct:
                         # Fold counts only as the charged prefix advances,
                         # so a truncated accumulator matches what a serial
                         # resume from ``next_lo`` would rebuild exactly.
-                        merge_counts(out, shard_counts.pop(next_merge))
+                        k_merge(out, shard_counts.pop(next_merge))
                     if on_prefix is not None:
                         on_prefix(lo, hi)
                     next_merge += 1
@@ -448,7 +484,7 @@ class ProcessBackend(SweepBackend):
                 ):
                     try:
                         faults.inject("perf.process.fallback")
-                        if attractor:
+                        if direct:
                             shard_counts[sid] = kernel.census_range(lo, hi)
                         elif mode == "step":
                             out[lo:hi] = self._inner.step_all_range(lo, hi)
@@ -608,7 +644,7 @@ class ProcessBackend(SweepBackend):
                                 break
                             shm = shared_memory.SharedMemory(
                                 create=True,
-                                size=K_COUNTS * 8 if attractor else (hi - lo) * 8,
+                                size=k_slots * 8 if direct else (hi - lo) * 8,
                             )
                             inflight[sid] = shm
                             lease.shm_name = shm.name
@@ -685,10 +721,10 @@ class ProcessBackend(SweepBackend):
                             # and a memmap-backed resume benefits from it;
                             # only prefix shards are *charged* and counted
                             # in the frontier.
-                            if attractor:
+                            if direct:
                                 # Copy before the shm segment is unlinked.
                                 shard_counts[sid] = np.array(
-                                    np.ndarray(K_COUNTS, dtype=np.int64, buffer=shm.buf)
+                                    np.ndarray(k_slots, dtype=np.int64, buffer=shm.buf)
                                 )
                             else:
                                 out[lo:hi] = np.ndarray(

@@ -305,6 +305,115 @@ def check_attractor_census(inst: Instance):
     return None
 
 
+def _mc_lane_codes(planes: np.ndarray, n: int, lanes: int) -> np.ndarray:
+    """Configuration code of every lane of an ``(n, lanes/64)`` bitplane."""
+    bits = np.unpackbits(
+        np.ascontiguousarray(planes).view(np.uint8), axis=1, bitorder="little"
+    )[:, :lanes].astype(np.int64)
+    return (bits << np.arange(n, dtype=np.int64)[:, None]).sum(axis=0)
+
+
+def check_mc_step(inst: Instance):
+    """MC trajectory driver vs the scalar ``step_naive`` oracle.
+
+    Drives one 64-lane batch of sampled configurations three parallel
+    macro steps through :class:`~repro.mc.kernel.McKernel` and diffs the
+    per-step lane codes against composing ``oracle_succ``; when the
+    instance's schedule is a fixed permutation, also diffs one sweep
+    macro step against composing the oracle's node-successor rows.
+    """
+    from repro.mc import sampler
+    from repro.mc.kernel import McKernel
+    from repro.qa.generators import mc_applicable
+
+    if mc_applicable(inst.spec) is not None:
+        return None  # instance does not lower to the MC kernel
+    n = inst.ca.n
+    lanes = 64
+    kernel = McKernel.from_automaton(
+        inst.ca, seed=inst.spec.seed, lanes=lanes
+    )
+    planes = sampler.sample_planes(
+        "uniform", n, lanes, inst.spec.seed, 0
+    )
+    codes = _mc_lane_codes(planes, n, lanes)
+    for step in range(3):
+        planes = kernel.step(planes)
+        codes = inst.oracle_succ[codes]
+        got = _mc_lane_codes(planes, n, lanes)
+        if not np.array_equal(got, codes):
+            return {
+                "vs": "step_naive",
+                "path": "parallel",
+                "step": step + 1,
+                **_diff_codes(codes, got),
+            }
+    if inst.spec.schedule.get("kind") == "perm":
+        perm = [int(i) for i in inst.spec.schedule["perm"]]
+        sweeper = McKernel.from_automaton(
+            inst.ca,
+            seed=inst.spec.seed,
+            lanes=lanes,
+            schedule="sweep",
+            perm=perm,
+        )
+        planes = sampler.sample_planes(
+            "uniform", n, lanes, inst.spec.seed, lanes
+        )
+        codes = _mc_lane_codes(planes, n, lanes)
+        for i in perm:
+            codes = inst.oracle_node_succ[i][codes]
+        got = _mc_lane_codes(sweeper.step(planes), n, lanes)
+        if not np.array_equal(got, codes):
+            return {
+                "vs": "step_naive",
+                "path": "sweep",
+                "perm": perm,
+                **_diff_codes(codes, got),
+            }
+    return None
+
+
+def check_mc_sampler(inst: Instance):
+    """Uniform sampler vs an inline single-draw reference.
+
+    The uniform family must be *one* raw draw of the batch-keyed rng —
+    any post-processing (like the ``mc-sampler-tail-drop`` mutant's
+    silent removal of all-ones configurations) biases every downstream
+    basin-mass estimate while leaving the step kernels bit-exact, so the
+    stream itself is diffed, not just the dynamics.
+    """
+    from repro.mc import sampler
+    from repro.qa.generators import mc_applicable
+
+    if mc_applicable(inst.spec) is not None:
+        return None
+    n = inst.ca.n
+    lanes = 4096
+    got = sampler.sample_planes("uniform", n, lanes, inst.spec.seed, 0)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(inst.spec.seed), 0])
+    )
+    expected = rng.integers(
+        0,
+        np.iinfo(np.uint64).max,
+        size=(n, lanes // 64),
+        dtype=np.uint64,
+        endpoint=True,
+    )
+    if not np.array_equal(got, expected):
+        words = np.flatnonzero((got != expected).any(axis=0))[:_MAX_DIFF_CODES]
+        return {
+            "vs": "reference_rng_stream",
+            "family": "uniform",
+            "mismatching_words": int(
+                np.count_nonzero((got != expected).any(axis=0))
+            ),
+            "words": [int(w) for w in words],
+        }
+    return None
+
+
 from repro.qa.oracles import ORACLE_CHECKS  # noqa: E402  (registry assembly)
 
 DIFFERENTIAL_CHECKS = {
@@ -314,6 +423,8 @@ DIFFERENTIAL_CHECKS = {
     "differential.trip_resume": check_trip_resume,
     "differential.schedule_step": check_schedule_step,
     "differential.attractor_census": check_attractor_census,
+    "differential.mc_step": check_mc_step,
+    "differential.mc_sampler": check_mc_sampler,
 }
 
 #: full registry, in deterministic execution order

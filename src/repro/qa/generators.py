@@ -45,6 +45,7 @@ __all__ = [
     "sample_spec",
     "max_feasible_n",
     "attractor_applicable",
+    "mc_applicable",
     "MIN_N",
     "DEFAULT_MAX_N",
 ]
@@ -181,6 +182,19 @@ def attractor_applicable(spec: InstanceSpec) -> str | None:
     from repro.perf.attractor import AttractorKernel
 
     return AttractorKernel.supports(build_automaton(spec))
+
+
+def mc_applicable(spec: InstanceSpec) -> str | None:
+    """``None`` when the Monte-Carlo kernel can drive this instance.
+
+    The spec-level gate for the ``differential.mc_*`` checks: the MC
+    kernel needs a homogeneous rule on a ring (its O(1)-setup stepping
+    derives windows analytically from the radius) that lowers to a
+    bitwise kernel.
+    """
+    from repro.mc.kernel import McKernel
+
+    return McKernel.supports(build_automaton(spec))
 
 
 # -- sampling ------------------------------------------------------------------

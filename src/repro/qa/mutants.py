@@ -15,6 +15,7 @@ from contextlib import contextmanager
 import numpy as np
 
 import repro.analysis.quotient as quotient
+import repro.mc.sampler as mc_sampler
 import repro.perf.attractor as attractor
 import repro.perf.bitplane as bitplane
 from repro.perf.table import TableBackend
@@ -109,6 +110,30 @@ def _mutant_quotient_reflection_drop():
     return [(quotient, "_reflection_filter", _reflection_filter)]
 
 
+def _mutant_mc_sampler_tail_drop():
+    """Uniform MC sampler silently drops the all-ones tail.
+
+    Clears every lane whose sampled configuration is all-ones — a
+    plausible "mask off the sentinel value" bug in the packer.  The step
+    kernels stay bit-exact on whatever states remain, so only a check
+    that diffs the *sample stream* itself (``differential.mc_sampler``)
+    can see the bias; at the fuzzer's n <= 8 the all-ones configuration
+    carries real probability mass, so a 4096-lane draw exposes it with
+    near certainty.
+    """
+    original = mc_sampler.sample_planes
+
+    def sample_planes(family, n, lanes, seed, batch_lo, **kwargs):
+        planes = original(family, n, lanes, seed, batch_lo, **kwargs)
+        if family == "uniform":
+            # BUG: lanes that drew the all-ones configuration are zeroed.
+            allones = np.bitwise_and.reduce(planes, axis=0)
+            planes = planes & ~allones
+        return planes
+
+    return [(mc_sampler, "sample_planes", sample_planes)]
+
+
 #: name -> patch factory returning [(class-or-module, attribute,
 #: replacement), ...]
 MUTANTS = {
@@ -116,6 +141,7 @@ MUTANTS = {
     "table-stale-bit": _mutant_table_stale_bit,
     "bitplane-parity-drop": _mutant_bitplane_parity_drop,
     "quotient-reflection-drop": _mutant_quotient_reflection_drop,
+    "mc-sampler-tail-drop": _mutant_mc_sampler_tail_drop,
 }
 
 

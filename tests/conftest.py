@@ -40,6 +40,12 @@ def fuzz_seed() -> int:
 
 
 @pytest.fixture
+def mc_seed() -> int:
+    """Integer seed for the Monte-Carlo suites, honoring REPRO_SEED."""
+    return session_seed()
+
+
+@pytest.fixture
 def rng(fuzz_seed: int) -> np.random.Generator:
     """Deterministic RNG for randomized tests (REPRO_SEED-aware)."""
     return np.random.default_rng(fuzz_seed)

@@ -117,9 +117,9 @@ class TestDialectContracts:
         dialects = {c.dialect for c in checks}
         assert {"obs", "harness", "frontier", "bench", "finding"} <= dialects
 
-    def test_five_dialects_declared(self):
+    def test_declared_dialects(self):
         assert set(DIALECTS) == {
-            "obs", "harness", "frontier", "bench", "finding"
+            "obs", "harness", "frontier", "bench", "finding", "mc"
         }
         for contracts in DIALECTS.values():
             for contract in contracts:

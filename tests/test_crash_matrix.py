@@ -46,6 +46,7 @@ SUBPHASE_SITES = (
     "artifacts.manifest@rename",
     "checkpoint.snapshot@dirsync",
     "checkpoint.frontier@rename",
+    "mc.artifact@rename",
 )
 
 
@@ -200,6 +201,25 @@ def _drive_bench(site: str, tree: Path) -> None:
     )
 
 
+def _mc_argv(tree: Path) -> list[str]:
+    return [
+        "mc", "--n", "12", "--samples", "256", "--seed", "1",
+        "--artifact", str(tree / "mc.json"),
+    ]
+
+
+def _drive_mc(site: str, tree: Path) -> None:
+    # The estimate completes and the crash lands inside the durable
+    # artifact write; the doctor must never see a torn mc.json, and the
+    # (deterministic) re-run rewrites the identical artifact.
+    _crash_cli(site, _mc_argv(tree), tree)
+    _doctor_consistent(tree)
+    assert _run_clean(_mc_argv(tree)) == 0
+    payload = json.loads((tree / "mc.json").read_text())
+    assert payload["schema"] == "repro-mc/1"
+    assert payload["counts"]["samples"] == payload["samples"]
+
+
 def _drive_index(site: str, tree: Path) -> None:
     # Seed an artifact so the ingestion has something to walk.
     cp = Checkpoint(tree / "ckpt")
@@ -226,9 +246,11 @@ DRIVERS = {
     "findings.save": _drive_findings,
     "bench.write": _drive_bench,
     "index.write": _drive_index,
+    "mc.artifact": _drive_mc,
     "artifacts.manifest@rename": _drive_run,
     "checkpoint.snapshot@dirsync": _drive_run,
     "checkpoint.frontier@rename": _drive_sweep,
+    "mc.artifact@rename": _drive_mc,
 }
 
 
@@ -239,6 +261,7 @@ def _registered_sites() -> set[str]:
         "repro.obs.export",
         "repro.obs.index",
         "repro.qa.findings",
+        "repro.mc.engine",
     ):
         importlib.import_module(mod)
     if str(ROOT) not in sys.path:
